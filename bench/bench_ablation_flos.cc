@@ -1,0 +1,123 @@
+// Ablation study of FLoS design choices called out in DESIGN.md:
+//   (a) self-loop tightening (Section 5.3) on vs off — visited nodes and
+//       time;
+//   (b) inner-solve tolerance tau — time vs the number of expansions;
+//   (c) measure unification — PHP vs DHT vs EI run through the same
+//       engine should visit identical node counts (Theorem 2 in action).
+
+#include <cstdio>
+#include <string>
+
+#include "bench/harness.h"
+#include "core/flos.h"
+#include "graph/presets.h"
+#include "util/flags.h"
+#include "util/table_printer.h"
+
+namespace flos {
+namespace {
+
+int Main(int argc, char** argv) {
+  FlagParser flags;
+  bench::CommonFlags common;
+  common.queries = 10;
+  common.Register(&flags);
+  double c = 0.5;
+  int64_t k = 20;
+  flags.AddDouble("c", &c, "decay / restart parameter");
+  flags.AddInt("k", &k, "top-k");
+  if (const Status s = flags.Parse(argc, argv); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    flags.PrintUsage(argv[0]);
+    return 1;
+  }
+
+  const GraphPreset preset = bench::CheckOk(FindPreset("dp"));
+  const Graph g =
+      bench::CheckOk(BuildPresetGraph(preset, common.scale, common.seed));
+  bench::PrintGraphLine("dp-proxy", g);
+  const std::vector<NodeId> queries = bench::SampleQueries(
+      g, static_cast<int>(common.queries), common.seed + 1);
+
+  std::printf("# Ablation (a): self-loop tightening, k=%lld\n",
+              static_cast<long long>(k));
+  {
+    TablePrinter table(common.csv);
+    table.AddRow({"self_loop", "avg_ms", "avg_visited", "avg_expansions"});
+    for (const bool self_loop : {true, false}) {
+      FlosOptions options;
+      options.measure = Measure::kPhp;
+      options.c = c;
+      options.self_loop_tightening = self_loop;
+      uint64_t visited = 0;
+      uint64_t expansions = 0;
+      const bench::Timing t = bench::TimeQueries(queries, [&](NodeId q) {
+        const auto r = FlosTopK(g, q, static_cast<int>(k), options);
+        bench::CheckOk(r.status());
+        visited += r.value().stats.visited_nodes;
+        expansions += r.value().stats.expansions;
+        return true;
+      });
+      table.AddRow({self_loop ? "on" : "off",
+                    TablePrinter::FormatDouble(t.avg_ms),
+                    std::to_string(visited / queries.size()),
+                    std::to_string(expansions / queries.size())});
+    }
+    table.Print();
+  }
+
+  std::printf("\n# Ablation (b): inner tolerance tau\n");
+  {
+    TablePrinter table(common.csv);
+    table.AddRow({"tau", "avg_ms", "avg_visited", "avg_inner_iterations"});
+    for (const double tau : {1e-3, 1e-5, 1e-7, 1e-9}) {
+      FlosOptions options;
+      options.measure = Measure::kPhp;
+      options.c = c;
+      options.tolerance = tau;
+      uint64_t visited = 0;
+      uint64_t inner = 0;
+      const bench::Timing t = bench::TimeQueries(queries, [&](NodeId q) {
+        const auto r = FlosTopK(g, q, static_cast<int>(k), options);
+        bench::CheckOk(r.status());
+        visited += r.value().stats.visited_nodes;
+        inner += r.value().stats.inner_iterations;
+        return true;
+      });
+      table.AddRow({TablePrinter::FormatDouble(tau, 1),
+                    TablePrinter::FormatDouble(t.avg_ms),
+                    std::to_string(visited / queries.size()),
+                    std::to_string(inner / queries.size())});
+    }
+    table.Print();
+  }
+
+  std::printf("\n# Ablation (c): one engine, three measures (Theorem 2) — "
+              "identical search behaviour expected\n");
+  {
+    TablePrinter table(common.csv);
+    table.AddRow({"measure", "avg_ms", "avg_visited"});
+    for (const Measure m : {Measure::kPhp, Measure::kEi, Measure::kDht}) {
+      FlosOptions options;
+      options.measure = m;
+      // Matching parameters: PHP decay 1-c <=> EI/DHT parameter c.
+      options.c = m == Measure::kPhp ? 1.0 - c : c;
+      uint64_t visited = 0;
+      const bench::Timing t = bench::TimeQueries(queries, [&](NodeId q) {
+        const auto r = FlosTopK(g, q, static_cast<int>(k), options);
+        bench::CheckOk(r.status());
+        visited += r.value().stats.visited_nodes;
+        return true;
+      });
+      table.AddRow({MeasureName(m), TablePrinter::FormatDouble(t.avg_ms),
+                    std::to_string(visited / queries.size())});
+    }
+    table.Print();
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace flos
+
+int main(int argc, char** argv) { return flos::Main(argc, argv); }

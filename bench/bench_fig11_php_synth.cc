@@ -1,0 +1,137 @@
+// Figure 11 (+ Table 6 header): PHP methods on in-memory synthetic graphs,
+// k = 20: (a) varying size on RAND, (b) varying size on R-MAT, (c) varying
+// density on RAND, (d) varying density on R-MAT.
+//
+// Expected shape (paper): GI_PHP grows with |V| while all local methods
+// stay flat; every method grows with density; local methods are slightly
+// slower on R-MAT than on RAND (hub nodes enlarge the expanded
+// neighborhood), while GI is slightly faster on R-MAT.
+
+#include <cstdio>
+#include <string>
+
+#include "baselines/dne.h"
+#include "baselines/gi.h"
+#include "baselines/ls_push.h"
+#include "baselines/nn_ei.h"
+#include "bench/harness.h"
+#include "core/flos.h"
+#include "graph/accessor.h"
+#include "util/flags.h"
+#include "util/table_printer.h"
+
+namespace flos {
+namespace {
+
+int Main(int argc, char** argv) {
+  FlagParser flags;
+  bench::CommonFlags common;
+  common.ks = "20";  // the paper fixes k = 20 for the synthetic study
+  common.queries = 3;
+  common.Register(&flags);
+  double c = 0.5;
+  int64_t base_nodes = 32768;
+  flags.AddDouble("c", &c, "PHP decay factor");
+  flags.AddInt("base-nodes", &base_nodes,
+               "smallest size of the varying-size series (paper: 2^20)");
+  if (const Status s = flags.Parse(argc, argv); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    flags.PrintUsage(argv[0]);
+    return 1;
+  }
+  const int k = bench::ParseIntList(common.ks)[0];
+
+  std::printf("# Figure 11: PHP methods on synthetic graphs (k=%d, avg "
+              "ms/query over %lld queries)\n",
+              k, static_cast<long long>(common.queries));
+  TablePrinter table(common.csv);
+  table.AddRow({"series", "graph", "method", "avg_ms"});
+
+  std::vector<std::pair<std::string, std::vector<bench::SynthSpec>>> series;
+  series.emplace_back(
+      "size-RAND", bench::SizeSweep(static_cast<uint64_t>(base_nodes), 9.5,
+                                    /*rmat=*/false));
+  series.emplace_back(
+      "size-RMAT", bench::SizeSweep(static_cast<uint64_t>(base_nodes), 9.5,
+                                    /*rmat=*/true));
+  const std::vector<double> densities = {4.8, 9.5, 14.3, 19.1};
+  series.emplace_back("density-RAND",
+                      bench::DensitySweep(static_cast<uint64_t>(base_nodes),
+                                          densities, /*rmat=*/false));
+  series.emplace_back("density-RMAT",
+                      bench::DensitySweep(static_cast<uint64_t>(base_nodes),
+                                          densities, /*rmat=*/true));
+
+  for (const auto& [series_name, specs] : series) {
+    for (const bench::SynthSpec& spec : specs) {
+      const Graph g = bench::CheckOk(bench::BuildSynth(spec, common.seed));
+      bench::PrintGraphLine(spec.label, g);
+      const std::vector<NodeId> queries = bench::SampleQueries(
+          g, static_cast<int>(common.queries), common.seed + 1);
+      {
+        FlosOptions options;
+        options.measure = Measure::kPhp;
+        options.c = c;
+        const bench::Timing t = bench::TimeQueries(queries, [&](NodeId q) {
+          bench::CheckOk(FlosTopK(g, q, k, options).status());
+          return true;
+        });
+        table.AddRow({series_name, spec.label, "FLoS_PHP",
+                      TablePrinter::FormatDouble(t.avg_ms)});
+      }
+      {
+        GiOptions options;
+        options.measure = Measure::kPhp;
+        options.params.c = c;
+        const bench::Timing t = bench::TimeQueries(queries, [&](NodeId q) {
+          bench::CheckOk(GiTopK(g, q, k, options).status());
+          return true;
+        });
+        table.AddRow({series_name, spec.label, "GI_PHP",
+                      TablePrinter::FormatDouble(t.avg_ms)});
+      }
+      {
+        DneOptions options;
+        options.c = c;
+        InMemoryAccessor accessor(&g);
+        const bench::Timing t = bench::TimeQueries(queries, [&](NodeId q) {
+          bench::CheckOk(DneTopK(&accessor, q, k, options).status());
+          return true;
+        });
+        table.AddRow({series_name, spec.label, "DNE",
+                      TablePrinter::FormatDouble(t.avg_ms)});
+      }
+      {
+        NnEiOptions options;
+        options.c = 1.0 - c;
+        InMemoryAccessor accessor(&g);
+        const bench::Timing t = bench::TimeQueries(queries, [&](NodeId q) {
+          bench::CheckOk(NnEiTopK(&accessor, q, k, options).status());
+          return true;
+        });
+        table.AddRow({series_name, spec.label, "NN_EI",
+                      TablePrinter::FormatDouble(t.avg_ms)});
+      }
+      {
+        LsPushOptions ls_options;
+        const LsPushIndex index =
+            bench::CheckOk(LsPushIndex::Build(&g, ls_options));
+        MeasureParams params;
+        params.c = 1.0 - c;
+        const bench::Timing t = bench::TimeQueries(queries, [&](NodeId q) {
+          bench::CheckOk(index.Query(q, k, Measure::kEi, params).status());
+          return true;
+        });
+        table.AddRow({series_name, spec.label, "LS_EI",
+                      TablePrinter::FormatDouble(t.avg_ms)});
+      }
+    }
+  }
+  table.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace flos
+
+int main(int argc, char** argv) { return flos::Main(argc, argv); }

@@ -1,0 +1,121 @@
+// Figure 12: RWR methods on in-memory synthetic graphs, k = 20: the same
+// four series as Figure 11 with FLoS_RWR, GI_RWR, Castanet, and LS_RWR.
+//
+// Expected shape (paper): GI_RWR and Castanet grow with |V| (Castanet
+// cutting ~70-90% off GI); FLoS_RWR and LS_RWR stay flat in |V|; all grow
+// with density.
+
+#include <cstdio>
+#include <string>
+
+#include "baselines/castanet.h"
+#include "baselines/gi.h"
+#include "baselines/ls_push.h"
+#include "bench/harness.h"
+#include "core/flos.h"
+#include "util/flags.h"
+#include "util/table_printer.h"
+
+namespace flos {
+namespace {
+
+int Main(int argc, char** argv) {
+  FlagParser flags;
+  bench::CommonFlags common;
+  common.ks = "20";
+  common.queries = 3;
+  common.Register(&flags);
+  double c = 0.5;
+  int64_t base_nodes = 16384;
+  flags.AddDouble("c", &c, "RWR restart probability");
+  flags.AddInt("base-nodes", &base_nodes,
+               "smallest size of the varying-size series (paper: 2^20)");
+  if (const Status s = flags.Parse(argc, argv); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    flags.PrintUsage(argv[0]);
+    return 1;
+  }
+  const int k = bench::ParseIntList(common.ks)[0];
+
+  std::printf("# Figure 12: RWR methods on synthetic graphs (k=%d, avg "
+              "ms/query over %lld queries)\n",
+              k, static_cast<long long>(common.queries));
+  TablePrinter table(common.csv);
+  table.AddRow({"series", "graph", "method", "avg_ms"});
+
+  std::vector<std::pair<std::string, std::vector<bench::SynthSpec>>> series;
+  series.emplace_back(
+      "size-RAND", bench::SizeSweep(static_cast<uint64_t>(base_nodes), 9.5,
+                                    /*rmat=*/false));
+  series.emplace_back(
+      "size-RMAT", bench::SizeSweep(static_cast<uint64_t>(base_nodes), 9.5,
+                                    /*rmat=*/true));
+  const std::vector<double> densities = {4.8, 9.5, 14.3, 19.1};
+  series.emplace_back("density-RAND",
+                      bench::DensitySweep(static_cast<uint64_t>(base_nodes),
+                                          densities, /*rmat=*/false));
+  series.emplace_back("density-RMAT",
+                      bench::DensitySweep(static_cast<uint64_t>(base_nodes),
+                                          densities, /*rmat=*/true));
+
+  for (const auto& [series_name, specs] : series) {
+    for (const bench::SynthSpec& spec : specs) {
+      const Graph g = bench::CheckOk(bench::BuildSynth(spec, common.seed));
+      bench::PrintGraphLine(spec.label, g);
+      const std::vector<NodeId> queries = bench::SampleQueries(
+          g, static_cast<int>(common.queries), common.seed + 1);
+      {
+        FlosOptions options;
+        options.measure = Measure::kRwr;
+        options.c = c;
+        const bench::Timing t = bench::TimeQueries(queries, [&](NodeId q) {
+          bench::CheckOk(FlosTopK(g, q, k, options).status());
+          return true;
+        });
+        table.AddRow({series_name, spec.label, "FLoS_RWR",
+                      TablePrinter::FormatDouble(t.avg_ms)});
+      }
+      {
+        GiOptions options;
+        options.measure = Measure::kRwr;
+        options.params.c = c;
+        const bench::Timing t = bench::TimeQueries(queries, [&](NodeId q) {
+          bench::CheckOk(GiTopK(g, q, k, options).status());
+          return true;
+        });
+        table.AddRow({series_name, spec.label, "GI_RWR",
+                      TablePrinter::FormatDouble(t.avg_ms)});
+      }
+      {
+        CastanetOptions options;
+        options.c = c;
+        const bench::Timing t = bench::TimeQueries(queries, [&](NodeId q) {
+          bench::CheckOk(CastanetTopK(g, q, k, options).status());
+          return true;
+        });
+        table.AddRow({series_name, spec.label, "Castanet",
+                      TablePrinter::FormatDouble(t.avg_ms)});
+      }
+      {
+        LsPushOptions ls_options;
+        const LsPushIndex index =
+            bench::CheckOk(LsPushIndex::Build(&g, ls_options));
+        MeasureParams params;
+        params.c = c;
+        const bench::Timing t = bench::TimeQueries(queries, [&](NodeId q) {
+          bench::CheckOk(index.Query(q, k, Measure::kRwr, params).status());
+          return true;
+        });
+        table.AddRow({series_name, spec.label, "LS_RWR",
+                      TablePrinter::FormatDouble(t.avg_ms)});
+      }
+    }
+  }
+  table.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace flos
+
+int main(int argc, char** argv) { return flos::Main(argc, argv); }

@@ -1,0 +1,170 @@
+// Figure 7 (+ Table 4 header): running time of PHP methods vs. k on the
+// four "real" graphs (SNAP proxies unless --graph points at a real edge
+// list): FLoS_PHP, GI_PHP, DNE (approximate, fixed budget), NN_EI (exact
+// push), LS_EI (approximate, clustered).
+//
+// Expected shape (paper): FLoS_PHP and the local methods sit orders of
+// magnitude below GI_PHP; FLoS_PHP beats NN_EI (tighter bounds); DNE and
+// LS_EI are flat in k but approximate.
+
+#include <cstdio>
+#include <string>
+
+#include "baselines/dne.h"
+#include "baselines/gi.h"
+#include "baselines/ls_push.h"
+#include "baselines/nn_ei.h"
+#include "bench/harness.h"
+#include "core/flos.h"
+#include "graph/accessor.h"
+#include "graph/edge_list_io.h"
+#include "graph/presets.h"
+#include "measures/exact.h"
+#include "util/flags.h"
+#include "util/table_printer.h"
+
+namespace flos {
+namespace {
+
+int Main(int argc, char** argv) {
+  FlagParser flags;
+  bench::CommonFlags common;
+  common.Register(&flags);
+  double c = 0.5;
+  std::string graphs = "az,dp,yt,lj";
+  flags.AddDouble("c", &c, "PHP decay factor");
+  flags.AddString("graphs", &graphs, "comma-separated preset names");
+  if (const Status s = flags.Parse(argc, argv); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    flags.PrintUsage(argv[0]);
+    return 1;
+  }
+  const std::vector<int> ks = bench::ParseIntList(common.ks);
+
+  std::printf("# Figure 7: PHP methods on real-graph proxies (avg ms/query, "
+              "%lld queries, c=%.2f, scale=%.3f)\n",
+              static_cast<long long>(common.queries), c, common.scale);
+  TablePrinter table(common.csv);
+  table.AddRow({"graph", "k", "method", "avg_ms", "visited", "recall"});
+
+  std::vector<std::string> names;
+  {
+    size_t pos = 0;
+    while (pos < graphs.size()) {
+      const size_t comma = graphs.find(',', pos);
+      names.push_back(graphs.substr(pos, comma - pos));
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+  }
+
+  for (const std::string& name : names) {
+    Graph g;
+    if (!common.graph_path.empty()) {
+      g = bench::CheckOk(ReadEdgeList(common.graph_path));
+    } else {
+      const GraphPreset preset = bench::CheckOk(FindPreset(name));
+      g = bench::CheckOk(BuildPresetGraph(preset, common.scale, common.seed));
+    }
+    bench::PrintGraphLine(name, g);
+    const std::vector<NodeId> queries = bench::SampleQueries(
+        g, static_cast<int>(common.queries), common.seed + 1);
+
+    // LS_EI preprocessing (clustering) happens once per graph.
+    LsPushOptions ls_options;
+    const LsPushIndex ls_index =
+        bench::CheckOk(LsPushIndex::Build(&g, ls_options));
+
+    for (const int k : ks) {
+      // Ground truth for recall of the approximate methods: FLoS is exact,
+      // so use its answers (much cheaper than GI at scale).
+      std::vector<std::vector<NodeId>> truths;
+      uint64_t flos_visited = 0;
+      {
+        FlosOptions options;
+        options.measure = Measure::kPhp;
+        options.c = c;
+        const bench::Timing t =
+            bench::TimeQueries(queries, [&](NodeId q) {
+              const auto r = FlosTopK(g, q, k, options);
+              bench::CheckOk(r.status());
+              flos_visited += r.value().stats.visited_nodes;
+              std::vector<NodeId> ids;
+              for (const auto& s : r.value().topk) ids.push_back(s.node);
+              truths.push_back(std::move(ids));
+              return true;
+            });
+        table.AddRow({name, std::to_string(k), "FLoS_PHP",
+                      TablePrinter::FormatDouble(t.avg_ms),
+                      std::to_string(flos_visited / queries.size()), "1.00"});
+      }
+      {
+        GiOptions options;
+        options.measure = Measure::kPhp;
+        options.params.c = c;
+        const bench::Timing t = bench::TimeQueries(queries, [&](NodeId q) {
+          bench::CheckOk(GiTopK(g, q, k, options).status());
+          return true;
+        });
+        table.AddRow({name, std::to_string(k), "GI_PHP",
+                      TablePrinter::FormatDouble(t.avg_ms),
+                      std::to_string(g.NumNodes()), "1.00"});
+      }
+      {
+        DneOptions options;
+        options.c = c;
+        InMemoryAccessor accessor(&g);
+        double recall = 0;
+        size_t qi = 0;
+        const bench::Timing t = bench::TimeQueries(queries, [&](NodeId q) {
+          const auto r = DneTopK(&accessor, q, k, options);
+          bench::CheckOk(r.status());
+          recall += bench::Recall(r.value().nodes, truths[qi++]);
+          return true;
+        });
+        table.AddRow({name, std::to_string(k), "DNE",
+                      TablePrinter::FormatDouble(t.avg_ms),
+                      std::to_string(options.node_budget),
+                      TablePrinter::FormatDouble(recall / queries.size(), 3)});
+      }
+      {
+        NnEiOptions options;
+        options.c = 1.0 - c;  // EI restart matching PHP decay c
+        InMemoryAccessor accessor(&g);
+        uint64_t touched = 0;
+        const bench::Timing t = bench::TimeQueries(queries, [&](NodeId q) {
+          const auto r = NnEiTopK(&accessor, q, k, options);
+          bench::CheckOk(r.status());
+          touched += r.value().touched_nodes;
+          return true;
+        });
+        table.AddRow({name, std::to_string(k), "NN_EI",
+                      TablePrinter::FormatDouble(t.avg_ms),
+                      std::to_string(touched / queries.size()), "1.00"});
+      }
+      {
+        MeasureParams params;
+        params.c = 1.0 - c;  // EI restart matching PHP decay c
+        double recall = 0;
+        size_t qi = 0;
+        const bench::Timing t = bench::TimeQueries(queries, [&](NodeId q) {
+          const auto r = ls_index.Query(q, k, Measure::kEi, params);
+          bench::CheckOk(r.status());
+          recall += bench::Recall(r.value().nodes, truths[qi++]);
+          return true;
+        });
+        table.AddRow({name, std::to_string(k), "LS_EI",
+                      TablePrinter::FormatDouble(t.avg_ms),
+                      std::to_string(ls_options.cluster_size),
+                      TablePrinter::FormatDouble(recall / queries.size(), 3)});
+      }
+    }
+  }
+  table.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace flos
+
+int main(int argc, char** argv) { return flos::Main(argc, argv); }

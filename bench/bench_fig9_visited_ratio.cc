@@ -1,0 +1,97 @@
+// Figure 9: ratio between the number of nodes FLoS visits and the total
+// number of nodes, for FLoS_PHP and FLoS_RWR on the real-graph proxies
+// (min / avg / max over the query sample, as the paper's error bars).
+//
+// Expected shape (paper): the ratio is small (single-digit percent or
+// less), grows slowly with k, and SHRINKS as the graph gets larger.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "bench/harness.h"
+#include "core/flos.h"
+#include "graph/edge_list_io.h"
+#include "graph/presets.h"
+#include "util/flags.h"
+#include "util/table_printer.h"
+
+namespace flos {
+namespace {
+
+int Main(int argc, char** argv) {
+  FlagParser flags;
+  bench::CommonFlags common;
+  common.queries = 3;
+  common.ks = "1,20";
+  common.Register(&flags);
+  double c = 0.5;
+  std::string graphs = "az,dp,yt,lj";
+  flags.AddDouble("c", &c, "decay / restart parameter");
+  flags.AddString("graphs", &graphs, "comma-separated preset names");
+  if (const Status s = flags.Parse(argc, argv); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    flags.PrintUsage(argv[0]);
+    return 1;
+  }
+  const std::vector<int> ks = bench::ParseIntList(common.ks);
+
+  std::printf("# Figure 9: visited-node ratio of FLoS (min/avg/max over "
+              "%lld queries, scale=%.3f)\n",
+              static_cast<long long>(common.queries), common.scale);
+  TablePrinter table(common.csv);
+  table.AddRow({"graph", "k", "measure", "min_ratio", "avg_ratio",
+                "max_ratio"});
+
+  std::vector<std::string> names;
+  size_t pos = 0;
+  while (pos < graphs.size()) {
+    const size_t comma = graphs.find(',', pos);
+    names.push_back(graphs.substr(pos, comma - pos));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+
+  for (const std::string& name : names) {
+    Graph g;
+    if (!common.graph_path.empty()) {
+      g = bench::CheckOk(ReadEdgeList(common.graph_path));
+    } else {
+      const GraphPreset preset = bench::CheckOk(FindPreset(name));
+      g = bench::CheckOk(BuildPresetGraph(preset, common.scale, common.seed));
+    }
+    bench::PrintGraphLine(name, g);
+    const std::vector<NodeId> queries = bench::SampleQueries(
+        g, static_cast<int>(common.queries), common.seed + 1);
+    for (const Measure m : {Measure::kPhp, Measure::kRwr}) {
+      for (const int k : ks) {
+        FlosOptions options;
+        options.measure = m;
+        options.c = c;
+        double min_ratio = 1;
+        double max_ratio = 0;
+        double sum = 0;
+        for (const NodeId q : queries) {
+          const FlosResult r = bench::CheckOk(FlosTopK(g, q, k, options));
+          const double ratio = static_cast<double>(r.stats.visited_nodes) /
+                               static_cast<double>(g.NumNodes());
+          min_ratio = std::min(min_ratio, ratio);
+          max_ratio = std::max(max_ratio, ratio);
+          sum += ratio;
+        }
+        table.AddRow({name, std::to_string(k),
+                      m == Measure::kPhp ? "FLoS_PHP" : "FLoS_RWR",
+                      TablePrinter::FormatDouble(min_ratio, 3),
+                      TablePrinter::FormatDouble(sum / queries.size(), 3),
+                      TablePrinter::FormatDouble(max_ratio, 3)});
+      }
+    }
+  }
+  table.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace flos
+
+int main(int argc, char** argv) { return flos::Main(argc, argv); }

@@ -1,0 +1,158 @@
+// Google-benchmark microbenchmarks for the kernels the figure-level
+// results are built from: CSR neighbor scans, one global-iteration sweep,
+// a FLoS expansion + bound update step, the push kernel, and disk reads.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "core/bound_engine.h"
+#include "core/flos.h"
+#include "core/local_graph.h"
+#include "graph/accessor.h"
+#include "graph/generators.h"
+#include "measures/exact.h"
+#include "storage/disk_builder.h"
+#include "storage/disk_graph.h"
+#include "util/rng.h"
+
+namespace flos {
+namespace {
+
+const Graph& TestGraph() {
+  static const Graph* const kGraph = [] {
+    GeneratorOptions options;
+    options.num_nodes = 1 << 16;
+    options.num_edges = 10 * (1 << 16);
+    options.seed = 7;
+    auto result = GenerateRmat(options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "graph generation failed\n");
+      std::abort();
+    }
+    return new Graph(std::move(result).value());
+  }();
+  return *kGraph;
+}
+
+void BM_CsrNeighborScan(benchmark::State& state) {
+  const Graph& g = TestGraph();
+  Rng rng(1);
+  double sink = 0;
+  for (auto _ : state) {
+    const auto u = static_cast<NodeId>(rng.NextBounded(g.NumNodes()));
+    for (const double w : g.NeighborWeights(u)) sink += w;
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CsrNeighborScan);
+
+void BM_GlobalIterationSweep(benchmark::State& state) {
+  // One full Jacobi sweep of the PHP system over the whole graph: the unit
+  // of work GI pays per iteration.
+  const Graph& g = TestGraph();
+  std::vector<double> r(g.NumNodes(), 0.0);
+  std::vector<double> next(g.NumNodes(), 0.0);
+  r[0] = 1.0;
+  for (auto _ : state) {
+    for (uint64_t i = 1; i < g.NumNodes(); ++i) {
+      const auto ids = g.NeighborIds(static_cast<NodeId>(i));
+      const auto ws = g.NeighborWeights(static_cast<NodeId>(i));
+      double sum = 0;
+      for (size_t e = 0; e < ids.size(); ++e) sum += ws[e] * r[ids[e]];
+      next[i] = 0.5 * sum / g.WeightedDegree(static_cast<NodeId>(i));
+    }
+    next[0] = 1.0;
+    r.swap(next);
+  }
+  benchmark::DoNotOptimize(r.data());
+  state.SetItemsProcessed(state.iterations() * g.NumDirectedEdges());
+}
+BENCHMARK(BM_GlobalIterationSweep);
+
+void BM_FlosExpansionStep(benchmark::State& state) {
+  // One LocalExpansion + bound update, amortized over a fresh query each
+  // time the frontier empties.
+  const Graph& g = TestGraph();
+  InMemoryAccessor accessor(&g);
+  Rng rng(3);
+  std::unique_ptr<LocalGraph> local;
+  std::unique_ptr<PhpBoundEngine> engine;
+  BoundEngineOptions be;
+  be.alpha = 0.5;
+  const auto reset = [&] {
+    local = std::make_unique<LocalGraph>(&accessor);
+    const auto q = static_cast<NodeId>(rng.NextBounded(g.NumNodes()));
+    if (!local->Init(q).ok()) std::abort();
+    engine = std::make_unique<PhpBoundEngine>(local.get(), be);
+  };
+  reset();
+  for (auto _ : state) {
+    LocalId best = kInvalidLocal;
+    double best_mid = -1;
+    for (LocalId i = 0; i < local->Size(); ++i) {
+      if (!local->IsBoundary(i)) continue;
+      const double mid = 0.5 * (engine->lower(i) + engine->upper(i));
+      if (mid > best_mid) {
+        best = i;
+        best_mid = mid;
+      }
+    }
+    if (best == kInvalidLocal || local->Size() > 4000) {
+      state.PauseTiming();
+      reset();
+      state.ResumeTiming();
+      continue;
+    }
+    engine->CaptureDummyFromBoundary();
+    if (!local->Expand(best).ok()) std::abort();
+    engine->OnGrowth();
+    engine->UpdateBounds();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlosExpansionStep);
+
+void BM_FlosFullQuery(benchmark::State& state) {
+  const Graph& g = TestGraph();
+  Rng rng(4);
+  FlosOptions options;
+  options.measure = Measure::kPhp;
+  for (auto _ : state) {
+    const auto q = static_cast<NodeId>(rng.NextBounded(g.NumNodes()));
+    if (g.Degree(q) == 0) continue;
+    const auto r = FlosTopK(g, q, static_cast<int>(state.range(0)), options);
+    if (!r.ok()) std::abort();
+    benchmark::DoNotOptimize(r.value().topk.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlosFullQuery)->Arg(1)->Arg(10)->Arg(50);
+
+void BM_DiskNeighborFetch(benchmark::State& state) {
+  const Graph& g = TestGraph();
+  const std::string path = "/tmp/flos_micro_bench.flosgrf";
+  if (!WriteDiskGraph(g, path).ok()) std::abort();
+  DiskGraphOptions options;
+  options.cache_bytes = 1 << 20;
+  auto disk_result = DiskGraph::Open(path, options);
+  if (!disk_result.ok()) std::abort();
+  auto disk = std::move(disk_result).value();
+  Rng rng(5);
+  std::vector<Neighbor> nbs;
+  for (auto _ : state) {
+    const auto u = static_cast<NodeId>(rng.NextBounded(g.NumNodes()));
+    if (!disk->CopyNeighbors(u, &nbs).ok()) std::abort();
+    benchmark::DoNotOptimize(nbs.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_DiskNeighborFetch);
+
+}  // namespace
+}  // namespace flos
+
+BENCHMARK_MAIN();

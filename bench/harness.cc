@@ -1,0 +1,148 @@
+#include "bench/harness.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "graph/generators.h"
+#include "graph/stats.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace flos {
+namespace bench {
+
+void CommonFlags::Register(FlagParser* parser) {
+  parser->AddDouble("scale", &scale, "fraction of paper dataset sizes");
+  parser->AddInt("queries", &queries, "random queries per data point");
+  parser->AddInt("seed", &seed, "deterministic RNG seed");
+  parser->AddBool("csv", &csv, "emit CSV rows");
+  parser->AddString("graph", &graph_path,
+                    "optional SNAP edge list replacing generated proxies");
+  parser->AddString("ks", &ks, "comma-separated k values");
+}
+
+std::vector<int> ParseIntList(const std::string& csv) {
+  std::vector<int> out;
+  size_t pos = 0;
+  while (pos < csv.size()) {
+    char* end = nullptr;
+    const long v = std::strtol(csv.c_str() + pos, &end, 10);
+    if (end == csv.c_str() + pos || v <= 0) {
+      std::fprintf(stderr, "invalid integer list: %s\n", csv.c_str());
+      std::exit(1);
+    }
+    out.push_back(static_cast<int>(v));
+    pos = end - csv.c_str();
+    if (pos < csv.size() && csv[pos] == ',') ++pos;
+  }
+  if (out.empty()) {
+    std::fprintf(stderr, "empty integer list\n");
+    std::exit(1);
+  }
+  return out;
+}
+
+std::vector<NodeId> SampleQueries(const Graph& graph, int count,
+                                  uint64_t seed) {
+  Rng rng(seed);
+  std::vector<NodeId> queries;
+  int attempts = 0;
+  while (queries.size() < static_cast<size_t>(count) &&
+         attempts < count * 1000) {
+    const auto q = static_cast<NodeId>(rng.NextBounded(graph.NumNodes()));
+    ++attempts;
+    if (graph.Degree(q) == 0) continue;
+    queries.push_back(q);
+  }
+  return queries;
+}
+
+Timing TimeQueries(const std::vector<NodeId>& queries,
+                   const std::function<bool(NodeId)>& fn) {
+  Timing t;
+  t.min_ms = 1e300;
+  for (const NodeId q : queries) {
+    WallTimer timer;
+    if (!fn(q)) break;
+    const double ms = timer.ElapsedMillis();
+    t.total_ms += ms;
+    t.min_ms = std::min(t.min_ms, ms);
+    t.max_ms = std::max(t.max_ms, ms);
+    ++t.runs;
+  }
+  if (t.runs > 0) t.avg_ms = t.total_ms / t.runs;
+  if (t.min_ms == 1e300) t.min_ms = 0;
+  return t;
+}
+
+double Recall(const std::vector<NodeId>& got,
+              const std::vector<NodeId>& truth) {
+  if (truth.empty()) return 1.0;
+  int hits = 0;
+  for (const NodeId t : truth) {
+    for (const NodeId g : got) {
+      if (g == t) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(hits) / truth.size();
+}
+
+void PrintGraphLine(const std::string& name, const Graph& graph) {
+  const GraphStats s = ComputeStats(graph);
+  std::printf("# %s: %s\n", name.c_str(), StatsToString(s).c_str());
+}
+
+std::vector<SynthSpec> SizeSweep(uint64_t base_nodes, double density,
+                                 bool rmat) {
+  std::vector<SynthSpec> specs;
+  for (const uint64_t mult : {1, 2, 4, 8}) {
+    SynthSpec s;
+    s.nodes = base_nodes * mult;
+    s.edges = static_cast<uint64_t>(s.nodes * density / 2.0);
+    s.rmat = rmat;
+    s.label = std::string(rmat ? "R-MAT" : "RAND") +
+              " n=" + std::to_string(s.nodes);
+    specs.push_back(std::move(s));
+  }
+  return specs;
+}
+
+std::vector<SynthSpec> DensitySweep(uint64_t nodes,
+                                    const std::vector<double>& densities,
+                                    bool rmat) {
+  std::vector<SynthSpec> specs;
+  for (const double d : densities) {
+    SynthSpec s;
+    s.nodes = nodes;
+    s.edges = static_cast<uint64_t>(nodes * d / 2.0);
+    s.rmat = rmat;
+    char label[64];
+    std::snprintf(label, sizeof(label), "%s d=%.1f", rmat ? "R-MAT" : "RAND",
+                  d);
+    s.label = label;
+    specs.push_back(std::move(s));
+  }
+  return specs;
+}
+
+Result<Graph> BuildSynth(const SynthSpec& spec, uint64_t seed) {
+  GeneratorOptions options;
+  options.num_nodes = spec.nodes;
+  options.num_edges = spec.edges;
+  options.seed = seed;
+  return spec.rmat ? GenerateRmat(options) : GenerateErdosRenyi(options);
+}
+
+void CheckOk(const Status& status) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "fatal: %s\n", status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+}  // namespace bench
+}  // namespace flos

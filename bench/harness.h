@@ -1,0 +1,102 @@
+// Shared infrastructure for the per-figure benchmark harnesses.
+//
+// Every harness binary accepts the same core flags:
+//   --scale    fraction of the paper's dataset sizes to generate (proxies)
+//   --queries  number of random query nodes per data point
+//   --ks       comma-separated k values
+//   --seed     RNG seed (graphs and query sampling are deterministic)
+//   --csv      emit CSV instead of aligned columns
+//   --graph    optional path to a real SNAP edge list to use instead of the
+//              generated proxy (Figures 7-10)
+//
+// Results are per-query averages in milliseconds, like the paper's plots.
+
+#ifndef FLOS_BENCH_HARNESS_H_
+#define FLOS_BENCH_HARNESS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/flags.h"
+#include "util/status.h"
+
+namespace flos {
+namespace bench {
+
+/// Flags shared by all figure harnesses.
+struct CommonFlags {
+  double scale = 0.05;
+  int64_t queries = 5;
+  int64_t seed = 42;
+  bool csv = false;
+  std::string graph_path;
+  std::string ks = "1,10,20,40";
+
+  /// Registers the shared flags on `parser`.
+  void Register(FlagParser* parser);
+};
+
+/// Parses "1,10,20" into {1, 10, 20}. Invalid entries are fatal.
+std::vector<int> ParseIntList(const std::string& csv);
+
+/// Samples `count` distinct query nodes with degree >= 1.
+std::vector<NodeId> SampleQueries(const Graph& graph, int count,
+                                  uint64_t seed);
+
+/// Timing summary over a set of queries.
+struct Timing {
+  double avg_ms = 0;
+  double min_ms = 0;
+  double max_ms = 0;
+  double total_ms = 0;
+  int runs = 0;
+};
+
+/// Runs `fn(query)` for each query and reports per-call wall time. `fn`
+/// returns false to abort (error already reported by the caller).
+Timing TimeQueries(const std::vector<NodeId>& queries,
+                   const std::function<bool(NodeId)>& fn);
+
+/// Fraction of `truth` found in `got`.
+double Recall(const std::vector<NodeId>& got, const std::vector<NodeId>& truth);
+
+/// Prints "name: |V|=... |E|=..." to stdout (the Table 4 / 6 / 7 header
+/// line for whatever graph a harness uses).
+void PrintGraphLine(const std::string& name, const Graph& graph);
+
+/// One synthetic-graph configuration of Table 6 (or Table 7 on disk).
+struct SynthSpec {
+  std::string label;    ///< e.g. "RAND n=65536"
+  uint64_t nodes = 0;
+  uint64_t edges = 0;
+  bool rmat = false;    ///< R-MAT vs Erdős–Rényi
+};
+
+/// The paper's varying-size series: |V| in base*{1,2,4,8} at fixed density.
+std::vector<SynthSpec> SizeSweep(uint64_t base_nodes, double density,
+                                 bool rmat);
+
+/// The paper's varying-density series at fixed |V|
+/// (densities 4.8, 9.5, 14.3, 19.1 by default).
+std::vector<SynthSpec> DensitySweep(uint64_t nodes,
+                                    const std::vector<double>& densities,
+                                    bool rmat);
+
+/// Generates the graph for `spec`.
+Result<Graph> BuildSynth(const SynthSpec& spec, uint64_t seed);
+
+/// Convenience: exits with a message if `status` is not OK.
+void CheckOk(const Status& status);
+
+template <typename T>
+T CheckOk(Result<T> result) {
+  CheckOk(result.status());
+  return std::move(result).value();
+}
+
+}  // namespace bench
+}  // namespace flos
+
+#endif  // FLOS_BENCH_HARNESS_H_

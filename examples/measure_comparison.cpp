@@ -1,0 +1,114 @@
+// Theorems 2 and 6 in action: PHP, EI and DHT agree on the ranking, RWR
+// reweights it by degree, and FLoS answers all of them through one engine.
+// Also cross-checks FLoS against whole-graph ground truth on the fly.
+//
+//   ./examples/measure_comparison [--nodes=2000] [--k=8]
+
+#include <cstdio>
+#include <vector>
+
+#include "core/flos.h"
+#include "graph/generators.h"
+#include "measures/exact.h"
+#include "util/flags.h"
+
+namespace {
+
+int Run(int argc, char** argv) {
+  flos::FlagParser flags;
+  int64_t nodes = 2000;
+  int64_t k = 8;
+  int64_t seed = 11;
+  flags.AddInt("nodes", &nodes, "graph size");
+  flags.AddInt("k", &k, "top-k");
+  flags.AddInt("seed", &seed, "generator seed");
+  if (const flos::Status s = flags.Parse(argc, argv); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    flags.PrintUsage(argv[0]);
+    return 1;
+  }
+
+  flos::GeneratorOptions options;
+  options.num_nodes = static_cast<uint64_t>(nodes);
+  options.num_edges = static_cast<uint64_t>(nodes) * 3;
+  options.seed = static_cast<uint64_t>(seed);
+  options.random_weights = true;
+  auto graph_result = flos::GenerateConnected(options);
+  if (!graph_result.ok()) {
+    std::fprintf(stderr, "generate: %s\n",
+                 graph_result.status().ToString().c_str());
+    return 1;
+  }
+  const flos::Graph graph = std::move(graph_result).value();
+  const flos::NodeId query = 17;
+  const double c = 0.5;
+
+  std::printf("query node %u, k=%lld, c=%.1f\n", query,
+              static_cast<long long>(k), c);
+  std::printf("%-28s", "measure");
+  for (int i = 0; i < k; ++i) std::printf(" #%-6d", i + 1);
+  std::printf("\n");
+
+  const struct {
+    flos::Measure measure;
+    const char* label;
+  } rows[] = {
+      {flos::Measure::kPhp, "PHP (decay 0.5)"},
+      {flos::Measure::kEi, "EI (restart 0.5)"},
+      {flos::Measure::kDht, "DHT (decay 0.5)"},
+      {flos::Measure::kRwr, "RWR (restart 0.5)"},
+      {flos::Measure::kTht, "THT (L=10)"},
+  };
+  for (const auto& row : rows) {
+    flos::FlosOptions fo;
+    fo.measure = row.measure;
+    // Matching parameters for the rank-equivalence: PHP decay (1-c)
+    // corresponds to EI/DHT/RWR parameter c (Theorem 2/6). Using decay
+    // 0.5 for PHP and 0.5 for the others keeps them aligned.
+    fo.c = c;
+    fo.tht_length = 10;
+    auto flos_answer = FlosTopK(graph, query, static_cast<int>(k), fo);
+    if (!flos_answer.ok()) {
+      std::fprintf(stderr, "%s: %s\n", row.label,
+                   flos_answer.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-28s", row.label);
+    for (const flos::ScoredNode& s : flos_answer->topk) {
+      std::printf(" %-7u", s.node);
+    }
+    std::printf("\n");
+
+    // Cross-check against whole-graph ground truth.
+    flos::MeasureParams params;
+    params.c = c;
+    params.tht_length = 10;
+    auto exact = ExactMeasure(graph, query, row.measure, params);
+    if (exact.ok()) {
+      const auto truth = flos::TopKFromScores(
+          *exact, query, static_cast<int>(k),
+          flos::MeasureDirection(row.measure));
+      bool same_set = true;
+      for (const flos::ScoredNode& s : flos_answer->topk) {
+        bool found = false;
+        for (const flos::NodeId t : truth) found |= (t == s.node);
+        // Tolerate tie swaps: accept if the exact score matches the k-th.
+        same_set &= found || std::abs((*exact)[s.node] -
+                                      (*exact)[truth.back()]) < 1e-9;
+      }
+      if (!same_set) {
+        std::printf("  !! mismatch vs ground truth\n");
+        return 1;
+      }
+    }
+  }
+  std::printf(
+      "\nNote how PHP, EI and DHT list identical nodes (Theorem 2), while\n"
+      "RWR promotes high-degree nodes (Theorem 6: RWR ~ w_i * PHP).\n"
+      "Every ranking above was verified against whole-graph ground truth.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

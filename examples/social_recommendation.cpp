@@ -1,0 +1,97 @@
+// Friend recommendation on a synthetic social network.
+//
+// Motivating scenario from the paper's introduction: given a user in a
+// large social graph, recommend the k most related users. We generate an
+// R-MAT graph (power-law, community-like), pick a few "users", and compare
+// the recommendations produced by three proximity measures — PHP, RWR, and
+// truncated hitting time — all served exactly by the same FLoS engine.
+//
+//   ./examples/social_recommendation [--users=3] [--k=5] [--nodes=20000]
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/flos.h"
+#include "graph/generators.h"
+#include "graph/stats.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace {
+
+int Run(int argc, char** argv) {
+  flos::FlagParser flags;
+  int64_t users = 3;
+  int64_t k = 5;
+  int64_t nodes = 20000;
+  int64_t seed = 2026;
+  flags.AddInt("users", &users, "number of example users to query");
+  flags.AddInt("k", &k, "recommendations per user");
+  flags.AddInt("nodes", &nodes, "social network size");
+  flags.AddInt("seed", &seed, "generator seed");
+  if (const flos::Status s = flags.Parse(argc, argv); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    flags.PrintUsage(argv[0]);
+    return 1;
+  }
+
+  flos::GeneratorOptions options;
+  options.num_nodes = static_cast<uint64_t>(nodes);
+  options.num_edges = static_cast<uint64_t>(nodes) * 8;
+  options.seed = static_cast<uint64_t>(seed);
+  auto graph_result = flos::GenerateRmat(options);
+  if (!graph_result.ok()) {
+    std::fprintf(stderr, "generate: %s\n",
+                 graph_result.status().ToString().c_str());
+    return 1;
+  }
+  const flos::Graph graph = std::move(graph_result).value();
+  std::printf("social network: %s\n",
+              flos::StatsToString(flos::ComputeStats(graph)).c_str());
+
+  flos::Rng rng(static_cast<uint64_t>(seed) + 1);
+  for (int64_t u = 0; u < users; ++u) {
+    flos::NodeId user;
+    do {
+      user = static_cast<flos::NodeId>(rng.NextBounded(graph.NumNodes()));
+    } while (graph.Degree(user) < 2);
+    std::printf("\nuser %u (degree %u):\n", user, graph.Degree(user));
+
+    const struct {
+      flos::Measure measure;
+      const char* story;
+    } measures[] = {
+        {flos::Measure::kPhp, "PHP   (probability a decaying walk reaches you)"},
+        {flos::Measure::kRwr, "RWR   (personalized PageRank mass)"},
+        {flos::Measure::kTht, "THT   (expected steps to reach you, capped)"},
+    };
+    for (const auto& m : measures) {
+      flos::FlosOptions fo;
+      fo.measure = m.measure;
+      fo.c = 0.5;
+      fo.tht_length = 10;
+      flos::WallTimer timer;
+      auto result = FlosTopK(graph, user, static_cast<int>(k), fo);
+      if (!result.ok()) {
+        std::fprintf(stderr, "  %s failed: %s\n", m.story,
+                     result.status().ToString().c_str());
+        continue;
+      }
+      std::printf("  %s:\n    ", m.story);
+      for (const flos::ScoredNode& s : result->topk) {
+        std::printf("%u (%.3g)  ", s.node, s.score);
+      }
+      std::printf("\n    [%.2f ms, visited %llu nodes, exact=%s]\n",
+                  timer.ElapsedMillis(),
+                  static_cast<unsigned long long>(result->stats.visited_nodes),
+                  result->stats.exact ? "yes" : "no");
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

@@ -1,0 +1,26 @@
+// Common result type for the state-of-the-art comparison methods (paper
+// Table 5). Each baseline answers a top-k proximity query; `exact` records
+// whether the method guarantees exactness (GI, NN_EI, Castanet, K-dash) or
+// is approximate (DNE, LS_*, GE).
+
+#ifndef FLOS_BASELINES_BASELINE_H_
+#define FLOS_BASELINES_BASELINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace flos {
+
+/// Answer of a baseline top-k query.
+struct TopKAnswer {
+  std::vector<NodeId> nodes;    ///< top-k, closest first
+  std::vector<double> scores;   ///< parallel to nodes, measure units
+  bool exact = false;           ///< method-level exactness guarantee
+  uint64_t touched_nodes = 0;   ///< nodes the method inspected (if local)
+};
+
+}  // namespace flos
+
+#endif  // FLOS_BASELINES_BASELINE_H_

@@ -1,0 +1,115 @@
+#include "baselines/castanet.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace flos {
+
+Result<TopKAnswer> CastanetTopK(const Graph& graph, NodeId query, int k,
+                                const CastanetOptions& options) {
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (query >= graph.NumNodes()) return Status::OutOfRange("query out of range");
+  const double c = options.c;
+  if (!(c > 0) || !(c < 1)) return Status::InvalidArgument("c must be in (0,1)");
+
+  const uint64_t n = graph.NumNodes();
+  // walk[i] = probability an l-step walk from q ends at i (support list kept
+  // alongside, so early iterations touch only the explored ball).
+  std::vector<double> walk(n, 0.0);
+  std::vector<double> next(n, 0.0);
+  std::vector<double> lower(n, 0.0);  // partial Neumann sums (lower bounds)
+  std::vector<bool> in_next(n, false);
+  std::vector<bool> is_reached(n, false);
+  std::vector<NodeId> walk_support = {query};
+  std::vector<NodeId> next_support;
+  std::vector<NodeId> reached = {query};
+
+  walk[query] = 1.0;
+  lower[query] = c;  // l = 0 term
+  is_reached[query] = true;
+  double remaining = 1.0 - c;  // upper_i - lower_i after each level
+  uint64_t touched = 1;
+
+  const auto make_answer = [&](size_t count) {
+    std::vector<std::pair<double, NodeId>> entries;
+    for (const NodeId i : reached) {
+      if (i != query) entries.push_back({lower[i], i});
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const auto& a, const auto& b) {
+                if (a.first != b.first) return a.first > b.first;
+                return a.second < b.second;
+              });
+    if (entries.size() > count) entries.resize(count);
+    TopKAnswer answer;
+    for (const auto& [score, node] : entries) {
+      answer.nodes.push_back(node);
+      answer.scores.push_back(score);
+    }
+    answer.exact = true;
+    answer.touched_nodes = touched;
+    return answer;
+  };
+
+  for (uint32_t it = 0; it < options.max_iterations; ++it) {
+    // One level: next = P^T walk.
+    next_support.clear();
+    for (const NodeId u : walk_support) {
+      const double pu = walk[u];
+      const auto ids = graph.NeighborIds(u);
+      const auto ws = graph.NeighborWeights(u);
+      const double wu = graph.WeightedDegree(u);
+      for (size_t e = 0; e < ids.size(); ++e) {
+        const NodeId v = ids[e];
+        if (!in_next[v]) {
+          in_next[v] = true;
+          next_support.push_back(v);
+        }
+        next[v] += ws[e] / wu * pu;
+      }
+    }
+    for (const NodeId u : walk_support) walk[u] = 0;
+
+    const double coeff = c * remaining;  // c (1-c)^{level}
+    for (const NodeId v : next_support) {
+      lower[v] += coeff * next[v];
+      walk[v] = next[v];
+      next[v] = 0;
+      in_next[v] = false;
+      if (!is_reached[v]) {
+        is_reached[v] = true;
+        reached.push_back(v);
+      }
+    }
+    walk_support.swap(next_support);
+    remaining *= (1.0 - c);
+    touched = std::max<uint64_t>(touched, reached.size());
+
+    // Certification: upper_i = lower_i + remaining for EVERY node (reached
+    // or not), so the top-k is final once the k-th lower bound clears the
+    // best competing lower bound by `remaining`.
+    std::vector<double> lowers;
+    lowers.reserve(reached.size());
+    for (const NodeId i : reached) {
+      if (i != query) lowers.push_back(lower[i]);
+    }
+    if (lowers.size() >= static_cast<size_t>(k)) {
+      std::nth_element(lowers.begin(), lowers.begin() + (k - 1), lowers.end(),
+                       std::greater<double>());
+      const double kth = lowers[k - 1];
+      double best_other = 0;  // unreached nodes have lower = 0
+      for (size_t i = k; i < lowers.size(); ++i) {
+        best_other = std::max(best_other, lowers[i]);
+      }
+      if (kth >= best_other + remaining || remaining < options.mass_floor) {
+        return make_answer(k);
+      }
+    } else if (remaining < options.mass_floor || walk_support.empty()) {
+      // Fewer than k reachable nodes: return them all.
+      return make_answer(lowers.size());
+    }
+  }
+  return Status::Internal("Castanet did not converge");
+}
+
+}  // namespace flos

@@ -1,0 +1,38 @@
+// Castanet-style exact top-k RWR (paper Table 5, Fujiwara et al.
+// SIGMOD'13 [9]).
+//
+// Improves plain global iteration by turning the Neumann expansion
+//
+//   r = sum_{l>=0} c (1-c)^l (P^T)^l e_q
+//
+// into per-node lower bounds (the partial sums) and upper bounds (partial
+// sum + remaining mass (1-c)^{t+1}), pruning nodes whose upper bound cannot
+// reach the current k-th lower bound, and stopping as soon as the top-k is
+// certified — usually far earlier than the tolerance-driven GI stop.
+
+#ifndef FLOS_BASELINES_CASTANET_H_
+#define FLOS_BASELINES_CASTANET_H_
+
+#include "baselines/baseline.h"
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace flos {
+
+struct CastanetOptions {
+  /// Restart probability of RWR.
+  double c = 0.5;
+  /// Hard floor on the remaining-mass bound (guards exact ties). At the
+  /// floor the answer is exact up to score gaps below it — the same
+  /// de-facto precision as tolerance-driven global iteration.
+  double mass_floor = 1e-8;
+  uint32_t max_iterations = 10000;
+};
+
+/// Exact top-k RWR query.
+Result<TopKAnswer> CastanetTopK(const Graph& graph, NodeId query, int k,
+                                const CastanetOptions& options);
+
+}  // namespace flos
+
+#endif  // FLOS_BASELINES_CASTANET_H_

@@ -1,0 +1,65 @@
+#include "baselines/dne.h"
+
+#include <algorithm>
+
+#include "core/bound_engine.h"
+#include "core/local_graph.h"
+
+namespace flos {
+
+Result<TopKAnswer> DneTopK(GraphAccessor* accessor, NodeId query, int k,
+                           const DneOptions& options) {
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  LocalGraph local(accessor);
+  FLOS_RETURN_IF_ERROR(local.Init(query));
+
+  // Estimate PHP on the visited subgraph: this is exactly the
+  // deleted-transition (lower bound) system without tightening.
+  BoundEngineOptions be;
+  be.alpha = options.c;
+  be.tolerance = options.tolerance;
+  be.max_inner_iterations = options.max_inner_iterations;
+  be.self_loop_tightening = false;
+  PhpBoundEngine engine(&local, be);
+  const LocalId q_local = local.LocalIndex(query);
+
+  while (local.Size() < options.node_budget) {
+    LocalId best = kInvalidLocal;
+    double best_score = -1;
+    for (LocalId i = 0; i < local.Size(); ++i) {
+      if (!local.IsBoundary(i)) continue;
+      if (engine.lower(i) > best_score) {
+        best = i;
+        best_score = engine.lower(i);
+      }
+    }
+    if (best == kInvalidLocal) break;  // component exhausted
+    FLOS_ASSIGN_OR_RETURN(const uint32_t added, local.Expand(best));
+    (void)added;
+    engine.OnGrowth();
+    engine.UpdateLowerOnly();
+  }
+
+  std::vector<LocalId> ids;
+  for (LocalId i = 0; i < local.Size(); ++i) {
+    if (i != q_local) ids.push_back(i);
+  }
+  const auto kk = std::min<size_t>(k, ids.size());
+  std::partial_sort(ids.begin(), ids.begin() + kk, ids.end(),
+                    [&](LocalId a, LocalId b) {
+                      if (engine.lower(a) != engine.lower(b)) {
+                        return engine.lower(a) > engine.lower(b);
+                      }
+                      return local.GlobalId(a) < local.GlobalId(b);
+                    });
+  TopKAnswer answer;
+  for (size_t i = 0; i < kk; ++i) {
+    answer.nodes.push_back(local.GlobalId(ids[i]));
+    answer.scores.push_back(engine.lower(ids[i]));
+  }
+  answer.exact = false;
+  answer.touched_nodes = local.Size();
+  return answer;
+}
+
+}  // namespace flos

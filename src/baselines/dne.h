@@ -1,0 +1,32 @@
+// DNE: dynamic neighborhood expansion (paper Table 5, [21]).
+//
+// Heuristic local search for PHP: best-first expansion around the query,
+// scoring visited nodes by the PHP values of the visited subgraph (deleted
+// outside transitions), until a fixed budget of visited nodes is reached.
+// The paper fixes the budget at 4,000 nodes. No exactness guarantee.
+
+#ifndef FLOS_BASELINES_DNE_H_
+#define FLOS_BASELINES_DNE_H_
+
+#include "baselines/baseline.h"
+#include "graph/accessor.h"
+#include "util/status.h"
+
+namespace flos {
+
+struct DneOptions {
+  /// PHP decay factor.
+  double c = 0.5;
+  /// Fixed number of nodes to visit (4,000 in the paper's experiments).
+  uint64_t node_budget = 4000;
+  double tolerance = 1e-5;
+  uint32_t max_inner_iterations = 10000;
+};
+
+/// Runs DNE and returns its (approximate) top-k under PHP.
+Result<TopKAnswer> DneTopK(GraphAccessor* accessor, NodeId query, int k,
+                           const DneOptions& options);
+
+}  // namespace flos
+
+#endif  // FLOS_BASELINES_DNE_H_

@@ -1,0 +1,102 @@
+#include "baselines/ge_embed.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/dense_matrix.h"
+#include "linalg/lu.h"
+#include "measures/exact.h"
+
+namespace flos {
+
+Result<GeEmbedding> GeEmbedding::Build(const Graph* graph,
+                                       const GeOptions& options) {
+  if (graph == nullptr) return Status::InvalidArgument("null graph");
+  if (options.num_landmarks < 1) {
+    return Status::InvalidArgument("need at least one landmark");
+  }
+  GeEmbedding ge;
+  ge.graph_ = graph;
+  ge.options_ = options;
+  // Landmarks: the highest-degree nodes, which random walks visit most and
+  // whose kernel rows therefore carry the most information.
+  const auto count = static_cast<size_t>(
+      std::min<uint64_t>(options.num_landmarks, graph->NumNodes()));
+  ge.landmarks_.assign(graph->DegreeOrder().begin(),
+                       graph->DegreeOrder().begin() + count);
+  ExactSolveOptions solve;
+  solve.tolerance = options.tolerance;
+  ge.ei_rows_.reserve(count);
+  for (const NodeId l : ge.landmarks_) {
+    FLOS_ASSIGN_OR_RETURN(std::vector<double> r,
+                          ExactRwr(*graph, l, options.c, solve));
+    for (uint64_t i = 0; i < r.size(); ++i) {
+      const double wi = graph->WeightedDegree(static_cast<NodeId>(i));
+      r[i] = wi > 0 ? r[i] / wi : 0.0;  // symmetric EI kernel row
+    }
+    ge.ei_rows_.push_back(std::move(r));
+  }
+  // Invert the ridge-regularized landmark Gram block W[l][m] = K(l, m).
+  const auto L = static_cast<uint32_t>(count);
+  DenseMatrix w(L, L);
+  for (uint32_t l = 0; l < L; ++l) {
+    for (uint32_t m = 0; m < L; ++m) {
+      w.at(l, m) = ge.ei_rows_[l][ge.landmarks_[m]];
+    }
+    w.at(l, l) += options.ridge;
+  }
+  FLOS_ASSIGN_OR_RETURN(const DenseLu lu, DenseLu::Factor(w));
+  ge.w_inverse_.assign(L, std::vector<double>(L, 0.0));
+  std::vector<double> unit(L, 0.0);
+  std::vector<double> column;
+  for (uint32_t m = 0; m < L; ++m) {
+    unit[m] = 1.0;
+    FLOS_RETURN_IF_ERROR(lu.Solve(unit, &column));
+    unit[m] = 0.0;
+    for (uint32_t l = 0; l < L; ++l) ge.w_inverse_[l][m] = column[l];
+  }
+  return ge;
+}
+
+Result<TopKAnswer> GeEmbedding::Query(NodeId query, int k) const {
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (query >= graph_->NumNodes()) {
+    return Status::OutOfRange("query out of range");
+  }
+  const uint64_t n = graph_->NumNodes();
+  const auto L = static_cast<uint32_t>(landmarks_.size());
+  // q's coordinates: k_q[l] = K(l, q), available from the stored rows by
+  // kernel symmetry.
+  std::vector<double> kq(L);
+  for (uint32_t l = 0; l < L; ++l) kq[l] = ei_rows_[l][query];
+  // Nystrom combination weights u = W^+ k_q.
+  std::vector<double> u(L, 0.0);
+  double mass = 0;
+  for (uint32_t l = 0; l < L; ++l) {
+    for (uint32_t m = 0; m < L; ++m) u[l] += w_inverse_[l][m] * kq[m];
+    mass += std::abs(u[l]);
+  }
+  if (mass <= 0) {
+    // Query disconnected from every landmark: no information.
+    return TopKAnswer{};
+  }
+  // K(q, i) ~= sum_l u_l K(l, i); rank RWR = K(q, i) * w_i.
+  std::vector<double> scores(n, 0.0);
+  for (uint32_t l = 0; l < L; ++l) {
+    const double ul = u[l];
+    if (ul == 0) continue;
+    const std::vector<double>& row = ei_rows_[l];
+    for (uint64_t i = 0; i < n; ++i) scores[i] += ul * row[i];
+  }
+  for (uint64_t i = 0; i < n; ++i) {
+    scores[i] *= graph_->WeightedDegree(static_cast<NodeId>(i));
+  }
+  TopKAnswer answer;
+  answer.nodes = TopKFromScores(scores, query, k, Direction::kMaximize);
+  for (const NodeId node : answer.nodes) answer.scores.push_back(scores[node]);
+  answer.exact = false;
+  answer.touched_nodes = n;
+  return answer;
+}
+
+}  // namespace flos

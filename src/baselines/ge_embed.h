@@ -1,0 +1,68 @@
+// GE: graph-embedding baseline for RWR (paper Table 5, Zhao et al.
+// VLDB'13 [22]).
+//
+// Embedding: pick L landmark nodes (highest degree, the strategy that best
+// preserves random-walk mass) and compute each landmark's full RWR vector
+// by global iteration — the expensive step the paper reports as infeasible
+// for large graphs. The degree-normalized kernel K(i, j) = RWR_i(j) / w_j
+// (effective importance) is symmetric, so the landmark rows support a
+// Nystrom low-rank reconstruction:
+//
+//   K(q, i) ~= k_q^T  W^+  k_i,
+//
+// where k_x is x's vector of landmark proximities and W the landmark-by-
+// landmark Gram block (ridge-regularized). Query: assemble q's coordinates
+// from the stored rows, combine, and scan for the top-k. Constant-ish
+// query time, approximate results — exactly the trade-off the paper
+// measures.
+
+#ifndef FLOS_BASELINES_GE_EMBED_H_
+#define FLOS_BASELINES_GE_EMBED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/baseline.h"
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace flos {
+
+struct GeOptions {
+  /// Restart probability of RWR.
+  double c = 0.5;
+  /// Number of landmarks (embedding dimensionality).
+  uint32_t num_landmarks = 16;
+  /// Tolerance for the per-landmark global iterations.
+  double tolerance = 1e-6;
+  /// Ridge added to the landmark Gram block before inversion.
+  double ridge = 1e-9;
+  uint64_t seed = 1;
+};
+
+/// Precomputed landmark embedding; build once, query many times.
+class GeEmbedding {
+ public:
+  /// Runs the embedding step (num_landmarks full global iterations).
+  static Result<GeEmbedding> Build(const Graph* graph, const GeOptions& options);
+
+  /// Approximate top-k RWR for `query`.
+  Result<TopKAnswer> Query(NodeId query, int k) const;
+
+  uint32_t num_landmarks() const {
+    return static_cast<uint32_t>(landmarks_.size());
+  }
+
+ private:
+  const Graph* graph_ = nullptr;
+  GeOptions options_;
+  std::vector<NodeId> landmarks_;
+  /// ei_rows_[l][i] = K(landmark_l, i) = RWR_l(i) / w_i (symmetric kernel).
+  std::vector<std::vector<double>> ei_rows_;
+  /// Inverse (ridge-regularized) of the landmark Gram block W.
+  std::vector<std::vector<double>> w_inverse_;
+};
+
+}  // namespace flos
+
+#endif  // FLOS_BASELINES_GE_EMBED_H_

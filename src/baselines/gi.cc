@@ -1,0 +1,25 @@
+#include "baselines/gi.h"
+
+#include "measures/exact.h"
+
+namespace flos {
+
+Result<TopKAnswer> GiTopK(const Graph& graph, NodeId query, int k,
+                          const GiOptions& options) {
+  ExactSolveOptions solve;
+  solve.tolerance = options.tolerance;
+  solve.max_iterations = options.max_iterations;
+  FLOS_ASSIGN_OR_RETURN(
+      const std::vector<double> scores,
+      ExactMeasure(graph, query, options.measure, options.params, solve));
+  TopKAnswer answer;
+  answer.nodes = TopKFromScores(scores, query, k,
+                                MeasureDirection(options.measure));
+  answer.scores.reserve(answer.nodes.size());
+  for (const NodeId n : answer.nodes) answer.scores.push_back(scores[n]);
+  answer.exact = true;
+  answer.touched_nodes = graph.NumNodes();
+  return answer;
+}
+
+}  // namespace flos

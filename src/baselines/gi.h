@@ -1,0 +1,32 @@
+// GI: global iteration baseline (paper Table 5, [16]).
+//
+// Runs Algorithm 7 (power-style fixed-point iteration) over the ENTIRE
+// graph until the update norm drops below tau, then scans for the top-k.
+// Exact (up to tau) for every measure; this is the method FLoS is
+// benchmarked against in Figures 7, 8, 10, 11, 12.
+
+#ifndef FLOS_BASELINES_GI_H_
+#define FLOS_BASELINES_GI_H_
+
+#include "baselines/baseline.h"
+#include "graph/graph.h"
+#include "measures/measure.h"
+#include "util/status.h"
+
+namespace flos {
+
+struct GiOptions {
+  Measure measure = Measure::kPhp;
+  MeasureParams params;
+  /// Iteration threshold tau; the paper's experiments use 1e-5.
+  double tolerance = 1e-5;
+  uint32_t max_iterations = 10000;
+};
+
+/// Runs global iteration and returns the top-k nodes for `query`.
+Result<TopKAnswer> GiTopK(const Graph& graph, NodeId query, int k,
+                          const GiOptions& options);
+
+}  // namespace flos
+
+#endif  // FLOS_BASELINES_GI_H_

@@ -1,0 +1,66 @@
+#include "baselines/kdash.h"
+
+#include <algorithm>
+
+#include "linalg/csr_matrix.h"
+#include "linalg/rcm.h"
+#include "measures/exact.h"
+
+namespace flos {
+
+Result<KdashIndex> KdashIndex::Build(const Graph* graph,
+                                     const KdashOptions& options) {
+  if (graph == nullptr) return Status::InvalidArgument("null graph");
+  const double c = options.c;
+  if (!(c > 0) || !(c < 1)) return Status::InvalidArgument("c must be in (0,1)");
+  KdashIndex index;
+  index.graph_ = graph;
+  index.options_ = options;
+  index.perm_ = ReverseCuthillMckee(*graph);
+  index.inverse_ = InvertPermutation(index.perm_);
+
+  // A = I - (1-c) P^T in the RCM-permuted order.
+  const auto n = static_cast<uint32_t>(graph->NumNodes());
+  std::vector<Triplet> triplets;
+  triplets.reserve(graph->NumDirectedEdges() + n);
+  for (uint32_t new_i = 0; new_i < n; ++new_i) {
+    triplets.push_back({new_i, new_i, 1.0});
+    const NodeId old_i = index.perm_[new_i];
+    const auto ids = graph->NeighborIds(old_i);
+    const auto ws = graph->NeighborWeights(old_i);
+    for (size_t e = 0; e < ids.size(); ++e) {
+      // (P^T)_{i,j} = p_{j,i} = w_ij / w_j.
+      const double wj = graph->WeightedDegree(ids[e]);
+      triplets.push_back(
+          {new_i, index.inverse_[ids[e]], -(1.0 - c) * ws[e] / wj});
+    }
+  }
+  FLOS_ASSIGN_OR_RETURN(const CsrMatrix a,
+                        CsrMatrix::FromTriplets(n, n, std::move(triplets)));
+  FLOS_ASSIGN_OR_RETURN(index.lu_,
+                        SparseLu::Factor(a, options.max_fill_entries));
+  return index;
+}
+
+Result<TopKAnswer> KdashIndex::Query(NodeId query, int k) const {
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (query >= graph_->NumNodes()) {
+    return Status::OutOfRange("query out of range");
+  }
+  const auto n = static_cast<uint32_t>(graph_->NumNodes());
+  std::vector<double> b(n, 0.0);
+  b[inverse_[query]] = options_.c;
+  std::vector<double> x;
+  FLOS_RETURN_IF_ERROR(lu_.Solve(b, &x));
+  // Un-permute into node-id order.
+  std::vector<double> scores(n, 0.0);
+  for (uint32_t new_i = 0; new_i < n; ++new_i) scores[perm_[new_i]] = x[new_i];
+  TopKAnswer answer;
+  answer.nodes = TopKFromScores(scores, query, k, Direction::kMaximize);
+  for (const NodeId node : answer.nodes) answer.scores.push_back(scores[node]);
+  answer.exact = true;
+  answer.touched_nodes = n;
+  return answer;
+}
+
+}  // namespace flos

@@ -1,0 +1,54 @@
+// K-dash: precomputation-based exact RWR top-k (paper Table 5, Fujiwara et
+// al. VLDB'12 [8]).
+//
+// Build time: factor A = I - (1-c) P^T once with a sparse LU after an RCM
+// reordering (the fill-reducing step standing in for K-dash's ordering
+// strategies). Query time: one forward/backward substitution and a top-k
+// scan — the fastest per-query method, at the cost of a precomputation that
+// is infeasible for large graphs (the paper could only run K-dash on its
+// two medium datasets; our factorization likewise refuses to exceed a fill
+// budget and reports ResourceExhausted).
+
+#ifndef FLOS_BASELINES_KDASH_H_
+#define FLOS_BASELINES_KDASH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/baseline.h"
+#include "graph/graph.h"
+#include "linalg/lu.h"
+#include "util/status.h"
+
+namespace flos {
+
+struct KdashOptions {
+  /// Restart probability of RWR.
+  double c = 0.5;
+  /// Factorization abort threshold (total stored L+U entries).
+  uint64_t max_fill_entries = 200000000;
+};
+
+/// Precomputed factorization; build once, query many times.
+class KdashIndex {
+ public:
+  /// Factors the RWR system for `graph` (not owned; must outlive the index).
+  static Result<KdashIndex> Build(const Graph* graph,
+                                  const KdashOptions& options);
+
+  /// Exact top-k RWR for `query`.
+  Result<TopKAnswer> Query(NodeId query, int k) const;
+
+  uint64_t fill_entries() const { return lu_.FillEntries(); }
+
+ private:
+  const Graph* graph_ = nullptr;
+  KdashOptions options_;
+  std::vector<NodeId> perm_;     // new -> old
+  std::vector<NodeId> inverse_;  // old -> new
+  SparseLu lu_;
+};
+
+}  // namespace flos
+
+#endif  // FLOS_BASELINES_KDASH_H_

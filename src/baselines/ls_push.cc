@@ -1,0 +1,104 @@
+#include "baselines/ls_push.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+#include "measures/exact.h"
+
+namespace flos {
+
+Result<LsPushIndex> LsPushIndex::Build(const Graph* graph,
+                                       const LsPushOptions& options) {
+  if (graph == nullptr) return Status::InvalidArgument("null graph");
+  if (options.cluster_size < 2) {
+    return Status::InvalidArgument("cluster_size must be >= 2");
+  }
+  LsPushIndex index;
+  index.graph_ = graph;
+  index.options_ = options;
+  const uint64_t n = graph->NumNodes();
+  index.node_cluster_.assign(n, static_cast<uint32_t>(-1));
+
+  // BFS-grown clusters: repeatedly seed at the lowest unassigned node and
+  // absorb unassigned neighbors breadth-first up to the size cap.
+  std::deque<NodeId> queue;
+  for (uint64_t seed = 0; seed < n; ++seed) {
+    if (index.node_cluster_[seed] != static_cast<uint32_t>(-1)) continue;
+    const uint32_t cid = index.num_clusters_++;
+    index.cluster_nodes_.emplace_back();
+    auto& members = index.cluster_nodes_.back();
+    queue.clear();
+    queue.push_back(static_cast<NodeId>(seed));
+    index.node_cluster_[seed] = cid;
+    members.push_back(static_cast<NodeId>(seed));
+    while (!queue.empty() && members.size() < options.cluster_size) {
+      const NodeId u = queue.front();
+      queue.pop_front();
+      for (const NodeId v : graph->NeighborIds(u)) {
+        if (index.node_cluster_[v] != static_cast<uint32_t>(-1)) continue;
+        if (members.size() >= options.cluster_size) break;
+        index.node_cluster_[v] = cid;
+        members.push_back(v);
+        queue.push_back(v);
+      }
+    }
+  }
+  return index;
+}
+
+Result<TopKAnswer> LsPushIndex::Query(NodeId query, int k, Measure measure,
+                                      const MeasureParams& params) const {
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (query >= graph_->NumNodes()) {
+    return Status::OutOfRange("query out of range");
+  }
+  const uint32_t cid = node_cluster_[query];
+  const std::vector<NodeId>& members = cluster_nodes_[cid];
+
+  // Build the cluster-induced subgraph with local ids. A hash map keeps the
+  // query cost proportional to the cluster, not to |V|.
+  std::unordered_map<NodeId, NodeId> local_ids;
+  local_ids.reserve(members.size() * 2);
+  for (size_t i = 0; i < members.size(); ++i) {
+    local_ids.emplace(members[i], static_cast<NodeId>(i));
+  }
+  const auto local_of_global = [&](NodeId g) {
+    const auto it = local_ids.find(g);
+    return it == local_ids.end() ? kInvalidNode : it->second;
+  };
+  GraphBuilder::Options builder_options;
+  builder_options.num_nodes = static_cast<int64_t>(members.size());
+  GraphBuilder builder(builder_options);
+  for (size_t i = 0; i < members.size(); ++i) {
+    const NodeId u = members[i];
+    const auto ids = graph_->NeighborIds(u);
+    const auto ws = graph_->NeighborWeights(u);
+    for (size_t e = 0; e < ids.size(); ++e) {
+      const NodeId lv = local_of_global(ids[e]);
+      if (lv == kInvalidNode || lv <= i) continue;  // outside or already added
+      FLOS_RETURN_IF_ERROR(builder.AddEdge(static_cast<NodeId>(i), lv, ws[e]));
+    }
+  }
+  FLOS_ASSIGN_OR_RETURN(const Graph sub, std::move(builder).Build());
+
+  ExactSolveOptions solve;
+  solve.tolerance = options_.tolerance;
+  solve.max_iterations = options_.max_iterations;
+  FLOS_ASSIGN_OR_RETURN(
+      const std::vector<double> scores,
+      ExactMeasure(sub, local_of_global(query), measure, params, solve));
+  const std::vector<NodeId> local_top = TopKFromScores(
+      scores, local_of_global(query), k, MeasureDirection(measure));
+
+  TopKAnswer answer;
+  for (const NodeId lt : local_top) {
+    answer.nodes.push_back(members[lt]);
+    answer.scores.push_back(scores[lt]);
+  }
+  answer.exact = false;
+  answer.touched_nodes = members.size();
+  return answer;
+}
+
+}  // namespace flos

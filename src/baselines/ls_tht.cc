@@ -1,0 +1,82 @@
+#include "baselines/ls_tht.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/local_graph.h"
+#include "core/tht_bound_engine.h"
+
+namespace flos {
+
+Result<TopKAnswer> LsThtTopK(GraphAccessor* accessor, NodeId query, int k,
+                             const LsThtOptions& options) {
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (options.length < 1) return Status::InvalidArgument("length must be >= 1");
+  LocalGraph local(accessor);
+  FLOS_RETURN_IF_ERROR(local.Init(query));
+  ThtBoundEngine engine(&local, options.length);
+  const LocalId q_local = local.LocalIndex(query);
+
+  const auto approx_done = [&]() -> bool {
+    std::vector<LocalId> ids;
+    for (LocalId i = 0; i < local.Size(); ++i) {
+      if (i != q_local) ids.push_back(i);
+    }
+    if (ids.size() < static_cast<size_t>(k)) return false;
+    std::nth_element(ids.begin(), ids.begin() + (k - 1), ids.end(),
+                     [&](LocalId a, LocalId b) {
+                       return engine.upper(a) < engine.upper(b);
+                     });
+    double kth = 0;
+    for (int i = 0; i < k; ++i) kth = std::max(kth, engine.upper(ids[i]));
+    double best_other = static_cast<double>(options.length);
+    for (size_t i = k; i < ids.size(); ++i) {
+      best_other = std::min(best_other, engine.lower(ids[i]));
+    }
+    return kth <= best_other + options.epsilon;
+  };
+
+  while (local.Size() < options.node_budget) {
+    // Grow the ball one hop: expand every current boundary node.
+    std::vector<LocalId> ring;
+    for (LocalId i = 0; i < local.Size(); ++i) {
+      if (local.IsBoundary(i)) ring.push_back(i);
+    }
+    if (ring.empty()) break;  // component exhausted
+    for (const LocalId u : ring) {
+      FLOS_ASSIGN_OR_RETURN(const uint32_t added, local.Expand(u));
+      (void)added;
+      if (local.Size() >= options.node_budget) break;
+    }
+    engine.OnGrowth();
+    engine.UpdateBounds();
+    if (approx_done()) break;
+  }
+
+  // Rank by the pessimistic (upper) bound, as the selection step does: the
+  // optimistic DP is uniformly loose for ball-boundary nodes (every escaped
+  // walk looks like an instant hit), so midpoints misrank; the pessimistic
+  // value orders near nodes faithfully.
+  std::vector<LocalId> ids;
+  for (LocalId i = 0; i < local.Size(); ++i) {
+    if (i != q_local) ids.push_back(i);
+  }
+  const auto kk = std::min<size_t>(k, ids.size());
+  std::partial_sort(ids.begin(), ids.begin() + kk, ids.end(),
+                    [&](LocalId a, LocalId b) {
+                      if (engine.upper(a) != engine.upper(b)) {
+                        return engine.upper(a) < engine.upper(b);
+                      }
+                      return local.GlobalId(a) < local.GlobalId(b);
+                    });
+  TopKAnswer answer;
+  for (size_t i = 0; i < kk; ++i) {
+    answer.nodes.push_back(local.GlobalId(ids[i]));
+    answer.scores.push_back(engine.upper(ids[i]));
+  }
+  answer.exact = false;
+  answer.touched_nodes = local.Size();
+  return answer;
+}
+
+}  // namespace flos

@@ -1,0 +1,36 @@
+// LS_THT: approximate local search for truncated hitting time (paper
+// Table 5, Sarkar & Moore UAI'07 [17]).
+//
+// Grows a BFS ball around the query one hop at a time; within the ball,
+// optimistic and pessimistic THT values are computed by the same L-step DP
+// bounds FLoS uses (walks leaving the ball contribute 0 / the maximal
+// remaining horizon). The search stops when the k-th pessimistic value beats
+// every other optimistic value by the approximation slack epsilon, or when
+// the node budget is exhausted — hence approximate, unlike FLoS_THT whose
+// expansion is guided and whose termination has no slack.
+
+#ifndef FLOS_BASELINES_LS_THT_H_
+#define FLOS_BASELINES_LS_THT_H_
+
+#include "baselines/baseline.h"
+#include "graph/accessor.h"
+#include "util/status.h"
+
+namespace flos {
+
+struct LsThtOptions {
+  /// Truncation length L (the paper's experiments use 10).
+  int length = 10;
+  /// Approximation slack in hitting-time units.
+  double epsilon = 0.25;
+  /// Node budget for the ball.
+  uint64_t node_budget = 4000;
+};
+
+/// Approximate top-k under THT (smaller = closer).
+Result<TopKAnswer> LsThtTopK(GraphAccessor* accessor, NodeId query, int k,
+                             const LsThtOptions& options);
+
+}  // namespace flos
+
+#endif  // FLOS_BASELINES_LS_THT_H_

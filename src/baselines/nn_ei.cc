@@ -1,0 +1,139 @@
+#include "baselines/nn_ei.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+namespace flos {
+
+namespace {
+
+struct HeapEntry {
+  double rho;
+  NodeId node;
+  bool operator<(const HeapEntry& other) const { return rho < other.rho; }
+};
+
+}  // namespace
+
+Result<TopKAnswer> NnEiTopK(GraphAccessor* accessor, NodeId query, int k,
+                            const NnEiOptions& options) {
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (query >= accessor->NumNodes()) {
+    return Status::OutOfRange("query out of range");
+  }
+  const double alpha = 1.0 - options.c;
+  if (!(alpha > 0) || !(alpha < 1)) {
+    return Status::InvalidArgument("c must be in (0, 1)");
+  }
+
+  std::unordered_map<NodeId, double> x;      // estimates (lower bounds)
+  std::unordered_map<NodeId, double> rho;    // residuals
+  std::unordered_map<NodeId, std::vector<Neighbor>> adjacency;
+  std::unordered_map<NodeId, double> degree;
+  std::priority_queue<HeapEntry> heap;
+
+  const auto fetch = [&](NodeId u) -> Status {
+    if (adjacency.count(u)) return Status::OK();
+    std::vector<Neighbor> nbs;
+    FLOS_RETURN_IF_ERROR(accessor->CopyNeighbors(u, &nbs));
+    double w = 0;
+    for (const Neighbor& nb : nbs) w += nb.weight;
+    degree[u] = w;
+    adjacency.emplace(u, std::move(nbs));
+    return Status::OK();
+  };
+
+  rho[query] = 1.0;
+  heap.push({1.0, query});
+
+  uint64_t pushes = 0;
+  const double slack_factor = 1.0 / (1.0 - alpha);
+
+  const auto terminated = [&]() -> bool {
+    // Exact test: the k-th best lower bound must dominate every other
+    // node's upper bound x_i + rho_max / (1 - alpha) (0 for undiscovered).
+    double rho_max = 0;
+    for (const auto& [node, r] : rho) {
+      (void)node;
+      rho_max = std::max(rho_max, r);
+    }
+    const double slack = rho_max * slack_factor;
+    std::vector<double> lowers;
+    std::vector<std::pair<double, NodeId>> entries;
+    entries.reserve(x.size());
+    for (const auto& [node, value] : x) {
+      if (node != query) entries.push_back({value, node});
+    }
+    if (entries.size() < static_cast<size_t>(k)) return false;
+    std::nth_element(entries.begin(), entries.begin() + (k - 1), entries.end(),
+                     [](const auto& a, const auto& b) { return a.first > b.first; });
+    const double kth = entries[k - 1].first;
+    double best_other = 0;  // undiscovered nodes have x = 0
+    for (size_t i = k; i < entries.size(); ++i) {
+      best_other = std::max(best_other, entries[i].first);
+    }
+    return kth >= best_other + slack;
+  };
+
+  bool certified = false;
+  while (!heap.empty()) {
+    if (pushes >= options.max_pushes) break;  // budget: approximate answer
+    const HeapEntry top = heap.top();
+    heap.pop();
+    const auto it = rho.find(top.node);
+    if (it == rho.end() || it->second != top.rho) continue;  // stale
+    if (top.rho < options.residual_floor) {
+      certified = true;
+      break;
+    }
+
+    const NodeId u = top.node;
+    const double mass = it->second;
+    it->second = 0;
+    x[u] += mass;
+    FLOS_RETURN_IF_ERROR(fetch(u));
+    for (const Neighbor& nb : adjacency[u]) {
+      if (nb.id == query) continue;  // row q of T is zero: q never receives
+      // Degree probe only; the neighbor's adjacency is fetched lazily when
+      // (and if) it is itself pushed.
+      auto deg_it = degree.find(nb.id);
+      if (deg_it == degree.end()) {
+        deg_it = degree.emplace(nb.id, accessor->WeightedDegree(nb.id)).first;
+      }
+      const double w_i = deg_it->second;
+      if (w_i <= 0) continue;
+      const double add = alpha * (nb.weight / w_i) * mass;
+      double& r = rho[nb.id];
+      r += add;
+      heap.push({r, nb.id});
+    }
+    ++pushes;
+    if (pushes % options.check_interval == 0 && terminated()) {
+      certified = true;
+      break;
+    }
+  }
+  if (heap.empty()) certified = true;  // all residual mass consumed
+
+  TopKAnswer answer;
+  std::vector<std::pair<double, NodeId>> entries;
+  for (const auto& [node, value] : x) {
+    if (node != query) entries.push_back({value, node});
+  }
+  std::sort(entries.begin(), entries.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  const auto kk = std::min<size_t>(k, entries.size());
+  for (size_t i = 0; i < kk; ++i) {
+    answer.nodes.push_back(entries[i].second);
+    answer.scores.push_back(entries[i].first);
+  }
+  answer.exact = certified;
+  answer.touched_nodes = adjacency.size();
+  return answer;
+}
+
+}  // namespace flos

@@ -1,0 +1,44 @@
+// NN_EI: exact local top-k search for effective importance (paper Table 5,
+// Bogdanov & Singh [3]), built on the push style of Berkhin's
+// bookmark-coloring algorithm [2].
+//
+// Works on the PHP-form system r = alpha T r + e_q (EI is a positive
+// multiple of PHP, Theorem 2, so the ranking is EI's). State: estimates x
+// and residuals rho with the invariant r = x + (I - alpha T)^{-1} rho.
+// Pushing node u moves rho_u into x_u and spreads alpha p_iu rho_u to u's
+// neighbors. Because residuals stay non-negative, x is a monotone lower
+// bound and x_i + max(rho)/(1 - alpha) is an upper bound, which yields an
+// exact termination test for the top-k.
+
+#ifndef FLOS_BASELINES_NN_EI_H_
+#define FLOS_BASELINES_NN_EI_H_
+
+#include "baselines/baseline.h"
+#include "graph/accessor.h"
+#include "util/status.h"
+
+namespace flos {
+
+struct NnEiOptions {
+  /// Restart probability of EI; the push system uses alpha = 1 - c.
+  double c = 0.5;
+  /// Stop pushing when the largest residual falls below this floor even if
+  /// the top-k gap has not closed (guards score ties).
+  double residual_floor = 1e-12;
+  /// Push budget. The residual-based certificate is much looser than
+  /// FLoS's bounds, and on queries whose k-th gap is tiny the push count
+  /// explodes; past the budget the method returns its current best with
+  /// `exact == false`.
+  uint64_t max_pushes = 2000000;
+  /// How often (in pushes) the exact termination test runs.
+  uint32_t check_interval = 64;
+};
+
+/// Runs NN_EI. Returns the exact top-k ranking under EI (scores are in the
+/// internal PHP-form scale).
+Result<TopKAnswer> NnEiTopK(GraphAccessor* accessor, NodeId query, int k,
+                            const NnEiOptions& options);
+
+}  // namespace flos
+
+#endif  // FLOS_BASELINES_NN_EI_H_

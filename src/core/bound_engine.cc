@@ -1,0 +1,221 @@
+#include "core/bound_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <utility>
+
+namespace flos {
+
+PhpBoundEngine::PhpBoundEngine(LocalGraph* local,
+                               const BoundEngineOptions& options)
+    : local_(local), options_(options) {
+  OnGrowth();
+}
+
+void PhpBoundEngine::CaptureDummyFromBoundary() {
+  // The paper's choice is r_d^t = max upper bound over delta-S (Algorithm 5
+  // line 7). Two rigorous refinements tighten it further:
+  //  * every unvisited node's neighbors are boundary or unvisited nodes, so
+  //    its proximity is at most alpha * max_{delta-S} exact <= alpha * that
+  //    maximum upper bound — a free alpha factor that cascades, iteration
+  //    by iteration, into the boundary uppers themselves;
+  //  * a PHP-form walk needs at least hop-distance steps to reach q, so an
+  //    unvisited node at certified distance >= d has proximity <= alpha^d.
+  // All three values dominate every unvisited proximity; take the minimum
+  // (clamped non-increasing across iterations).
+  double best = 0;
+  bool any = false;
+  for (LocalId i = 0; i < local_->Size(); ++i) {
+    if (local_->IsBoundary(i)) {
+      best = std::max(best, upper_[i]);
+      any = true;
+    }
+  }
+  if (!any) return;
+  // Mesh dummy: must dominate visited boundary values too (Lemma 4's
+  // redirected mesh edges land on them), so the paper's rule is the best
+  // we can do.
+  dummy_mesh_ = std::min(dummy_mesh_, best);
+  // Tight dummy: dominates unvisited values only.
+  double candidate = best;
+  if (options_.alpha_dummy_tightening) {
+    candidate = options_.alpha * best;
+    const double hops = std::min<double>(60, local_->UnvisitedHopLowerBound());
+    candidate = std::min(candidate, std::pow(options_.alpha, hops));
+    // Per-frontier-node uppers dominate every unvisited proximity too (the
+    // maximum over delta-S-bar bounds deeper nodes by self-consistency).
+    if (options_.frontier_dummy) {
+      const OutsideUppers out = ComputeOutsideUppers();
+      if (out.any) candidate = std::min(candidate, out.max_value);
+    }
+  }
+  dummy_tight_ = std::min({dummy_tight_, dummy_mesh_, candidate});
+}
+
+PhpBoundEngine::OutsideUppers PhpBoundEngine::ComputeOutsideUppers() {
+  // Accumulate, per unvisited frontier node v, the in-S transition mass
+  // and its upper-bound-weighted sum, by walking the boundary's outside
+  // edges. p_vu = w_uv / w_v with w_v from the degree probe cache.
+  std::unordered_map<NodeId, std::pair<double, double>> acc;  // mass, sum
+  for (LocalId u = 0; u < local_->Size(); ++u) {
+    if (!local_->IsBoundary(u)) continue;
+    const double ru = local_->IsQueryLocal(u) ? 1.0 : upper_[u];
+    for (const Neighbor& nb : local_->Neighbors(u)) {
+      if (local_->Contains(nb.id)) continue;
+      const double wv = local_->ProbeDegree(nb.id);
+      if (wv <= 0) continue;
+      auto& [mass, sum] = acc[nb.id];
+      mass += nb.weight / wv;
+      sum += nb.weight / wv * ru;
+    }
+  }
+  OutsideUppers out;
+  const double alpha = options_.alpha;
+  for (const auto& [v, ms] : acc) {
+    const double residual = std::max(0.0, 1.0 - ms.first);
+    const double bound = alpha * (ms.second + residual * dummy_tight_);
+    out.max_value = std::max(out.max_value, bound);
+    out.max_degree_weighted =
+        std::max(out.max_degree_weighted, local_->ProbeDegree(v) * bound);
+    out.any = true;
+  }
+  return out;
+}
+
+void PhpBoundEngine::OnGrowth() {
+  const uint32_t n = local_->Size();
+  // New nodes: lower = 0, upper = 1 are valid PHP-form bounds (all
+  // proximities lie in [0, 1]; non-query nodes are in fact <= alpha).
+  lower_.resize(n, 0.0);
+  upper_.resize(n, 1.0);
+  for (LocalId q = 0; q < local_->query_count(); ++q) {
+    lower_[q] = 1.0;
+    upper_[q] = 1.0;
+  }
+  self_coeff_.resize(n, 0.0);
+  mesh_dummy_coeff_.resize(n, 0.0);
+  plain_dummy_coeff_.resize(n, 0.0);
+}
+
+void PhpBoundEngine::RefreshBoundaryCoefficients() {
+  // Incremental: only nodes whose outside-neighbor set changed since the
+  // last update (new nodes and neighbors of new nodes) need their
+  // coefficients recomputed.
+  const double alpha = options_.alpha;
+  for (const LocalId i : local_->TakeDirtyNodes()) {
+    self_coeff_[i] = 0;
+    mesh_dummy_coeff_[i] = 0;
+    plain_dummy_coeff_[i] = 0;
+    if (local_->IsQueryLocal(i) || !local_->IsBoundary(i)) continue;
+    const double wi = local_->WeightedDegree(i);
+    if (wi <= 0) continue;
+    double out_mass = 0;        // sum over unvisited neighbors of p_iv
+    double loop_mass = 0;       // sum of p_iv * p_vi
+    for (const Neighbor& nb : local_->Neighbors(i)) {
+      if (local_->Contains(nb.id)) continue;
+      const double p_iv = nb.weight / wi;
+      out_mass += p_iv;
+      if (options_.self_loop_tightening) {
+        const double wv = local_->ProbeDegree(nb.id);
+        if (wv > 0) loop_mass += p_iv * (nb.weight / wv);
+      }
+    }
+    // Plain construction (Theorem 5): all outside mass to the dummy.
+    plain_dummy_coeff_[i] = alpha * out_mass;
+    if (options_.self_loop_tightening) {
+      // Mesh construction (Lemmas 3/4): p_ii = alpha * loop_mass,
+      // p_id = alpha * (out - loop). In the iteration r <- alpha T r + e
+      // these appear with one more alpha factor.
+      self_coeff_[i] = alpha * alpha * loop_mass;
+      mesh_dummy_coeff_[i] = alpha * alpha * (out_mass - loop_mass);
+    }
+  }
+}
+
+uint32_t PhpBoundEngine::SolveLower() {
+  const uint32_t n = local_->Size();
+  const double alpha = options_.alpha;
+  scratch_.resize(n);
+  uint32_t iters = 0;
+  for (; iters < options_.max_inner_iterations; ++iters) {
+    double delta = 0;
+    for (LocalId i = 0; i < n; ++i) {
+      if (local_->IsQueryLocal(i)) {
+        scratch_[i] = 1.0;
+        continue;
+      }
+      double sum = 0;
+      for (const auto& [j, p] : local_->Row(i)) sum += p * lower_[j];
+      double v = alpha * sum + self_coeff_[i] * lower_[i];
+      // Monotone clamp: any previous value is still a valid lower bound.
+      v = std::max(v, lower_[i]);
+      delta = std::max(delta, v - lower_[i]);
+      scratch_[i] = v;
+    }
+    lower_.swap(scratch_);
+    if (delta < options_.tolerance) {
+      ++iters;
+      break;
+    }
+  }
+  return iters;
+}
+
+uint32_t PhpBoundEngine::SolveUpper() {
+  const uint32_t n = local_->Size();
+  const double alpha = options_.alpha;
+  scratch_.resize(n);
+  uint32_t iters = 0;
+  for (; iters < options_.max_inner_iterations; ++iters) {
+    double delta = 0;
+    for (LocalId i = 0; i < n; ++i) {
+      if (local_->IsQueryLocal(i)) {
+        scratch_[i] = 1.0;
+        continue;
+      }
+      double sum = 0;
+      for (const auto& [j, p] : local_->Row(i)) sum += p * upper_[j];
+      // Both constructions are monotone upper operators; keep the smaller.
+      double v = alpha * sum + plain_dummy_coeff_[i] * dummy_tight_;
+      if (options_.self_loop_tightening) {
+        v = std::min(v, alpha * sum + self_coeff_[i] * upper_[i] +
+                            mesh_dummy_coeff_[i] * dummy_mesh_);
+      }
+      // Monotone clamp: any previous value is still a valid upper bound.
+      v = std::min(v, upper_[i]);
+      delta = std::max(delta, upper_[i] - v);
+      scratch_[i] = v;
+    }
+    upper_.swap(scratch_);
+    if (delta < options_.tolerance) {
+      ++iters;
+      break;
+    }
+  }
+  return iters;
+}
+
+uint32_t PhpBoundEngine::UpdateBounds() {
+  RefreshBoundaryCoefficients();
+  return SolveLower() + SolveUpper();
+}
+
+uint32_t PhpBoundEngine::UpdateLowerOnly() {
+  RefreshBoundaryCoefficients();
+  return SolveLower();
+}
+
+uint32_t PhpBoundEngine::FinalizeExhausted(double final_tolerance) {
+  // With S exhausted there is no boundary: the deleted-transition system is
+  // the exact system. Solve it tightly and collapse the interval.
+  RefreshBoundaryCoefficients();
+  const double saved = options_.tolerance;
+  options_.tolerance = final_tolerance;
+  const uint32_t iters = SolveLower();
+  options_.tolerance = saved;
+  upper_ = lower_;
+  return iters;
+}
+
+}  // namespace flos

@@ -1,0 +1,139 @@
+// Lower/upper bound engine for PHP-form proximity systems (Section 4 / 5).
+//
+// The engine maintains rigorous bounds on the fixed point of
+//
+//     r = alpha * T r + e_q,   r_q = 1,
+//
+// restricted to the visited set S, where T is the query-row-zeroed
+// transition matrix. PHP uses alpha = c; EI, DHT and RWR reduce to the same
+// system with alpha = 1 - c (Theorems 2 and 6).
+//
+// Lower bound: transitions leaving S are deleted (Theorem 3); optionally a
+// star-to-mesh self-loop p_ii = alpha * sum_{j in N_i \ S} p_ij p_ji is
+// added (Lemma 3).
+// Upper bound: transitions leaving S are redirected to a dummy node with
+// constant value r_d >= every unvisited proximity (Theorem 5); the self-loop
+// variant additionally splits the dummy mass per Lemma 4.
+//
+// Validity under inexact inner solves: every Jacobi iterate started from a
+// valid bound vector remains a valid bound, because the true proximity
+// vector is a supersolution of the lower system and a subsolution of the
+// upper system (monotone fixed-point operators). Bounds are additionally
+// clamped elementwise against their previous values, which keeps them
+// monotone across outer iterations (Section 5.2) even in floating point.
+
+#ifndef FLOS_CORE_BOUND_ENGINE_H_
+#define FLOS_CORE_BOUND_ENGINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/local_graph.h"
+#include "util/status.h"
+
+namespace flos {
+
+/// Configuration of the PHP-form bound engine.
+struct BoundEngineOptions {
+  /// Contraction factor alpha of the linear system (in (0, 1)).
+  double alpha = 0.5;
+  /// Inner-iteration stopping threshold tau (paper Algorithm 7).
+  double tolerance = 1e-5;
+  /// Safety cap on inner iterations per update.
+  uint32_t max_inner_iterations = 10000;
+  /// Enables the star-to-mesh self-loop tightening (Section 5.3).
+  bool self_loop_tightening = true;
+  /// Tightens the dummy value beyond the paper's max-boundary-upper rule
+  /// with the free alpha factor (unvisited nodes only neighbor boundary or
+  /// unvisited nodes) and the alpha^hop-distance cap. Rigorous; see
+  /// CaptureDummyFromBoundary. Off reproduces Algorithm 5 line 7 verbatim.
+  bool alpha_dummy_tightening = true;
+  /// Additionally folds the per-frontier-node uppers (ComputeOutsideUppers)
+  /// into the tight dummy each update. Costs an O(boundary edges) pass per
+  /// update; worth it for degree-weighted (RWR) searches, which need the
+  /// frontier bound for termination anyway, and off by default otherwise.
+  bool frontier_dummy = false;
+};
+
+/// Bound state for the visited subgraph. One instance per query.
+class PhpBoundEngine {
+ public:
+  /// `local` must outlive the engine and already contain the query node.
+  PhpBoundEngine(LocalGraph* local, const BoundEngineOptions& options);
+
+  /// Records the current boundary's maximum upper bound as the next dummy
+  /// value (Algorithm 5 line 7). Call BEFORE expanding, so the value refers
+  /// to delta-S of the previous iteration.
+  void CaptureDummyFromBoundary();
+
+  /// Resizes state after the LocalGraph grew; new nodes start at
+  /// lower = 0, upper = 1 (valid PHP-form bounds).
+  void OnGrowth();
+
+  /// Recomputes boundary coefficients (dummy mass, self-loops), then runs
+  /// the warm-started inner iterations for both bounds. Returns the number
+  /// of inner iterations spent (lower + upper).
+  uint32_t UpdateBounds();
+
+  /// Refreshes coefficients and runs only the lower system. Used by
+  /// estimate-only consumers (the DNE baseline) that never need uppers.
+  uint32_t UpdateLowerOnly();
+
+  /// Runs the lower system to a much tighter tolerance and collapses
+  /// upper = lower. Only valid when the LocalGraph is exhausted (no
+  /// transitions leave S, so the deleted-transition system IS the exact
+  /// system). Returns inner iterations spent.
+  uint32_t FinalizeExhausted(double final_tolerance);
+
+  double lower(LocalId i) const { return lower_[i]; }
+  double upper(LocalId i) const { return upper_[i]; }
+
+  /// The Algorithm-5 dummy value (max boundary upper, non-increasing).
+  double dummy_value() const { return dummy_mesh_; }
+
+  /// The tightened dummy value that bounds only UNVISITED proximities
+  /// (alpha factor, hop cap, frontier uppers). Valid for the plain
+  /// redirect-everything-to-dummy construction, but NOT for the
+  /// star-to-mesh one, whose redirected mesh edges also land on visited
+  /// boundary nodes; SolveUpper therefore evaluates both constructions per
+  /// node and keeps the smaller — both are monotone upper operators, so
+  /// the pointwise minimum is too.
+  double tight_dummy_value() const { return dummy_tight_; }
+
+  /// Certified upper bounds over the unvisited frontier delta-S-bar,
+  /// computed from the boundary's uppers: for v adjacent to S,
+  ///   r_v <= alpha * (sum_{u in N_v cap S} p_vu upper_u
+  ///                   + (1 - in-mass) * r_d).
+  /// Every unvisited node is bounded by `max_value`; nodes not adjacent to
+  /// S by an extra alpha factor; `max_degree_weighted` maxes w_v * bound
+  /// over delta-S-bar (the quantity FLoS_RWR's termination needs).
+  struct OutsideUppers {
+    double max_value = 0;            ///< max over delta-S-bar of r-bar_v
+    double max_degree_weighted = 0;  ///< max over delta-S-bar of w_v r-bar_v
+    bool any = false;
+  };
+  OutsideUppers ComputeOutsideUppers();
+
+ private:
+  void RefreshBoundaryCoefficients();
+  uint32_t SolveLower();
+  uint32_t SolveUpper();
+
+  LocalGraph* local_;
+  BoundEngineOptions options_;
+  std::vector<double> lower_;
+  std::vector<double> upper_;
+  std::vector<double> scratch_;
+  /// Coefficient of r_i itself (self-loop) in the mesh construction.
+  std::vector<double> self_coeff_;
+  /// Coefficient of r_d in the mesh construction (alpha^2 (out - loop)).
+  std::vector<double> mesh_dummy_coeff_;
+  /// Coefficient of r_d in the plain construction (alpha * out mass).
+  std::vector<double> plain_dummy_coeff_;
+  double dummy_mesh_ = 1.0;   ///< >= unvisited AND visited-boundary values
+  double dummy_tight_ = 1.0;  ///< >= unvisited values only
+};
+
+}  // namespace flos
+
+#endif  // FLOS_CORE_BOUND_ENGINE_H_

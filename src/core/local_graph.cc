@@ -1,0 +1,178 @@
+#include "core/local_graph.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <string>
+
+namespace flos {
+
+namespace {
+constexpr uint32_t kUnreachable = std::numeric_limits<uint32_t>::max() - 1;
+}  // namespace
+
+Status LocalGraph::Init(NodeId query) {
+  return Init(std::vector<NodeId>{query});
+}
+
+Status LocalGraph::Init(const std::vector<NodeId>& queries) {
+  if (query_ != kInvalidNode) {
+    return Status::FailedPrecondition("LocalGraph already initialized");
+  }
+  if (queries.empty()) {
+    return Status::InvalidArgument("need at least one query node");
+  }
+  for (const NodeId q : queries) {
+    if (q >= accessor_->NumNodes()) {
+      return Status::OutOfRange("query node out of range");
+    }
+    if (Contains(q)) {
+      return Status::InvalidArgument("duplicate query node " +
+                                     std::to_string(q));
+    }
+    ++query_count_;  // before Add so hop distances see the seed as a source
+    FLOS_RETURN_IF_ERROR(Add(q));
+  }
+  query_ = queries.front();
+  return Status::OK();
+}
+
+Status LocalGraph::Add(NodeId global) {
+  const auto local = static_cast<LocalId>(local_to_global_.size());
+  global_to_local_.emplace(global, local);
+  local_to_global_.push_back(global);
+  in_dirty_.push_back(true);
+  dirty_.push_back(local);
+
+  FLOS_RETURN_IF_ERROR(accessor_->CopyNeighbors(global, &scratch_));
+  double wi = 0;
+  for (const Neighbor& nb : scratch_) wi += nb.weight;
+  weighted_degree_.push_back(wi);
+  degree_cache_[global] = wi;
+
+  // Build this node's within-S row and patch existing rows/boundary counts.
+  std::vector<std::pair<LocalId, double>> row;
+  uint32_t outside = 0;
+  for (const Neighbor& nb : scratch_) {
+    const auto it = global_to_local_.find(nb.id);
+    if (it == global_to_local_.end()) {
+      ++outside;
+      continue;
+    }
+    const LocalId j = it->second;
+    if (wi > 0) row.emplace_back(j, nb.weight / wi);
+    // Reverse direction: j gains an in-S neighbor.
+    if (weighted_degree_[j] > 0) {
+      rows_[j].emplace_back(local, nb.weight / weighted_degree_[j]);
+    }
+    --outside_count_[j];
+    if (!in_dirty_[j]) {
+      in_dirty_[j] = true;
+      dirty_.push_back(j);
+    }
+  }
+  rows_.push_back(std::move(row));
+  outside_count_.push_back(outside);
+
+  // Maintain delta-S-bar (unvisited nodes adjacent to S) with probed
+  // degrees, feeding MaxOutsideAdjacentDegree.
+  outside_adjacent_.erase(global);
+  for (const Neighbor& nb : neighbors_.emplace_back(std::move(scratch_))) {
+    if (global_to_local_.count(nb.id)) continue;
+    if (outside_adjacent_.insert(nb.id).second) {
+      outside_degree_heap_.emplace_back(ProbeDegree(nb.id), nb.id);
+      std::push_heap(outside_degree_heap_.begin(),
+                     outside_degree_heap_.end());
+    }
+  }
+  scratch_ = {};
+
+  // Within-S hop distances: initialize from visited neighbors, then relax
+  // decreases through existing rows (new edges can create shortcuts).
+  // Query (source) nodes are distance 0.
+  uint32_t d = local < query_count_ ? 0 : kUnreachable;
+  for (const auto& [j, p] : rows_[local]) {
+    (void)p;
+    d = std::min(d, hop_dist_[j] == kUnreachable ? kUnreachable
+                                                 : hop_dist_[j] + 1);
+  }
+  hop_dist_.push_back(d);
+  std::deque<LocalId> relax = {local};
+  while (!relax.empty()) {
+    const LocalId u = relax.front();
+    relax.pop_front();
+    if (hop_dist_[u] == kUnreachable) continue;
+    for (const auto& [j, p] : rows_[u]) {
+      (void)p;
+      if (hop_dist_[u] + 1 < hop_dist_[j]) {
+        hop_dist_[j] = hop_dist_[u] + 1;
+        relax.push_back(j);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+double LocalGraph::MaxOutsideAdjacentDegree() {
+  while (!outside_degree_heap_.empty()) {
+    const NodeId top = outside_degree_heap_.front().second;
+    if (!global_to_local_.count(top)) {
+      return outside_degree_heap_.front().first;
+    }
+    std::pop_heap(outside_degree_heap_.begin(), outside_degree_heap_.end());
+    outside_degree_heap_.pop_back();
+  }
+  return 0;
+}
+
+uint32_t LocalGraph::UnvisitedHopLowerBound() const {
+  uint32_t best = kUnreachable;
+  for (LocalId i = 0; i < Size(); ++i) {
+    if (outside_count_[i] > 0) best = std::min(best, hop_dist_[i]);
+  }
+  return best == kUnreachable ? kUnreachable : best + 1;
+}
+
+Result<uint32_t> LocalGraph::Expand(LocalId u) {
+  if (u >= Size()) {
+    return Status::OutOfRange("local id out of range in Expand");
+  }
+  uint32_t added = 0;
+  // Iterate by index: Add() grows neighbors_, but u's own list is stable
+  // because vectors of vectors only reallocate the outer spine; take a copy
+  // of the ids to be safe against outer reallocation.
+  std::vector<NodeId> to_add;
+  for (const Neighbor& nb : neighbors_[u]) {
+    if (!Contains(nb.id)) to_add.push_back(nb.id);
+  }
+  for (const NodeId v : to_add) {
+    if (Contains(v)) continue;  // may have been added via an earlier sibling
+    FLOS_RETURN_IF_ERROR(Add(v));
+    ++added;
+  }
+  return added;
+}
+
+bool LocalGraph::Exhausted() const {
+  for (const uint32_t c : outside_count_) {
+    if (c > 0) return false;
+  }
+  return true;
+}
+
+std::vector<LocalId> LocalGraph::TakeDirtyNodes() {
+  std::vector<LocalId> out;
+  out.swap(dirty_);
+  for (const LocalId i : out) in_dirty_[i] = false;
+  return out;
+}
+
+double LocalGraph::ProbeDegree(NodeId global) {
+  const auto it = degree_cache_.find(global);
+  if (it != degree_cache_.end()) return it->second;
+  const double w = accessor_->WeightedDegree(global);
+  degree_cache_.emplace(global, w);
+  return w;
+}
+
+}  // namespace flos

@@ -1,0 +1,163 @@
+// Dynamic local subgraph maintained by FLoS during search.
+//
+// Tracks the visited set S, the within-S transition structure (the matrix T
+// restricted to S), each node's full neighbor list, and boundary membership
+// (delta-S = visited nodes with at least one unvisited neighbor). Nodes are
+// given dense local indices in visit order; all bound computations run on
+// local indices.
+//
+// A node "joins S" when its neighbor list is fetched through the
+// GraphAccessor; the number of fetches equals |S|, matching the paper's
+// "number of visited nodes".
+
+#ifndef FLOS_CORE_LOCAL_GRAPH_H_
+#define FLOS_CORE_LOCAL_GRAPH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "graph/accessor.h"
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace flos {
+
+/// Local (dense, within-S) node index.
+using LocalId = uint32_t;
+
+inline constexpr LocalId kInvalidLocal = static_cast<LocalId>(-1);
+
+/// The visited subgraph S with its boundary bookkeeping.
+class LocalGraph {
+ public:
+  /// `accessor` must outlive the LocalGraph.
+  explicit LocalGraph(GraphAccessor* accessor) : accessor_(accessor) {}
+
+  LocalGraph(const LocalGraph&) = delete;
+  LocalGraph& operator=(const LocalGraph&) = delete;
+
+  /// Adds the query node as local id 0. Must be called exactly once.
+  Status Init(NodeId query);
+
+  /// Multi-source variant: the queries become local ids 0..queries.size()-1
+  /// and act as one absorbing set (walks stop at ANY of them). Queries must
+  /// be distinct and in range. Must be called exactly once.
+  Status Init(const std::vector<NodeId>& queries);
+
+  /// Expands node `u` (must be visited): every unvisited neighbor of `u`
+  /// joins S. Returns the number of nodes added.
+  Result<uint32_t> Expand(LocalId u);
+
+  /// Number of visited nodes |S|.
+  uint32_t Size() const { return static_cast<uint32_t>(local_to_global_.size()); }
+
+  /// True iff `global` is visited.
+  bool Contains(NodeId global) const {
+    return global_to_local_.count(global) > 0;
+  }
+
+  /// Local id of a visited node, or kInvalidLocal.
+  LocalId LocalIndex(NodeId global) const {
+    const auto it = global_to_local_.find(global);
+    return it == global_to_local_.end() ? kInvalidLocal : it->second;
+  }
+
+  NodeId GlobalId(LocalId local) const { return local_to_global_[local]; }
+
+  /// Weighted degree w_i (over ALL neighbors, visited or not).
+  double WeightedDegree(LocalId local) const { return weighted_degree_[local]; }
+
+  /// Number of i's neighbors currently outside S. 0 means interior.
+  uint32_t OutsideCount(LocalId local) const { return outside_count_[local]; }
+
+  /// True iff i is in the boundary delta-S.
+  bool IsBoundary(LocalId local) const { return outside_count_[local] > 0; }
+
+  /// True iff no visited node has an unvisited neighbor (the query's whole
+  /// component has been visited).
+  bool Exhausted() const;
+
+  /// Within-S transition row of node i: pairs (local j, p_ij) for visited
+  /// neighbors j. p_ij = w_ij / w_i uses the FULL weighted degree.
+  const std::vector<std::pair<LocalId, double>>& Row(LocalId local) const {
+    return rows_[local];
+  }
+
+  /// Full neighbor list of visited node i (global ids), as fetched.
+  const std::vector<Neighbor>& Neighbors(LocalId local) const {
+    return neighbors_[local];
+  }
+
+  /// Weighted degree of an arbitrary (possibly unvisited) node, cached so
+  /// repeated probes of the same node cost one accessor call. Used by the
+  /// self-loop tightening, which needs degrees of unvisited boundary nodes.
+  double ProbeDegree(NodeId global);
+
+  /// Nodes whose outside-neighbor set changed since the last call (newly
+  /// added nodes and their visited neighbors), deduplicated. The bound
+  /// engine uses this to refresh boundary coefficients incrementally.
+  /// Calling this clears the set.
+  std::vector<LocalId> TakeDirtyNodes();
+
+  /// Hop distance from the query to `local` along paths WITHIN S
+  /// (maintained incrementally with decrease-relaxation, so it equals the
+  /// true within-S shortest hop count).
+  uint32_t HopDistance(LocalId local) const { return hop_dist_[local]; }
+
+  /// A certified lower bound on the hop distance of every UNVISITED node:
+  /// 1 + min over boundary nodes of HopDistance. Any path from q must cross
+  /// the boundary before leaving S. Returns a large sentinel when S is
+  /// exhausted (no unvisited nodes are reachable). Used by the THT bounds.
+  uint32_t UnvisitedHopLowerBound() const;
+
+  /// True iff `global` is unvisited but adjacent to S (in delta-S-bar).
+  bool IsOutsideAdjacent(NodeId global) const {
+    return outside_adjacent_.count(global) > 0;
+  }
+
+  /// Largest weighted degree among the unvisited nodes adjacent to S
+  /// (delta-S-bar); 0 if none. Degrees are known from probes. Used by the
+  /// FLoS_RWR termination test (Section 5.6 refinement).
+  double MaxOutsideAdjacentDegree();
+
+  GraphAccessor* accessor() { return accessor_; }
+
+  /// First (or only) query node.
+  NodeId query() const { return query_; }
+
+  /// Number of query (source) nodes; their local ids are 0..count-1.
+  uint32_t query_count() const { return query_count_; }
+
+  /// True iff `local` is one of the query nodes (they are added first, so
+  /// this is an index comparison).
+  bool IsQueryLocal(LocalId local) const { return local < query_count_; }
+
+ private:
+  Status Add(NodeId global);
+
+  GraphAccessor* accessor_;
+  NodeId query_ = kInvalidNode;
+  uint32_t query_count_ = 0;
+  std::unordered_map<NodeId, LocalId> global_to_local_;
+  std::vector<NodeId> local_to_global_;
+  std::vector<double> weighted_degree_;
+  std::vector<uint32_t> outside_count_;
+  std::vector<std::vector<Neighbor>> neighbors_;
+  std::vector<std::vector<std::pair<LocalId, double>>> rows_;
+  std::unordered_map<NodeId, double> degree_cache_;
+  std::vector<Neighbor> scratch_;
+  std::vector<LocalId> dirty_;
+  std::vector<bool> in_dirty_;
+  std::vector<uint32_t> hop_dist_;
+  std::unordered_set<NodeId> outside_adjacent_;  // delta-S-bar
+  /// Lazy max-heap over delta-S-bar degrees; entries whose node has since
+  /// been visited are skipped on pop.
+  std::vector<std::pair<double, NodeId>> outside_degree_heap_;
+};
+
+}  // namespace flos
+
+#endif  // FLOS_CORE_LOCAL_GRAPH_H_

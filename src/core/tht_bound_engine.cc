@@ -1,0 +1,85 @@
+#include "core/tht_bound_engine.h"
+
+#include <algorithm>
+
+namespace flos {
+
+ThtBoundEngine::ThtBoundEngine(LocalGraph* local, int length)
+    : local_(local), length_(length) {
+  OnGrowth();
+}
+
+void ThtBoundEngine::OnGrowth() {
+  const uint32_t n = local_->Size();
+  lower_.resize(n, 0.0);
+  upper_.resize(n, static_cast<double>(length_));
+  for (LocalId q = 0; q < local_->query_count(); ++q) {
+    lower_[q] = 0.0;
+    upper_[q] = 0.0;
+  }
+}
+
+void ThtBoundEngine::UpdateBounds() {
+  const uint32_t n = local_->Size();
+  work_lo_.assign(n, 0.0);
+  work_hi_.assign(n, 0.0);
+  next_lo_.assign(n, 0.0);
+  next_hi_.assign(n, 0.0);
+
+  // Residual out-of-S transition mass per node (1 - in-S mass), except for
+  // degree-0 nodes which keep the saturated value L.
+  std::vector<double> out_mass(n, 0.0);
+  for (LocalId i = 0; i < n; ++i) {
+    double in = 0;
+    for (const auto& [j, p] : local_->Row(i)) {
+      (void)j;
+      in += p;
+    }
+    out_mass[i] = std::max(0.0, 1.0 - in);
+  }
+
+  // Escaped-mass continuations. Upper: an escaped walker can take at most
+  // the full remaining horizon. Lower: an escaped walker sits on an
+  // unvisited node, whose hop distance to q is at least
+  // UnvisitedHopLowerBound(), so its remaining truncated hitting time is at
+  // least min(horizon, that distance) — this is what lets the termination
+  // test fire once the boundary has receded past the top-k's values.
+  const double unvisited_hops =
+      std::min<double>(length_, local_->UnvisitedHopLowerBound());
+
+  for (int t = 1; t <= length_; ++t) {
+    const double horizon = t - 1;  // max THT value at horizon t-1 (<= L)
+    const double escaped_lo = std::min(horizon, unvisited_hops);
+    for (LocalId i = 0; i < n; ++i) {
+      if (local_->IsQueryLocal(i)) {
+        next_lo_[i] = 0;
+        next_hi_[i] = 0;
+        continue;
+      }
+      if (local_->WeightedDegree(i) <= 0) {
+        // Isolated node: can never hit q; value saturates at L.
+        next_lo_[i] = length_;
+        next_hi_[i] = length_;
+        continue;
+      }
+      double lo = 0;
+      double hi = 0;
+      for (const auto& [j, p] : local_->Row(i)) {
+        lo += p * work_lo_[j];
+        hi += p * work_hi_[j];
+      }
+      next_lo_[i] = 1.0 + lo + out_mass[i] * escaped_lo;
+      next_hi_[i] = 1.0 + hi + out_mass[i] * horizon;
+    }
+    work_lo_.swap(next_lo_);
+    work_hi_.swap(next_hi_);
+  }
+
+  // Monotone clamps: previous bounds stay valid as S only grows.
+  for (LocalId i = 0; i < n; ++i) {
+    lower_[i] = std::max(lower_[i], work_lo_[i]);
+    upper_[i] = std::min(upper_[i], work_hi_[i]);
+  }
+}
+
+}  // namespace flos

@@ -1,0 +1,60 @@
+// Bound engine for L-truncated hitting time (THT), the one measure whose
+// defining recursion is a finite-horizon dynamic program rather than a
+// fixed point (Appendix 10.4).
+//
+// Both bounds are exact L-step DP solves of modified systems on the visited
+// subgraph:
+//   lower (optimistic, smaller): walks leaving S land on an unvisited node,
+//     whose truncated hitting time is at least min(remaining horizon,
+//     hop-distance lower bound of the unvisited region) — the plain
+//     transition-deletion bound (0 continuation) is also valid but can
+//     never certify termination, because it makes every boundary node look
+//     one step from the query;
+//   upper (pessimistic): walks leaving S at horizon t contribute the maximal
+//     remaining time t - 1 (dummy node with value min(t-1, L), the largest
+//     possible horizon-(t-1) THT).
+// Because the DP is exact (no iterative tolerance), no certificates are
+// needed. Bounds tighten monotonically as S grows and coincide with the
+// exact THT once the L-hop ball around the query is inside S.
+
+#ifndef FLOS_CORE_THT_BOUND_ENGINE_H_
+#define FLOS_CORE_THT_BOUND_ENGINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/local_graph.h"
+
+namespace flos {
+
+/// Maintains THT lower/upper bounds on the visited subgraph.
+class ThtBoundEngine {
+ public:
+  /// `local` must outlive the engine. `length` is the truncation L >= 1.
+  ThtBoundEngine(LocalGraph* local, int length);
+
+  /// Resizes state after LocalGraph growth (new nodes: lower 0, upper L).
+  void OnGrowth();
+
+  /// Recomputes both bounds with a fresh L-step DP over S. Cost
+  /// O(L * edges(S)).
+  void UpdateBounds();
+
+  double lower(LocalId i) const { return lower_[i]; }
+  double upper(LocalId i) const { return upper_[i]; }
+  int length() const { return length_; }
+
+ private:
+  LocalGraph* local_;
+  int length_;
+  std::vector<double> lower_;
+  std::vector<double> upper_;
+  std::vector<double> work_lo_;
+  std::vector<double> work_hi_;
+  std::vector<double> next_lo_;
+  std::vector<double> next_hi_;
+};
+
+}  // namespace flos
+
+#endif  // FLOS_CORE_THT_BOUND_ENGINE_H_

@@ -1,0 +1,21 @@
+#include "graph/accessor.h"
+
+#include <string>
+
+namespace flos {
+
+Status InMemoryAccessor::CopyNeighbors(NodeId u, std::vector<Neighbor>* out) {
+  if (u >= graph_->NumNodes()) {
+    return Status::OutOfRange("node id " + std::to_string(u) +
+                              " out of range");
+  }
+  ++stats_.neighbor_fetches;
+  const auto ids = graph_->NeighborIds(u);
+  const auto ws = graph_->NeighborWeights(u);
+  out->clear();
+  out->reserve(ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) out->push_back({ids[i], ws[i]});
+  return Status::OK();
+}
+
+}  // namespace flos

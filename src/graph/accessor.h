@@ -1,0 +1,99 @@
+// Uniform neighbor-query interface over graph storage.
+//
+// Local search algorithms (FLoS and the local baselines) touch a graph only
+// through this interface: fetch a node's neighbor list, probe a node's
+// weighted degree, and consult the global degree order. This mirrors the
+// paper's disk-resident experiment, where FLoS "only calls some basic query
+// functions provided by Neo4j, such as querying the neighbors of one node"
+// (Section 6.4). `InMemoryAccessor` wraps a `Graph`; `storage/DiskGraph`
+// implements the same interface over an on-disk adjacency file.
+
+#ifndef FLOS_GRAPH_ACCESSOR_H_
+#define FLOS_GRAPH_ACCESSOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace flos {
+
+/// One neighbor of a node, with the connecting edge's weight.
+struct Neighbor {
+  NodeId id;
+  double weight;
+
+  friend bool operator==(const Neighbor&, const Neighbor&) = default;
+};
+
+/// Counters describing how much of the graph an algorithm touched.
+struct AccessStats {
+  uint64_t neighbor_fetches = 0;  ///< CopyNeighbors calls
+  uint64_t degree_probes = 0;     ///< WeightedDegree calls
+  uint64_t cache_hits = 0;        ///< disk block cache hits (disk only)
+  uint64_t cache_misses = 0;      ///< disk block cache misses (disk only)
+  uint64_t bytes_read = 0;        ///< bytes read from disk (disk only)
+};
+
+/// Read-only neighbor-query interface shared by in-memory and disk graphs.
+///
+/// Implementations are thread-compatible (no internal synchronization).
+class GraphAccessor {
+ public:
+  virtual ~GraphAccessor() = default;
+
+  /// Number of nodes; ids are dense in [0, NumNodes()).
+  virtual uint64_t NumNodes() const = 0;
+
+  /// Number of undirected edges.
+  virtual uint64_t NumEdges() const = 0;
+
+  /// Weighted degree w_u. Cheap (index lookup; no adjacency read on disk).
+  virtual double WeightedDegree(NodeId u) = 0;
+
+  /// Appends nothing and overwrites `*out` with u's neighbors (sorted by id).
+  virtual Status CopyNeighbors(NodeId u, std::vector<Neighbor>* out) = 0;
+
+  /// Node ids sorted by descending weighted degree. Used by FLoS_RWR to
+  /// bound the maximum degree among unvisited nodes.
+  virtual const std::vector<NodeId>& DegreeOrder() = 0;
+
+  /// Largest weighted degree in the graph.
+  virtual double MaxWeightedDegree() = 0;
+
+  /// Access counters accumulated since construction or ResetStats.
+  const AccessStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = AccessStats{}; }
+
+ protected:
+  AccessStats stats_;
+};
+
+/// `GraphAccessor` over an in-memory `Graph`. Does not own the graph; the
+/// graph must outlive the accessor.
+class InMemoryAccessor final : public GraphAccessor {
+ public:
+  explicit InMemoryAccessor(const Graph* graph) : graph_(graph) {}
+
+  uint64_t NumNodes() const override { return graph_->NumNodes(); }
+  uint64_t NumEdges() const override { return graph_->NumEdges(); }
+  double WeightedDegree(NodeId u) override {
+    ++stats_.degree_probes;
+    return graph_->WeightedDegree(u);
+  }
+  Status CopyNeighbors(NodeId u, std::vector<Neighbor>* out) override;
+  const std::vector<NodeId>& DegreeOrder() override {
+    return graph_->DegreeOrder();
+  }
+  double MaxWeightedDegree() override { return graph_->MaxWeightedDegree(); }
+
+  const Graph& graph() const { return *graph_; }
+
+ private:
+  const Graph* graph_;
+};
+
+}  // namespace flos
+
+#endif  // FLOS_GRAPH_ACCESSOR_H_

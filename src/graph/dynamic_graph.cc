@@ -1,0 +1,162 @@
+#include "graph/dynamic_graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <string>
+
+namespace flos {
+
+DynamicGraph::DynamicGraph(Graph base) : base_(std::move(base)) {
+  num_nodes_ = base_.NumNodes();
+  delta_.resize(num_nodes_);
+  weighted_degree_.resize(num_nodes_);
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    weighted_degree_[u] = base_.WeightedDegree(u);
+  }
+  max_weighted_degree_ = base_.MaxWeightedDegree();
+}
+
+Status DynamicGraph::AddEdge(NodeId u, NodeId v, double w) {
+  if (u >= num_nodes_ || v >= num_nodes_) {
+    return Status::OutOfRange("edge endpoint out of range");
+  }
+  if (u == v) return Status::InvalidArgument("self-loops are not allowed");
+  if (!(w > 0) || !std::isfinite(w)) {
+    return Status::InvalidArgument("edge weight must be positive and finite");
+  }
+  const auto delta_has = [&](NodeId src, NodeId dst) {
+    const auto& row = delta_[src];
+    const auto it = std::lower_bound(
+        row.begin(), row.end(), dst,
+        [](const Neighbor& n, NodeId id) { return n.id < id; });
+    return it != row.end() && it->id == dst;
+  };
+  const bool existed =
+      (u < base_.NumNodes() && base_.HasEdge(u, v)) || delta_has(u, v);
+  const auto insert_half = [&](NodeId src, NodeId dst) {
+    auto& row = delta_[src];
+    const auto it = std::lower_bound(
+        row.begin(), row.end(), dst,
+        [](const Neighbor& n, NodeId id) { return n.id < id; });
+    if (it != row.end() && it->id == dst) {
+      it->weight += w;
+    } else {
+      row.insert(it, Neighbor{dst, w});
+    }
+  };
+  insert_half(u, v);
+  insert_half(v, u);
+  if (!existed) ++delta_edge_count_;
+  weighted_degree_[u] += w;
+  weighted_degree_[v] += w;
+  max_weighted_degree_ = std::max(
+      {max_weighted_degree_, weighted_degree_[u], weighted_degree_[v]});
+  degree_order_dirty_ = true;
+  return Status::OK();
+}
+
+NodeId DynamicGraph::AddNode() {
+  const auto id = static_cast<NodeId>(num_nodes_++);
+  delta_.emplace_back();
+  weighted_degree_.push_back(0.0);
+  degree_order_dirty_ = true;
+  return id;
+}
+
+uint64_t DynamicGraph::NumEdges() const {
+  return base_.NumEdges() + delta_edge_count_;
+}
+
+double DynamicGraph::WeightedDegree(NodeId u) {
+  ++stats_.degree_probes;
+  return weighted_degree_[u];
+}
+
+Status DynamicGraph::CopyNeighbors(NodeId u, std::vector<Neighbor>* out) {
+  if (u >= num_nodes_) {
+    return Status::OutOfRange("node id " + std::to_string(u) +
+                              " out of range");
+  }
+  ++stats_.neighbor_fetches;
+  out->clear();
+  // Merge the sorted base row with the sorted delta row, summing weights of
+  // edges present in both.
+  std::span<const NodeId> base_ids;
+  std::span<const double> base_ws;
+  if (u < base_.NumNodes()) {
+    base_ids = base_.NeighborIds(u);
+    base_ws = base_.NeighborWeights(u);
+  }
+  const auto& delta = delta_[u];
+  out->reserve(base_ids.size() + delta.size());
+  size_t bi = 0;
+  size_t di = 0;
+  while (bi < base_ids.size() || di < delta.size()) {
+    if (di >= delta.size() ||
+        (bi < base_ids.size() && base_ids[bi] < delta[di].id)) {
+      out->push_back({base_ids[bi], base_ws[bi]});
+      ++bi;
+    } else if (bi >= base_ids.size() || delta[di].id < base_ids[bi]) {
+      out->push_back(delta[di]);
+      ++di;
+    } else {
+      out->push_back({base_ids[bi], base_ws[bi] + delta[di].weight});
+      ++bi;
+      ++di;
+    }
+  }
+  return Status::OK();
+}
+
+const std::vector<NodeId>& DynamicGraph::DegreeOrder() {
+  if (degree_order_dirty_) {
+    degree_order_.resize(num_nodes_);
+    std::iota(degree_order_.begin(), degree_order_.end(), NodeId{0});
+    std::sort(degree_order_.begin(), degree_order_.end(),
+              [this](NodeId a, NodeId b) {
+                if (weighted_degree_[a] != weighted_degree_[b]) {
+                  return weighted_degree_[a] > weighted_degree_[b];
+                }
+                return a < b;
+              });
+    degree_order_dirty_ = false;
+  }
+  return degree_order_;
+}
+
+double DynamicGraph::MaxWeightedDegree() { return max_weighted_degree_; }
+
+Result<Graph> DynamicGraph::Snapshot() const {
+  GraphBuilder::Options options;
+  options.num_nodes = static_cast<int64_t>(num_nodes_);
+  GraphBuilder builder(options);
+  for (NodeId u = 0; u < base_.NumNodes(); ++u) {
+    const auto ids = base_.NeighborIds(u);
+    const auto ws = base_.NeighborWeights(u);
+    for (size_t e = 0; e < ids.size(); ++e) {
+      if (ids[e] > u) {
+        FLOS_RETURN_IF_ERROR(builder.AddEdge(u, ids[e], ws[e]));
+      }
+    }
+  }
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    for (const Neighbor& nb : delta_[u]) {
+      if (nb.id > u) {
+        FLOS_RETURN_IF_ERROR(builder.AddEdge(u, nb.id, nb.weight));
+      }
+    }
+  }
+  return std::move(builder).Build();
+}
+
+Status DynamicGraph::Compact() {
+  FLOS_ASSIGN_OR_RETURN(Graph merged, Snapshot());
+  base_ = std::move(merged);
+  delta_.assign(num_nodes_, {});
+  delta_edge_count_ = 0;
+  degree_order_dirty_ = true;
+  return Status::OK();
+}
+
+}  // namespace flos

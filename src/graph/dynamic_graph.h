@@ -1,0 +1,79 @@
+// Dynamic (updatable) graph behind the GraphAccessor interface.
+//
+// The paper's central motivation for local search is that global methods
+// "precompute and store the inversion of a matrix... [which] needs to be
+// repeated whenever the graph changes" (Section 1). FLoS needs no
+// preprocessing, so it answers correctly IMMEDIATELY after updates.
+// `DynamicGraph` makes that concrete: it layers an insert-only delta over
+// an immutable CSR base, serves the merged view through GraphAccessor
+// (so FLoS and the local baselines run on it unchanged), and can compact
+// the delta back into CSR when it grows large.
+//
+// Supported updates: edge insertion (new edges, or weight increments on
+// existing ones) and node addition. Deletions are intentionally out of
+// scope — random-walk proximities are defined on the current topology and
+// deletion support would complicate the merge path for little
+// reproduction value; rebuild via Compact()+GraphBuilder for removals.
+
+#ifndef FLOS_GRAPH_DYNAMIC_GRAPH_H_
+#define FLOS_GRAPH_DYNAMIC_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/accessor.h"
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace flos {
+
+/// Mutable graph: immutable CSR base + per-node insertion deltas.
+class DynamicGraph final : public GraphAccessor {
+ public:
+  /// Starts from `base` (may be an empty Graph).
+  explicit DynamicGraph(Graph base);
+
+  /// Inserts undirected edge {u, v} with weight `w` > 0. If the edge
+  /// already exists (in the base or the delta), the weights accumulate —
+  /// the same semantics as GraphBuilder. Node ids must be < NumNodes().
+  Status AddEdge(NodeId u, NodeId v, double w = 1.0);
+
+  /// Appends a new isolated node and returns its id.
+  NodeId AddNode();
+
+  /// Folds the delta into a fresh CSR base. Invalidates nothing
+  /// observable; afterwards delta_edges() == 0.
+  Status Compact();
+
+  /// Materializes the current graph as an immutable CSR snapshot.
+  Result<Graph> Snapshot() const;
+
+  /// Number of undirected edges currently in the delta layer.
+  uint64_t delta_edges() const { return delta_edge_count_; }
+
+  // GraphAccessor interface.
+  uint64_t NumNodes() const override { return num_nodes_; }
+  uint64_t NumEdges() const override;
+  double WeightedDegree(NodeId u) override;
+  Status CopyNeighbors(NodeId u, std::vector<Neighbor>* out) override;
+  const std::vector<NodeId>& DegreeOrder() override;
+  double MaxWeightedDegree() override;
+
+ private:
+  /// Returns the delta adjacency row of `u` (sorted by neighbor id).
+  std::vector<Neighbor>& DeltaRow(NodeId u) { return delta_[u]; }
+
+  Graph base_;
+  uint64_t num_nodes_ = 0;
+  uint64_t delta_edge_count_ = 0;
+  std::vector<std::vector<Neighbor>> delta_;   // sorted per node
+  std::vector<double> weighted_degree_;        // merged, maintained online
+  double max_weighted_degree_ = 0;
+  /// Degree order is recomputed lazily after updates.
+  bool degree_order_dirty_ = true;
+  std::vector<NodeId> degree_order_;
+};
+
+}  // namespace flos
+
+#endif  // FLOS_GRAPH_DYNAMIC_GRAPH_H_

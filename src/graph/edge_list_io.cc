@@ -1,0 +1,88 @@
+#include "graph/edge_list_io.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <unordered_set>
+
+namespace flos {
+
+Result<Graph> ReadEdgeList(const std::string& path,
+                           const EdgeListOptions& options) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    return Status::IoError("cannot open edge list: " + path);
+  }
+  GraphBuilder::Options builder_options;
+  builder_options.ignore_self_loops = options.ignore_self_loops;
+  GraphBuilder builder(builder_options);
+
+  std::unordered_set<uint64_t> seen;
+  char line[512];
+  uint64_t line_no = 0;
+  Status status = Status::OK();
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    ++line_no;
+    const char* p = line;
+    while (*p == ' ' || *p == '\t') ++p;
+    if (*p == '#' || *p == '%' || *p == '\n' || *p == '\0') continue;
+    char* end = nullptr;
+    const unsigned long long u = std::strtoull(p, &end, 10);
+    if (end == p) {
+      status = Status::Corruption(path + ":" + std::to_string(line_no) +
+                                  ": expected node id");
+      break;
+    }
+    p = end;
+    const unsigned long long v = std::strtoull(p, &end, 10);
+    if (end == p) {
+      status = Status::Corruption(path + ":" + std::to_string(line_no) +
+                                  ": expected second node id");
+      break;
+    }
+    p = end;
+    double w = std::strtod(p, &end);
+    if (end == p) w = 1.0;
+    if (u > kInvalidNode - 1 || v > kInvalidNode - 1) {
+      status = Status::OutOfRange(path + ":" + std::to_string(line_no) +
+                                  ": node id exceeds 32-bit range");
+      break;
+    }
+    if (options.dedup_duplicates && u != v) {
+      const uint64_t lo = u < v ? u : v;
+      const uint64_t hi = u < v ? v : u;
+      if (!seen.insert((lo << 32) | hi).second) continue;
+    }
+    status = builder.AddEdge(static_cast<NodeId>(u), static_cast<NodeId>(v), w);
+    if (!status.ok()) break;
+  }
+  std::fclose(f);
+  FLOS_RETURN_IF_ERROR(status);
+  return std::move(builder).Build();
+}
+
+Status WriteEdgeList(const Graph& graph, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IoError("cannot create edge list: " + path);
+  }
+  std::fprintf(f, "# flos edge list: %llu nodes, %llu edges\n",
+               static_cast<unsigned long long>(graph.NumNodes()),
+               static_cast<unsigned long long>(graph.NumEdges()));
+  for (uint64_t u = 0; u < graph.NumNodes(); ++u) {
+    const auto ids = graph.NeighborIds(static_cast<NodeId>(u));
+    const auto ws = graph.NeighborWeights(static_cast<NodeId>(u));
+    for (size_t i = 0; i < ids.size(); ++i) {
+      if (ids[i] <= u) continue;  // emit each undirected edge once
+      std::fprintf(f, "%llu %u %.17g\n", static_cast<unsigned long long>(u),
+                   ids[i], ws[i]);
+    }
+  }
+  if (std::fclose(f) != 0) {
+    return Status::IoError("failed writing edge list: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace flos

@@ -1,0 +1,182 @@
+#include "graph/generators.h"
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace flos {
+
+namespace {
+
+uint64_t PairKey(NodeId u, NodeId v) {
+  const uint64_t lo = u < v ? u : v;
+  const uint64_t hi = u < v ? v : u;
+  return (lo << 32) | hi;
+}
+
+Status ValidateOptions(const GeneratorOptions& options) {
+  if (options.num_nodes < 2) {
+    return Status::InvalidArgument("generator needs at least 2 nodes");
+  }
+  if (options.num_nodes > kInvalidNode) {
+    return Status::OutOfRange("node count exceeds 32-bit id space");
+  }
+  const uint64_t n = options.num_nodes;
+  // Cap m at half the number of distinct pairs so rejection sampling
+  // terminates quickly.
+  const double max_pairs = 0.5 * static_cast<double>(n) *
+                           static_cast<double>(n - 1) / 2.0;
+  if (static_cast<double>(options.num_edges) > max_pairs) {
+    return Status::InvalidArgument(
+        "edge count too large for rejection sampling (> half of all pairs)");
+  }
+  return Status::OK();
+}
+
+double EdgeWeightFor(const GeneratorOptions& options, Rng* rng) {
+  if (!options.random_weights) return 1.0;
+  // (0, 1]: avoid zero weights, which GraphBuilder rejects.
+  return 1.0 - rng->NextDouble();
+}
+
+}  // namespace
+
+Result<Graph> GenerateErdosRenyi(const GeneratorOptions& options) {
+  FLOS_RETURN_IF_ERROR(ValidateOptions(options));
+  Rng rng(options.seed);
+  GraphBuilder::Options builder_options;
+  builder_options.num_nodes = static_cast<int64_t>(options.num_nodes);
+  GraphBuilder builder(builder_options);
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(options.num_edges * 2);
+  while (seen.size() < options.num_edges) {
+    const auto u = static_cast<NodeId>(rng.NextBounded(options.num_nodes));
+    const auto v = static_cast<NodeId>(rng.NextBounded(options.num_nodes));
+    if (u == v) continue;
+    if (!seen.insert(PairKey(u, v)).second) continue;
+    FLOS_RETURN_IF_ERROR(builder.AddEdge(u, v, EdgeWeightFor(options, &rng)));
+  }
+  return std::move(builder).Build();
+}
+
+Result<Graph> GenerateRmat(const GeneratorOptions& options,
+                           const RmatParams& params) {
+  FLOS_RETURN_IF_ERROR(ValidateOptions(options));
+  const double total = params.a + params.b + params.c + params.d;
+  if (total < 0.999 || total > 1.001) {
+    return Status::InvalidArgument("R-MAT quadrant probabilities must sum to 1");
+  }
+  int levels = 0;
+  uint64_t size = 1;
+  while (size < options.num_nodes) {
+    size <<= 1;
+    ++levels;
+  }
+  Rng rng(options.seed);
+  GraphBuilder::Options builder_options;
+  builder_options.num_nodes = static_cast<int64_t>(options.num_nodes);
+  GraphBuilder builder(builder_options);
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(options.num_edges * 2);
+  const double ab = params.a + params.b;
+  const double abc = ab + params.c;
+  while (seen.size() < options.num_edges) {
+    uint64_t row = 0;
+    uint64_t col = 0;
+    for (int l = 0; l < levels; ++l) {
+      const double r = rng.NextDouble();
+      row <<= 1;
+      col <<= 1;
+      if (r < params.a) {
+        // top-left: nothing to add
+      } else if (r < ab) {
+        col |= 1;
+      } else if (r < abc) {
+        row |= 1;
+      } else {
+        row |= 1;
+        col |= 1;
+      }
+    }
+    // Fold ids that land beyond num_nodes back into range (keeps skew).
+    const auto u = static_cast<NodeId>(row % options.num_nodes);
+    const auto v = static_cast<NodeId>(col % options.num_nodes);
+    if (u == v) continue;
+    if (!seen.insert(PairKey(u, v)).second) continue;
+    FLOS_RETURN_IF_ERROR(builder.AddEdge(u, v, EdgeWeightFor(options, &rng)));
+  }
+  return std::move(builder).Build();
+}
+
+Result<Graph> GenerateConnected(const GeneratorOptions& options) {
+  FLOS_RETURN_IF_ERROR(ValidateOptions(options));
+  const uint64_t n = options.num_nodes;
+  if (options.num_edges + 1 < n) {
+    return Status::InvalidArgument(
+        "connected graph needs at least num_nodes - 1 edges");
+  }
+  Rng rng(options.seed);
+  GraphBuilder::Options builder_options;
+  builder_options.num_nodes = static_cast<int64_t>(n);
+  GraphBuilder builder(builder_options);
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(options.num_edges * 2);
+  // Random attachment tree: node i connects to a uniform earlier node.
+  std::vector<NodeId> order(n);
+  for (uint64_t i = 0; i < n; ++i) order[i] = static_cast<NodeId>(i);
+  for (uint64_t i = n - 1; i > 0; --i) {
+    std::swap(order[i], order[rng.NextBounded(i + 1)]);
+  }
+  for (uint64_t i = 1; i < n; ++i) {
+    const NodeId u = order[i];
+    const NodeId v = order[rng.NextBounded(i)];
+    seen.insert(PairKey(u, v));
+    FLOS_RETURN_IF_ERROR(builder.AddEdge(u, v, EdgeWeightFor(options, &rng)));
+  }
+  while (seen.size() < options.num_edges) {
+    const auto u = static_cast<NodeId>(rng.NextBounded(n));
+    const auto v = static_cast<NodeId>(rng.NextBounded(n));
+    if (u == v) continue;
+    if (!seen.insert(PairKey(u, v)).second) continue;
+    FLOS_RETURN_IF_ERROR(builder.AddEdge(u, v, EdgeWeightFor(options, &rng)));
+  }
+  return std::move(builder).Build();
+}
+
+Result<Graph> GenerateWattsStrogatz(const GeneratorOptions& options,
+                                    uint32_t lattice_degree,
+                                    double rewire_beta) {
+  if (options.num_nodes < 4) {
+    return Status::InvalidArgument("Watts-Strogatz needs at least 4 nodes");
+  }
+  if (lattice_degree < 2 || lattice_degree % 2 != 0 ||
+      lattice_degree >= options.num_nodes) {
+    return Status::InvalidArgument(
+        "lattice_degree must be even, >= 2 and < num_nodes");
+  }
+  if (rewire_beta < 0 || rewire_beta > 1) {
+    return Status::InvalidArgument("rewire_beta must be in [0, 1]");
+  }
+  const uint64_t n = options.num_nodes;
+  Rng rng(options.seed);
+  GraphBuilder::Options builder_options;
+  builder_options.num_nodes = static_cast<int64_t>(n);
+  GraphBuilder builder(builder_options);
+  std::unordered_set<uint64_t> seen;
+  const uint32_t half = lattice_degree / 2;
+  for (uint64_t u = 0; u < n; ++u) {
+    for (uint32_t d = 1; d <= half; ++d) {
+      NodeId a = static_cast<NodeId>(u);
+      NodeId b = static_cast<NodeId>((u + d) % n);
+      if (rng.NextBernoulli(rewire_beta)) {
+        // Rewire the far endpoint to a uniform random node.
+        b = static_cast<NodeId>(rng.NextBounded(n));
+      }
+      if (a == b || !seen.insert(PairKey(a, b)).second) continue;
+      FLOS_RETURN_IF_ERROR(builder.AddEdge(a, b, EdgeWeightFor(options, &rng)));
+    }
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace flos

@@ -1,0 +1,67 @@
+// Synthetic graph generators used in the paper's evaluation (Section 6.3):
+// Erdős–Rényi G(n, m) random graphs ("RAND") and R-MAT power-law graphs,
+// matching the GTgraph parameterization the authors used.
+
+#ifndef FLOS_GRAPH_GENERATORS_H_
+#define FLOS_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace flos {
+
+/// Common generator options.
+struct GeneratorOptions {
+  uint64_t num_nodes = 0;
+  /// Target number of undirected edges. The generated graph has exactly this
+  /// many distinct edges (duplicates and self-loops are resampled).
+  uint64_t num_edges = 0;
+  /// When true, edge weights are drawn uniformly from (0, 1]; otherwise all
+  /// weights are 1 (the paper's setting).
+  bool random_weights = false;
+  uint64_t seed = 1;
+};
+
+/// R-MAT recursive quadrant probabilities. Defaults are GTgraph's defaults
+/// (a=0.45, b=0.15, c=0.15, d=0.25), which the paper states it used.
+struct RmatParams {
+  double a = 0.45;
+  double b = 0.15;
+  double c = 0.15;
+  double d = 0.25;
+};
+
+/// Generates an Erdős–Rényi G(n, m) graph: m edges sampled uniformly from
+/// all node pairs, without duplicates or self-loops.
+Result<Graph> GenerateErdosRenyi(const GeneratorOptions& options);
+
+/// Generates an R-MAT graph. `num_nodes` is rounded up to a power of two
+/// internally for quadrant recursion; ids >= num_nodes are folded back, so
+/// the result has exactly `num_nodes` node slots (some may be isolated,
+/// as with GTgraph).
+Result<Graph> GenerateRmat(const GeneratorOptions& options,
+                           const RmatParams& params = {});
+
+/// Generates a connected graph: a uniform random spanning tree on n nodes
+/// plus (m - n + 1) extra ER edges. Useful for tests that need every query
+/// node to reach k neighbors.
+Result<Graph> GenerateConnected(const GeneratorOptions& options);
+
+/// Generates a Watts-Strogatz small-world graph: a ring lattice where each
+/// node connects to its `lattice_degree` nearest ring neighbors, with each
+/// edge rewired to a random endpoint with probability `rewire_beta`. With
+/// small beta this yields high clustering and LARGE diameter — the right
+/// proxy for clustered real networks (Amazon, DBLP) in truncated-hitting-
+/// time experiments, where an R-MAT proxy's tiny diameter would let the
+/// L-hop ball swallow the whole graph. `options.num_edges` is ignored; the
+/// edge count is num_nodes * lattice_degree / 2.
+Result<Graph> GenerateWattsStrogatz(const GeneratorOptions& options,
+                                    uint32_t lattice_degree,
+                                    double rewire_beta);
+
+}  // namespace flos
+
+#endif  // FLOS_GRAPH_GENERATORS_H_

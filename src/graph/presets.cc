@@ -1,0 +1,50 @@
+#include "graph/presets.h"
+
+#include <algorithm>
+
+#include "graph/generators.h"
+
+namespace flos {
+
+const std::vector<GraphPreset>& RealGraphPresets() {
+  static const std::vector<GraphPreset>* const kPresets =
+      new std::vector<GraphPreset>{
+          // name, stands_for, paper |V|, paper |E|, R-MAT 'a'
+          {"az", "Amazon (SNAP com-amazon)", 334863, 925872, 0.45},
+          {"dp", "DBLP (SNAP com-dblp)", 317080, 1049866, 0.45},
+          {"yt", "Youtube (SNAP com-youtube)", 1134890, 2987624, 0.5},
+          {"lj", "LiveJournal (SNAP com-lj)", 3997962, 34681189, 0.5},
+      };
+  return *kPresets;
+}
+
+Result<GraphPreset> FindPreset(const std::string& name) {
+  for (const GraphPreset& p : RealGraphPresets()) {
+    if (p.name == name) return p;
+  }
+  return Status::NotFound("unknown graph preset: " + name);
+}
+
+Result<Graph> BuildPresetGraph(const GraphPreset& preset, double scale,
+                               uint64_t seed) {
+  if (!(scale > 0) || scale > 1.0) {
+    return Status::InvalidArgument("scale must be in (0, 1]");
+  }
+  GeneratorOptions options;
+  options.num_nodes = std::max<uint64_t>(
+      64, static_cast<uint64_t>(preset.paper_nodes * scale));
+  options.num_edges = std::max<uint64_t>(
+      options.num_nodes,
+      static_cast<uint64_t>(preset.paper_edges * scale));
+  options.seed = seed;
+  RmatParams params;
+  params.a = preset.rmat_a;
+  const double rest = (1.0 - params.a) / 3.0;
+  // Keep GTgraph's b = c shape with the remainder split 1:1:1 when a moves.
+  params.b = rest;
+  params.c = rest;
+  params.d = 1.0 - params.a - params.b - params.c;
+  return GenerateRmat(options, params);
+}
+
+}  // namespace flos

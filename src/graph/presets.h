@@ -1,0 +1,45 @@
+// Named graph presets standing in for the paper's datasets.
+//
+// The paper evaluates on four SNAP graphs (Amazon, DBLP, Youtube,
+// LiveJournal; Table 4) that are not available in this offline environment.
+// Each preset generates an R-MAT proxy whose density matches the original,
+// scaled by a user-chosen factor so the full benchmark suite runs in a
+// laptop budget (see DESIGN.md section 3 for the substitution rationale).
+// If you have the SNAP files, load them with ReadEdgeList instead — every
+// bench accepts --graph=<path>.
+
+#ifndef FLOS_GRAPH_PRESETS_H_
+#define FLOS_GRAPH_PRESETS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace flos {
+
+/// Description of one dataset proxy.
+struct GraphPreset {
+  std::string name;        ///< short name used on the command line
+  std::string stands_for;  ///< the paper's dataset it substitutes
+  uint64_t paper_nodes;    ///< original |V| (Table 4)
+  uint64_t paper_edges;    ///< original |E| (Table 4)
+  double rmat_a;           ///< R-MAT skew (higher = more hub-dominated)
+};
+
+/// The four proxies for Table 4 (az, dp, yt, lj), in paper order.
+const std::vector<GraphPreset>& RealGraphPresets();
+
+/// Looks up a preset by name ("az", "dp", "yt", "lj").
+Result<GraphPreset> FindPreset(const std::string& name);
+
+/// Generates the proxy graph for `preset` at `scale` (0 < scale <= 1):
+/// |V| = paper_nodes * scale, |E| = paper_edges * scale, R-MAT with the
+/// preset's skew, unit weights, deterministic seed.
+Result<Graph> BuildPresetGraph(const GraphPreset& preset, double scale,
+                               uint64_t seed = 42);
+
+}  // namespace flos
+
+#endif  // FLOS_GRAPH_PRESETS_H_

@@ -1,0 +1,48 @@
+#include "graph/stats.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "graph/traversal.h"
+
+namespace flos {
+
+GraphStats ComputeStats(const Graph& graph) {
+  GraphStats s;
+  s.num_nodes = graph.NumNodes();
+  s.num_edges = graph.NumEdges();
+  if (s.num_nodes == 0) return s;
+  s.avg_degree =
+      2.0 * static_cast<double>(s.num_edges) / static_cast<double>(s.num_nodes);
+  s.min_degree = static_cast<uint32_t>(-1);
+  for (uint64_t u = 0; u < s.num_nodes; ++u) {
+    const uint32_t d = graph.Degree(static_cast<NodeId>(u));
+    s.max_degree = std::max(s.max_degree, d);
+    s.min_degree = std::min(s.min_degree, d);
+    if (d == 0) ++s.num_isolated;
+  }
+  const ComponentResult cc = ConnectedComponents(graph);
+  s.num_components = cc.num_components;
+  std::vector<uint64_t> sizes(cc.num_components, 0);
+  for (const uint32_t c : cc.component) ++sizes[c];
+  for (const uint64_t size : sizes) {
+    s.largest_component = std::max(s.largest_component, size);
+  }
+  return s;
+}
+
+std::string StatsToString(const GraphStats& stats) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "|V|=%llu |E|=%llu density=%.1f max_deg=%u components=%llu "
+                "largest_cc=%llu",
+                static_cast<unsigned long long>(stats.num_nodes),
+                static_cast<unsigned long long>(stats.num_edges),
+                stats.avg_degree, stats.max_degree,
+                static_cast<unsigned long long>(stats.num_components),
+                static_cast<unsigned long long>(stats.largest_component));
+  return buf;
+}
+
+}  // namespace flos

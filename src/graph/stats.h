@@ -1,0 +1,34 @@
+// Descriptive graph statistics, used to print the paper's dataset tables
+// (Tables 4, 6, 7) for whatever graphs a bench run generates or loads.
+
+#ifndef FLOS_GRAPH_STATS_H_
+#define FLOS_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace flos {
+
+/// Summary statistics of a graph.
+struct GraphStats {
+  uint64_t num_nodes = 0;
+  uint64_t num_edges = 0;
+  double avg_degree = 0;      ///< 2|E| / |V| ("density" in the paper's tables)
+  uint32_t max_degree = 0;
+  uint32_t min_degree = 0;
+  uint64_t num_isolated = 0;  ///< nodes with degree 0
+  uint64_t num_components = 0;
+  uint64_t largest_component = 0;
+};
+
+/// Computes statistics in O(|V| + |E|).
+GraphStats ComputeStats(const Graph& graph);
+
+/// One-line rendering, e.g. "|V|=1024 |E|=4096 density=8.0 ...".
+std::string StatsToString(const GraphStats& stats);
+
+}  // namespace flos
+
+#endif  // FLOS_GRAPH_STATS_H_

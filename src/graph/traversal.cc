@@ -1,0 +1,72 @@
+#include "graph/traversal.h"
+
+#include <deque>
+
+namespace flos {
+
+std::vector<int32_t> BfsDistances(const Graph& graph, NodeId source) {
+  std::vector<int32_t> dist(graph.NumNodes(), -1);
+  if (source >= graph.NumNodes()) return dist;
+  std::deque<NodeId> queue = {source};
+  dist[source] = 0;
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    for (const NodeId v : graph.NeighborIds(u)) {
+      if (dist[v] < 0) {
+        dist[v] = dist[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<NodeId> BfsBall(const Graph& graph, NodeId source,
+                            uint32_t max_hops) {
+  std::vector<NodeId> ball;
+  if (source >= graph.NumNodes()) return ball;
+  std::vector<int32_t> dist(graph.NumNodes(), -1);
+  std::deque<NodeId> queue = {source};
+  dist[source] = 0;
+  ball.push_back(source);
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    if (static_cast<uint32_t>(dist[u]) >= max_hops) continue;
+    for (const NodeId v : graph.NeighborIds(u)) {
+      if (dist[v] < 0) {
+        dist[v] = dist[u] + 1;
+        queue.push_back(v);
+        ball.push_back(v);
+      }
+    }
+  }
+  return ball;
+}
+
+ComponentResult ConnectedComponents(const Graph& graph) {
+  ComponentResult result;
+  const uint64_t n = graph.NumNodes();
+  result.component.assign(n, static_cast<uint32_t>(-1));
+  std::deque<NodeId> queue;
+  for (uint64_t s = 0; s < n; ++s) {
+    if (result.component[s] != static_cast<uint32_t>(-1)) continue;
+    const auto id = static_cast<uint32_t>(result.num_components++);
+    result.component[s] = id;
+    queue.push_back(static_cast<NodeId>(s));
+    while (!queue.empty()) {
+      const NodeId u = queue.front();
+      queue.pop_front();
+      for (const NodeId v : graph.NeighborIds(u)) {
+        if (result.component[v] == static_cast<uint32_t>(-1)) {
+          result.component[v] = id;
+          queue.push_back(v);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace flos

@@ -1,0 +1,32 @@
+// Breadth-first traversal utilities: hop distances, connected components,
+// and BFS balls (used by the LS_THT baseline and by tests).
+
+#ifndef FLOS_GRAPH_TRAVERSAL_H_
+#define FLOS_GRAPH_TRAVERSAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace flos {
+
+/// Hop distances from `source` to every node; unreachable nodes get -1.
+std::vector<int32_t> BfsDistances(const Graph& graph, NodeId source);
+
+/// All nodes within `max_hops` of `source` (including `source`), in BFS
+/// order.
+std::vector<NodeId> BfsBall(const Graph& graph, NodeId source,
+                            uint32_t max_hops);
+
+/// Component id per node (0-based, assigned in discovery order) and the
+/// number of components.
+struct ComponentResult {
+  std::vector<uint32_t> component;
+  uint64_t num_components = 0;
+};
+ComponentResult ConnectedComponents(const Graph& graph);
+
+}  // namespace flos
+
+#endif  // FLOS_GRAPH_TRAVERSAL_H_

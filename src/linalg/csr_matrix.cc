@@ -1,0 +1,92 @@
+#include "linalg/csr_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace flos {
+
+Result<CsrMatrix> CsrMatrix::FromTriplets(uint32_t rows, uint32_t cols,
+                                          std::vector<Triplet> triplets) {
+  for (const Triplet& t : triplets) {
+    if (t.row >= rows || t.col >= cols) {
+      return Status::OutOfRange("triplet index out of range");
+    }
+    if (!std::isfinite(t.value)) {
+      return Status::InvalidArgument("non-finite matrix entry");
+    }
+  }
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              if (a.row != b.row) return a.row < b.row;
+              return a.col < b.col;
+            });
+  CsrMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_offsets_.assign(rows + 1, 0);
+  size_t i = 0;
+  for (uint32_t r = 0; r < rows; ++r) {
+    m.row_offsets_[r] = m.values_.size();
+    while (i < triplets.size() && triplets[i].row == r) {
+      const uint32_t c = triplets[i].col;
+      double v = 0;
+      while (i < triplets.size() && triplets[i].row == r &&
+             triplets[i].col == c) {
+        v += triplets[i].value;
+        ++i;
+      }
+      m.col_indices_.push_back(c);
+      m.values_.push_back(v);
+    }
+  }
+  m.row_offsets_[rows] = m.values_.size();
+  return m;
+}
+
+void CsrMatrix::Multiply(const std::vector<double>& x,
+                         std::vector<double>* y) const {
+  y->assign(rows_, 0.0);
+  for (uint32_t r = 0; r < rows_; ++r) {
+    double sum = 0;
+    for (uint64_t e = row_offsets_[r]; e < row_offsets_[r + 1]; ++e) {
+      sum += values_[e] * x[col_indices_[e]];
+    }
+    (*y)[r] = sum;
+  }
+}
+
+CsrMatrix CsrMatrix::Transpose() const {
+  CsrMatrix t;
+  t.rows_ = cols_;
+  t.cols_ = rows_;
+  t.row_offsets_.assign(cols_ + 1, 0);
+  for (const uint32_t c : col_indices_) ++t.row_offsets_[c + 1];
+  for (uint32_t c = 0; c < cols_; ++c) {
+    t.row_offsets_[c + 1] += t.row_offsets_[c];
+  }
+  t.col_indices_.resize(values_.size());
+  t.values_.resize(values_.size());
+  std::vector<uint64_t> cursor(t.row_offsets_.begin(), t.row_offsets_.end() - 1);
+  for (uint32_t r = 0; r < rows_; ++r) {
+    for (uint64_t e = row_offsets_[r]; e < row_offsets_[r + 1]; ++e) {
+      const uint64_t pos = cursor[col_indices_[e]]++;
+      t.col_indices_[pos] = r;
+      t.values_[pos] = values_[e];
+    }
+  }
+  return t;
+}
+
+double CsrMatrix::InfinityNorm() const {
+  double best = 0;
+  for (uint32_t r = 0; r < rows_; ++r) {
+    double sum = 0;
+    for (uint64_t e = row_offsets_[r]; e < row_offsets_[r + 1]; ++e) {
+      sum += std::abs(values_[e]);
+    }
+    best = std::max(best, sum);
+  }
+  return best;
+}
+
+}  // namespace flos

@@ -1,0 +1,59 @@
+// General sparse matrix (CSR) with the operations the proximity solvers
+// need: matrix-vector product, transpose, and construction from triplets.
+
+#ifndef FLOS_LINALG_CSR_MATRIX_H_
+#define FLOS_LINALG_CSR_MATRIX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace flos {
+
+/// Coordinate-form matrix entry used to assemble a CsrMatrix.
+struct Triplet {
+  uint32_t row;
+  uint32_t col;
+  double value;
+};
+
+/// Immutable sparse matrix in compressed-sparse-row form.
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Builds a rows x cols matrix from triplets. Duplicate (row, col)
+  /// entries are summed. Entries out of range are an error.
+  static Result<CsrMatrix> FromTriplets(uint32_t rows, uint32_t cols,
+                                        std::vector<Triplet> triplets);
+
+  uint32_t rows() const { return rows_; }
+  uint32_t cols() const { return cols_; }
+  uint64_t NumNonZeros() const { return values_.size(); }
+
+  /// y = A x. `x.size()` must equal cols(); `y` is resized to rows().
+  void Multiply(const std::vector<double>& x, std::vector<double>* y) const;
+
+  /// Returns A^T.
+  CsrMatrix Transpose() const;
+
+  /// Maximum absolute row sum (induced infinity norm).
+  double InfinityNorm() const;
+
+  /// Raw arrays.
+  const std::vector<uint64_t>& row_offsets() const { return row_offsets_; }
+  const std::vector<uint32_t>& col_indices() const { return col_indices_; }
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  uint32_t rows_ = 0;
+  uint32_t cols_ = 0;
+  std::vector<uint64_t> row_offsets_;
+  std::vector<uint32_t> col_indices_;
+  std::vector<double> values_;
+};
+
+}  // namespace flos
+
+#endif  // FLOS_LINALG_CSR_MATRIX_H_

@@ -1,0 +1,22 @@
+#include "linalg/dense_matrix.h"
+
+namespace flos {
+
+DenseMatrix DenseMatrix::Identity(uint32_t n) {
+  DenseMatrix m(n, n);
+  for (uint32_t i = 0; i < n; ++i) m.at(i, i) = 1.0;
+  return m;
+}
+
+void DenseMatrix::Multiply(const std::vector<double>& x,
+                           std::vector<double>* y) const {
+  y->assign(rows_, 0.0);
+  for (uint32_t r = 0; r < rows_; ++r) {
+    double sum = 0;
+    const double* row = &data_[size_t{r} * cols_];
+    for (uint32_t c = 0; c < cols_; ++c) sum += row[c] * x[c];
+    (*y)[r] = sum;
+  }
+}
+
+}  // namespace flos

@@ -1,0 +1,43 @@
+// Dense row-major matrix used for small-graph ground truth in tests and as
+// the building block of the LU factorization.
+
+#ifndef FLOS_LINALG_DENSE_MATRIX_H_
+#define FLOS_LINALG_DENSE_MATRIX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace flos {
+
+/// Dense rows x cols matrix of doubles, row-major.
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(uint32_t rows, uint32_t cols)
+      : rows_(rows), cols_(cols), data_(static_cast<size_t>(rows) * cols, 0) {}
+
+  /// Identity matrix of size n.
+  static DenseMatrix Identity(uint32_t n);
+
+  uint32_t rows() const { return rows_; }
+  uint32_t cols() const { return cols_; }
+
+  double& at(uint32_t r, uint32_t c) { return data_[size_t{r} * cols_ + c]; }
+  double at(uint32_t r, uint32_t c) const {
+    return data_[size_t{r} * cols_ + c];
+  }
+
+  /// y = A x.
+  void Multiply(const std::vector<double>& x, std::vector<double>* y) const;
+
+ private:
+  uint32_t rows_ = 0;
+  uint32_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace flos
+
+#endif  // FLOS_LINALG_DENSE_MATRIX_H_

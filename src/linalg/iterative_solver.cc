@@ -1,0 +1,37 @@
+#include "linalg/iterative_solver.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace flos {
+
+SolveInfo FixedPointSolve(const CsrMatrix& a, const std::vector<double>& b,
+                          double tolerance, uint32_t max_iterations,
+                          double contraction, std::vector<double>* x) {
+  SolveInfo info;
+  std::vector<double> next;
+  for (uint32_t it = 0; it < max_iterations; ++it) {
+    a.Multiply(*x, &next);
+    double delta = 0;
+    for (size_t i = 0; i < next.size(); ++i) {
+      next[i] += b[i];
+      delta = std::max(delta, std::abs(next[i] - (*x)[i]));
+    }
+    x->swap(next);
+    ++info.iterations;
+    info.final_residual = delta;
+    if (delta < tolerance) {
+      info.converged = true;
+      break;
+    }
+  }
+  if (contraction < 1.0) {
+    info.error_bound =
+        info.final_residual * contraction / (1.0 - contraction);
+  } else {
+    info.error_bound = std::numeric_limits<double>::infinity();
+  }
+  return info;
+}
+
+}  // namespace flos

@@ -1,0 +1,41 @@
+// Fixed-point iteration for linear systems x = A x + b (paper Algorithm 7).
+//
+// All random-walk proximity measures in the library reduce to systems of
+// this form with ||A||_inf < 1, so plain Jacobi-style iteration converges
+// geometrically. The solver supports warm starts and reports an a-posteriori
+// error certificate so callers can turn an approximate solve into rigorous
+// lower/upper bounds.
+
+#ifndef FLOS_LINALG_ITERATIVE_SOLVER_H_
+#define FLOS_LINALG_ITERATIVE_SOLVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/csr_matrix.h"
+#include "util/status.h"
+
+namespace flos {
+
+/// Outcome of a fixed-point solve.
+struct SolveInfo {
+  uint32_t iterations = 0;
+  /// Infinity norm of the last update ||x_n - x_{n-1}||.
+  double final_residual = 0;
+  /// Rigorous bound on ||x - x*||_inf: final_residual * L / (1 - L) where L
+  /// is the contraction factor (||A||_inf). Valid only if L < 1.
+  double error_bound = 0;
+  bool converged = false;
+};
+
+/// Iterates x <- A x + b from the warm start in `*x` until the update norm
+/// drops below `tolerance` or `max_iterations` is reached. `contraction`
+/// must be an upper bound on ||A||_inf strictly below 1 for the error
+/// certificate to be valid (pass A.InfinityNorm() if unsure).
+SolveInfo FixedPointSolve(const CsrMatrix& a, const std::vector<double>& b,
+                          double tolerance, uint32_t max_iterations,
+                          double contraction, std::vector<double>* x);
+
+}  // namespace flos
+
+#endif  // FLOS_LINALG_ITERATIVE_SOLVER_H_

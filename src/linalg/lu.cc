@@ -1,0 +1,178 @@
+#include "linalg/lu.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace flos {
+
+Result<DenseLu> DenseLu::Factor(const DenseMatrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("dense LU requires a square matrix");
+  }
+  const uint32_t n = a.rows();
+  DenseLu out;
+  out.lu_ = a;
+  out.perm_.resize(n);
+  for (uint32_t i = 0; i < n; ++i) out.perm_[i] = i;
+  DenseMatrix& lu = out.lu_;
+  for (uint32_t k = 0; k < n; ++k) {
+    // Partial pivoting: find the largest entry in column k at or below row k.
+    uint32_t pivot = k;
+    double best = std::abs(lu.at(k, k));
+    for (uint32_t r = k + 1; r < n; ++r) {
+      const double v = std::abs(lu.at(r, k));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best == 0) {
+      return Status::FailedPrecondition("matrix is singular");
+    }
+    if (pivot != k) {
+      for (uint32_t c = 0; c < n; ++c) {
+        std::swap(lu.at(k, c), lu.at(pivot, c));
+      }
+      std::swap(out.perm_[k], out.perm_[pivot]);
+    }
+    const double inv = 1.0 / lu.at(k, k);
+    for (uint32_t r = k + 1; r < n; ++r) {
+      const double factor = lu.at(r, k) * inv;
+      lu.at(r, k) = factor;
+      if (factor == 0) continue;
+      for (uint32_t c = k + 1; c < n; ++c) {
+        lu.at(r, c) -= factor * lu.at(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+Status DenseLu::Solve(const std::vector<double>& b,
+                      std::vector<double>* x) const {
+  const uint32_t n = lu_.rows();
+  if (b.size() != n) {
+    return Status::InvalidArgument("rhs size mismatch in DenseLu::Solve");
+  }
+  std::vector<double> y(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    double sum = b[perm_[i]];
+    for (uint32_t j = 0; j < i; ++j) sum -= lu_.at(i, j) * y[j];
+    y[i] = sum;
+  }
+  x->assign(n, 0.0);
+  for (uint32_t ii = n; ii > 0; --ii) {
+    const uint32_t i = ii - 1;
+    double sum = y[i];
+    for (uint32_t j = i + 1; j < n; ++j) sum -= lu_.at(i, j) * (*x)[j];
+    (*x)[i] = sum / lu_.at(i, i);
+  }
+  return Status::OK();
+}
+
+Result<SparseLu> SparseLu::Factor(const CsrMatrix& a,
+                                  uint64_t max_fill_entries) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("sparse LU requires a square matrix");
+  }
+  const uint32_t n = a.rows();
+  SparseLu out;
+  out.n_ = n;
+
+  // Up-looking LU: process rows in order; each row is expanded into a sparse
+  // workspace, eliminated against previously factored rows, then compressed
+  // into L (below diagonal) and U (diagonal and above).
+  out.lower_.offsets.assign(1, 0);
+  out.upper_.offsets.assign(1, 0);
+
+  // Column-major view of U rows built so far, for elimination: for each
+  // pivot row k we need U[k, j], j > k. We store U rows compressed already;
+  // elimination walks them directly.
+  std::map<uint32_t, double> work;
+  uint64_t fill = 0;
+  for (uint32_t r = 0; r < n; ++r) {
+    work.clear();
+    for (uint64_t e = a.row_offsets()[r]; e < a.row_offsets()[r + 1]; ++e) {
+      work[a.col_indices()[e]] = a.values()[e];
+    }
+    // Eliminate entries left of the diagonal in increasing column order.
+    // map iteration order gives us that directly; new fill-in to the right
+    // of the current position is handled because map stays sorted.
+    for (auto it = work.begin(); it != work.end() && it->first < r;) {
+      const uint32_t k = it->first;
+      const double u_kk =
+          out.upper_.values[out.upper_.offsets[k]];  // diagonal first in row k
+      const double factor = it->second / u_kk;
+      it->second = factor;  // becomes L[r, k]
+      // Subtract factor * U[k, j] for j > k.
+      for (uint64_t e = out.upper_.offsets[k] + 1; e < out.upper_.offsets[k + 1];
+           ++e) {
+        work[out.upper_.cols[e]] -= factor * out.upper_.values[e];
+      }
+      ++it;
+    }
+    // Compress: entries < r into L, entries >= r into U (diagonal first).
+    const auto diag_it = work.find(r);
+    if (diag_it == work.end() || diag_it->second == 0) {
+      return Status::FailedPrecondition("zero pivot in sparse LU (row " +
+                                        std::to_string(r) + ")");
+    }
+    for (const auto& [c, v] : work) {
+      if (v == 0) continue;
+      if (c < r) {
+        out.lower_.cols.push_back(c);
+        out.lower_.values.push_back(v);
+      }
+    }
+    out.upper_.cols.push_back(r);
+    out.upper_.values.push_back(diag_it->second);
+    for (const auto& [c, v] : work) {
+      if (c <= r || v == 0) continue;
+      out.upper_.cols.push_back(c);
+      out.upper_.values.push_back(v);
+    }
+    out.lower_.offsets.push_back(out.lower_.cols.size());
+    out.upper_.offsets.push_back(out.upper_.cols.size());
+    fill = out.lower_.cols.size() + out.upper_.cols.size();
+    if (fill > max_fill_entries) {
+      return Status::ResourceExhausted(
+          "sparse LU fill exceeded budget at row " + std::to_string(r) + " (" +
+          std::to_string(fill) + " entries)");
+    }
+  }
+  return out;
+}
+
+Status SparseLu::Solve(const std::vector<double>& b,
+                       std::vector<double>* x) const {
+  if (b.size() != n_) {
+    return Status::InvalidArgument("rhs size mismatch in SparseLu::Solve");
+  }
+  // Forward: L y = b (unit diagonal).
+  std::vector<double> y(b);
+  for (uint32_t r = 0; r < n_; ++r) {
+    double sum = y[r];
+    for (uint64_t e = lower_.offsets[r]; e < lower_.offsets[r + 1]; ++e) {
+      sum -= lower_.values[e] * y[lower_.cols[e]];
+    }
+    y[r] = sum;
+  }
+  // Backward: U x = y (diagonal stored first in each row).
+  x->assign(n_, 0.0);
+  for (uint32_t rr = n_; rr > 0; --rr) {
+    const uint32_t r = rr - 1;
+    double sum = y[r];
+    for (uint64_t e = upper_.offsets[r] + 1; e < upper_.offsets[r + 1]; ++e) {
+      sum -= upper_.values[e] * (*x)[upper_.cols[e]];
+    }
+    (*x)[r] = sum / upper_.values[upper_.offsets[r]];
+  }
+  return Status::OK();
+}
+
+uint64_t SparseLu::FillEntries() const {
+  return lower_.cols.size() + upper_.cols.size();
+}
+
+}  // namespace flos

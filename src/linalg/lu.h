@@ -1,0 +1,64 @@
+// LU factorizations: dense (partial pivoting) for small-graph ground truth,
+// and sparse (no pivoting, for the diagonally dominant I - cP systems that
+// arise from random walks) for the K-dash baseline.
+
+#ifndef FLOS_LINALG_LU_H_
+#define FLOS_LINALG_LU_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/csr_matrix.h"
+#include "linalg/dense_matrix.h"
+#include "util/status.h"
+
+namespace flos {
+
+/// Dense LU with partial pivoting; solves A x = b exactly (up to fp error).
+class DenseLu {
+ public:
+  /// Factors `a` (must be square and nonsingular).
+  static Result<DenseLu> Factor(const DenseMatrix& a);
+
+  /// Solves A x = b. `b.size()` must equal the matrix dimension.
+  Status Solve(const std::vector<double>& b, std::vector<double>* x) const;
+
+  uint32_t dimension() const { return lu_.rows(); }
+
+ private:
+  DenseMatrix lu_;
+  std::vector<uint32_t> perm_;
+};
+
+/// Sparse LU without pivoting. Intended for strictly diagonally dominant
+/// systems such as I - cP (random-walk matrices with c < 1), where no
+/// pivoting is needed for stability. Fill-in is whatever the given ordering
+/// produces; callers should pre-permute with RCM (see rcm.h). The
+/// factorization aborts with ResourceExhausted if fill exceeds
+/// `max_fill_entries`, so callers can fail gracefully on dense-fill graphs
+/// (this mirrors K-dash's practical restriction to medium-size graphs).
+class SparseLu {
+ public:
+  static Result<SparseLu> Factor(const CsrMatrix& a, uint64_t max_fill_entries);
+
+  /// Solves A x = b via forward/backward substitution.
+  Status Solve(const std::vector<double>& b, std::vector<double>* x) const;
+
+  uint32_t dimension() const { return n_; }
+  uint64_t FillEntries() const;
+
+ private:
+  // Row-compressed triangular factors. L has implicit unit diagonal.
+  struct Rows {
+    std::vector<uint64_t> offsets;
+    std::vector<uint32_t> cols;
+    std::vector<double> values;
+  };
+  uint32_t n_ = 0;
+  Rows lower_;                 // strictly lower part, unit diagonal implied
+  Rows upper_;                 // upper part including diagonal
+};
+
+}  // namespace flos
+
+#endif  // FLOS_LINALG_LU_H_

@@ -1,0 +1,65 @@
+#include "linalg/rcm.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace flos {
+
+std::vector<NodeId> ReverseCuthillMckee(const Graph& graph) {
+  const uint64_t n = graph.NumNodes();
+  std::vector<NodeId> order;
+  order.reserve(n);
+  std::vector<bool> visited(n, false);
+
+  // Start nodes: ascending degree, so each component's BFS starts at a
+  // peripheral (low-degree) node.
+  std::vector<NodeId> by_degree(n);
+  for (uint64_t i = 0; i < n; ++i) by_degree[i] = static_cast<NodeId>(i);
+  std::sort(by_degree.begin(), by_degree.end(), [&](NodeId a, NodeId b) {
+    if (graph.Degree(a) != graph.Degree(b)) {
+      return graph.Degree(a) < graph.Degree(b);
+    }
+    return a < b;
+  });
+
+  std::vector<NodeId> scratch;
+  for (const NodeId start : by_degree) {
+    if (visited[start]) continue;
+    visited[start] = true;
+    std::deque<NodeId> queue = {start};
+    order.push_back(start);
+    while (!queue.empty()) {
+      const NodeId u = queue.front();
+      queue.pop_front();
+      scratch.clear();
+      for (const NodeId v : graph.NeighborIds(u)) {
+        if (!visited[v]) {
+          visited[v] = true;
+          scratch.push_back(v);
+        }
+      }
+      std::sort(scratch.begin(), scratch.end(), [&](NodeId a, NodeId b) {
+        if (graph.Degree(a) != graph.Degree(b)) {
+          return graph.Degree(a) < graph.Degree(b);
+        }
+        return a < b;
+      });
+      for (const NodeId v : scratch) {
+        queue.push_back(v);
+        order.push_back(v);
+      }
+    }
+  }
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+std::vector<NodeId> InvertPermutation(const std::vector<NodeId>& perm) {
+  std::vector<NodeId> inverse(perm.size());
+  for (size_t i = 0; i < perm.size(); ++i) {
+    inverse[perm[i]] = static_cast<NodeId>(i);
+  }
+  return inverse;
+}
+
+}  // namespace flos

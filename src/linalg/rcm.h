@@ -1,0 +1,24 @@
+// Reverse Cuthill-McKee ordering: a bandwidth-reducing node permutation
+// used to keep fill-in manageable in the sparse LU factorization (K-dash
+// baseline).
+
+#ifndef FLOS_LINALG_RCM_H_
+#define FLOS_LINALG_RCM_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace flos {
+
+/// Returns a permutation `perm` such that `perm[new_id] = old_id`, computed
+/// by reverse Cuthill-McKee (BFS from a low-degree node per component,
+/// neighbors visited in increasing-degree order, final order reversed).
+std::vector<NodeId> ReverseCuthillMckee(const Graph& graph);
+
+/// Inverts a permutation: result[old_id] = new_id.
+std::vector<NodeId> InvertPermutation(const std::vector<NodeId>& perm);
+
+}  // namespace flos
+
+#endif  // FLOS_LINALG_RCM_H_

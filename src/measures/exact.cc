@@ -1,0 +1,284 @@
+#include "measures/exact.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <string>
+
+#include "linalg/dense_matrix.h"
+#include "linalg/lu.h"
+
+namespace flos {
+
+namespace {
+
+Status ValidateQuery(const Graph& graph, NodeId query) {
+  if (query >= graph.NumNodes()) {
+    return Status::OutOfRange("query node " + std::to_string(query) +
+                              " out of range");
+  }
+  return Status::OK();
+}
+
+Status ValidateC(double c) {
+  if (!(c > 0) || !(c < 1)) {
+    return Status::InvalidArgument("c must be in (0, 1)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<double>> ExactPhp(const Graph& graph, NodeId query,
+                                     double c,
+                                     const ExactSolveOptions& options) {
+  FLOS_RETURN_IF_ERROR(ValidateQuery(graph, query));
+  FLOS_RETURN_IF_ERROR(ValidateC(c));
+  const uint64_t n = graph.NumNodes();
+  std::vector<double> r(n, 0.0);
+  std::vector<double> next(n, 0.0);
+  r[query] = 1.0;
+  for (uint32_t it = 0; it < options.max_iterations; ++it) {
+    double delta = 0;
+    for (uint64_t i = 0; i < n; ++i) {
+      if (i == query) {
+        next[i] = 1.0;
+        continue;
+      }
+      const auto ids = graph.NeighborIds(static_cast<NodeId>(i));
+      const auto ws = graph.NeighborWeights(static_cast<NodeId>(i));
+      double sum = 0;
+      for (size_t e = 0; e < ids.size(); ++e) sum += ws[e] * r[ids[e]];
+      const double wi = graph.WeightedDegree(static_cast<NodeId>(i));
+      next[i] = wi > 0 ? c * sum / wi : 0.0;
+      delta = std::max(delta, std::abs(next[i] - r[i]));
+    }
+    r.swap(next);
+    if (delta < options.tolerance) return r;
+  }
+  return Status::Internal("ExactPhp did not converge");
+}
+
+Result<std::vector<double>> ExactRwr(const Graph& graph, NodeId query,
+                                     double c,
+                                     const ExactSolveOptions& options) {
+  FLOS_RETURN_IF_ERROR(ValidateQuery(graph, query));
+  FLOS_RETURN_IF_ERROR(ValidateC(c));
+  const uint64_t n = graph.NumNodes();
+  std::vector<double> r(n, 0.0);
+  std::vector<double> next(n, 0.0);
+  r[query] = c;
+  for (uint32_t it = 0; it < options.max_iterations; ++it) {
+    double delta = 0;
+    for (uint64_t i = 0; i < n; ++i) {
+      const auto ids = graph.NeighborIds(static_cast<NodeId>(i));
+      const auto ws = graph.NeighborWeights(static_cast<NodeId>(i));
+      double sum = 0;
+      for (size_t e = 0; e < ids.size(); ++e) {
+        const double wj = graph.WeightedDegree(ids[e]);
+        sum += ws[e] / wj * r[ids[e]];  // p_{j,i} r_j
+      }
+      next[i] = (1 - c) * sum + (i == query ? c : 0.0);
+      delta = std::max(delta, std::abs(next[i] - r[i]));
+    }
+    r.swap(next);
+    if (delta < options.tolerance) return r;
+  }
+  return Status::Internal("ExactRwr did not converge");
+}
+
+Result<std::vector<double>> ExactEi(const Graph& graph, NodeId query, double c,
+                                    const ExactSolveOptions& options) {
+  FLOS_ASSIGN_OR_RETURN(std::vector<double> r,
+                        ExactRwr(graph, query, c, options));
+  for (uint64_t i = 0; i < r.size(); ++i) {
+    const double wi = graph.WeightedDegree(static_cast<NodeId>(i));
+    r[i] = wi > 0 ? r[i] / wi : 0.0;
+  }
+  return r;
+}
+
+Result<std::vector<double>> ExactDht(const Graph& graph, NodeId query,
+                                     double c,
+                                     const ExactSolveOptions& options) {
+  FLOS_RETURN_IF_ERROR(ValidateQuery(graph, query));
+  FLOS_RETURN_IF_ERROR(ValidateC(c));
+  const uint64_t n = graph.NumNodes();
+  const double max_value = 1.0 / c;
+  std::vector<double> r(n, 0.0);
+  std::vector<double> next(n, 0.0);
+  for (uint32_t it = 0; it < options.max_iterations; ++it) {
+    double delta = 0;
+    for (uint64_t i = 0; i < n; ++i) {
+      if (i == query) {
+        next[i] = 0.0;
+        continue;
+      }
+      const auto ids = graph.NeighborIds(static_cast<NodeId>(i));
+      if (ids.empty()) {
+        // An isolated node never reaches q; DHT saturates at 1/c.
+        next[i] = max_value;
+        continue;
+      }
+      const auto ws = graph.NeighborWeights(static_cast<NodeId>(i));
+      double sum = 0;
+      for (size_t e = 0; e < ids.size(); ++e) sum += ws[e] * r[ids[e]];
+      const double wi = graph.WeightedDegree(static_cast<NodeId>(i));
+      next[i] = 1.0 + (1 - c) * sum / wi;
+      delta = std::max(delta, std::abs(next[i] - r[i]));
+    }
+    r.swap(next);
+    if (delta < options.tolerance) return r;
+  }
+  return Status::Internal("ExactDht did not converge");
+}
+
+Result<std::vector<double>> ExactTht(const Graph& graph, NodeId query,
+                                     int length) {
+  FLOS_RETURN_IF_ERROR(ValidateQuery(graph, query));
+  if (length < 1) {
+    return Status::InvalidArgument("THT length must be >= 1");
+  }
+  const uint64_t n = graph.NumNodes();
+  std::vector<double> r(n, 0.0);
+  std::vector<double> next(n, 0.0);
+  for (int step = 0; step < length; ++step) {
+    for (uint64_t i = 0; i < n; ++i) {
+      if (i == query) {
+        next[i] = 0.0;
+        continue;
+      }
+      const auto ids = graph.NeighborIds(static_cast<NodeId>(i));
+      if (ids.empty()) {
+        next[i] = length;  // isolated nodes can never hit q
+        continue;
+      }
+      const auto ws = graph.NeighborWeights(static_cast<NodeId>(i));
+      double sum = 0;
+      for (size_t e = 0; e < ids.size(); ++e) sum += ws[e] * r[ids[e]];
+      next[i] = 1.0 + sum / graph.WeightedDegree(static_cast<NodeId>(i));
+    }
+    r.swap(next);
+  }
+  return r;
+}
+
+Result<std::vector<double>> ExactMeasure(const Graph& graph, NodeId query,
+                                         Measure measure,
+                                         const MeasureParams& params,
+                                         const ExactSolveOptions& options) {
+  switch (measure) {
+    case Measure::kPhp:
+      return ExactPhp(graph, query, params.c, options);
+    case Measure::kEi:
+      return ExactEi(graph, query, params.c, options);
+    case Measure::kDht:
+      return ExactDht(graph, query, params.c, options);
+    case Measure::kTht:
+      return ExactTht(graph, query, params.tht_length);
+    case Measure::kRwr:
+      return ExactRwr(graph, query, params.c, options);
+  }
+  return Status::InvalidArgument("unknown measure");
+}
+
+namespace {
+
+// Builds the dense system (I - M) x = b where M and b are filled by the
+// caller, then solves it.
+Result<std::vector<double>> DenseSolve(DenseMatrix m, std::vector<double> b) {
+  const uint32_t n = m.rows();
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = 0; j < n; ++j) {
+      m.at(i, j) = (i == j ? 1.0 : 0.0) - m.at(i, j);
+    }
+  }
+  FLOS_ASSIGN_OR_RETURN(DenseLu lu, DenseLu::Factor(m));
+  std::vector<double> x;
+  FLOS_RETURN_IF_ERROR(lu.Solve(b, &x));
+  return x;
+}
+
+}  // namespace
+
+Result<std::vector<double>> DensePhp(const Graph& graph, NodeId query,
+                                     double c) {
+  FLOS_RETURN_IF_ERROR(ValidateQuery(graph, query));
+  FLOS_RETURN_IF_ERROR(ValidateC(c));
+  const auto n = static_cast<uint32_t>(graph.NumNodes());
+  DenseMatrix m(n, n);
+  std::vector<double> b(n, 0.0);
+  b[query] = 1.0;
+  for (uint32_t i = 0; i < n; ++i) {
+    if (i == query) continue;
+    const auto ids = graph.NeighborIds(i);
+    const auto ws = graph.NeighborWeights(i);
+    const double wi = graph.WeightedDegree(i);
+    for (size_t e = 0; e < ids.size(); ++e) {
+      m.at(i, ids[e]) = c * ws[e] / wi;
+    }
+  }
+  return DenseSolve(std::move(m), std::move(b));
+}
+
+Result<std::vector<double>> DenseRwr(const Graph& graph, NodeId query,
+                                     double c) {
+  FLOS_RETURN_IF_ERROR(ValidateQuery(graph, query));
+  FLOS_RETURN_IF_ERROR(ValidateC(c));
+  const auto n = static_cast<uint32_t>(graph.NumNodes());
+  DenseMatrix m(n, n);
+  std::vector<double> b(n, 0.0);
+  b[query] = c;
+  for (uint32_t i = 0; i < n; ++i) {
+    const auto ids = graph.NeighborIds(i);
+    const auto ws = graph.NeighborWeights(i);
+    for (size_t e = 0; e < ids.size(); ++e) {
+      const double wj = graph.WeightedDegree(ids[e]);
+      m.at(i, ids[e]) = (1 - c) * ws[e] / wj;  // p_{j,i}
+    }
+  }
+  return DenseSolve(std::move(m), std::move(b));
+}
+
+Result<std::vector<double>> DenseDht(const Graph& graph, NodeId query,
+                                     double c) {
+  FLOS_RETURN_IF_ERROR(ValidateQuery(graph, query));
+  FLOS_RETURN_IF_ERROR(ValidateC(c));
+  const auto n = static_cast<uint32_t>(graph.NumNodes());
+  DenseMatrix m(n, n);
+  std::vector<double> b(n, 1.0);
+  b[query] = 0.0;
+  for (uint32_t i = 0; i < n; ++i) {
+    if (i == query) continue;
+    const auto ids = graph.NeighborIds(i);
+    if (ids.empty()) {
+      b[i] = 1.0 / c;  // isolated: saturate
+      continue;
+    }
+    const auto ws = graph.NeighborWeights(i);
+    const double wi = graph.WeightedDegree(i);
+    for (size_t e = 0; e < ids.size(); ++e) {
+      m.at(i, ids[e]) = (1 - c) * ws[e] / wi;
+    }
+  }
+  return DenseSolve(std::move(m), std::move(b));
+}
+
+std::vector<NodeId> TopKFromScores(const std::vector<double>& scores,
+                                   NodeId query, int k, Direction direction) {
+  std::vector<NodeId> ids;
+  ids.reserve(scores.size());
+  for (uint64_t i = 0; i < scores.size(); ++i) {
+    if (i != query) ids.push_back(static_cast<NodeId>(i));
+  }
+  const auto cmp = [&](NodeId a, NodeId b) {
+    if (scores[a] != scores[b]) return IsCloser(direction, scores[a], scores[b]);
+    return a < b;
+  };
+  const size_t kk = std::min<size_t>(k, ids.size());
+  std::partial_sort(ids.begin(), ids.begin() + kk, ids.end(), cmp);
+  ids.resize(kk);
+  return ids;
+}
+
+}  // namespace flos

@@ -1,0 +1,79 @@
+// Exact (whole-graph) reference solvers for every proximity measure.
+//
+// Two families:
+//  * iterative solvers that run Algorithm 7 over the full graph until the
+//    update norm drops below a tolerance — these are the "GI" baselines'
+//    computational core and the scalable ground truth;
+//  * dense solvers that solve the defining linear system with LU — exact up
+//    to floating point, used as ground truth on small test graphs.
+//
+// All functions return the full proximity vector indexed by node id.
+
+#ifndef FLOS_MEASURES_EXACT_H_
+#define FLOS_MEASURES_EXACT_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "measures/measure.h"
+#include "util/status.h"
+
+namespace flos {
+
+/// Iterative-solver configuration for the exact solvers.
+struct ExactSolveOptions {
+  double tolerance = 1e-10;
+  uint32_t max_iterations = 100000;
+};
+
+/// PHP: r = c T r + e_q with T the transition matrix with row q zeroed.
+/// r_q = 1 by construction.
+Result<std::vector<double>> ExactPhp(const Graph& graph, NodeId query,
+                                     double c,
+                                     const ExactSolveOptions& options = {});
+
+/// RWR (personalized PageRank): r = (1-c) P^T r + c e_q.
+Result<std::vector<double>> ExactRwr(const Graph& graph, NodeId query,
+                                     double c,
+                                     const ExactSolveOptions& options = {});
+
+/// EI: RWR divided by weighted degree. Nodes with degree 0 get 0.
+Result<std::vector<double>> ExactEi(const Graph& graph, NodeId query, double c,
+                                    const ExactSolveOptions& options = {});
+
+/// DHT: r_i = 1 + (1-c) sum_j p_ij r_j for i != q, r_q = 0. Unreachable
+/// nodes converge to the maximum 1/c.
+Result<std::vector<double>> ExactDht(const Graph& graph, NodeId query,
+                                     double c,
+                                     const ExactSolveOptions& options = {});
+
+/// THT: L-step dynamic program; nodes unreachable within L hops get L.
+Result<std::vector<double>> ExactTht(const Graph& graph, NodeId query,
+                                     int length);
+
+/// Dispatches on `measure` with `params`.
+Result<std::vector<double>> ExactMeasure(const Graph& graph, NodeId query,
+                                         Measure measure,
+                                         const MeasureParams& params,
+                                         const ExactSolveOptions& options = {});
+
+/// Dense LU ground truth for PHP (small graphs only; O(n^3)).
+Result<std::vector<double>> DensePhp(const Graph& graph, NodeId query,
+                                     double c);
+
+/// Dense LU ground truth for RWR.
+Result<std::vector<double>> DenseRwr(const Graph& graph, NodeId query,
+                                     double c);
+
+/// Dense LU ground truth for DHT.
+Result<std::vector<double>> DenseDht(const Graph& graph, NodeId query,
+                                     double c);
+
+/// Indices of the top-k nodes (excluding `query`) under `direction`, ties
+/// broken by smaller node id. Helper shared by tests and baselines.
+std::vector<NodeId> TopKFromScores(const std::vector<double>& scores,
+                                   NodeId query, int k, Direction direction);
+
+}  // namespace flos
+
+#endif  // FLOS_MEASURES_EXACT_H_

@@ -1,0 +1,47 @@
+#include "measures/measure.h"
+
+namespace flos {
+
+Direction MeasureDirection(Measure m) {
+  switch (m) {
+    case Measure::kPhp:
+    case Measure::kEi:
+    case Measure::kRwr:
+      return Direction::kMaximize;
+    case Measure::kDht:
+    case Measure::kTht:
+      return Direction::kMinimize;
+  }
+  return Direction::kMaximize;
+}
+
+bool HasNoLocalOptimum(Measure m) {
+  switch (m) {
+    case Measure::kPhp:
+    case Measure::kEi:
+    case Measure::kDht:
+    case Measure::kTht:
+      return true;
+    case Measure::kRwr:
+      return false;
+  }
+  return false;
+}
+
+std::string MeasureName(Measure m) {
+  switch (m) {
+    case Measure::kPhp:
+      return "PHP";
+    case Measure::kEi:
+      return "EI";
+    case Measure::kDht:
+      return "DHT";
+    case Measure::kTht:
+      return "THT";
+    case Measure::kRwr:
+      return "RWR";
+  }
+  return "?";
+}
+
+}  // namespace flos

@@ -1,0 +1,35 @@
+#include "measures/transforms.h"
+
+#include <string>
+
+namespace flos {
+
+Result<double> RwrScaleFromPhp(
+    const Graph& graph, NodeId query, double c,
+    const std::vector<double>& php_at_query_neighbors) {
+  if (query >= graph.NumNodes()) {
+    return Status::OutOfRange("query out of range");
+  }
+  const auto ids = graph.NeighborIds(query);
+  const auto ws = graph.NeighborWeights(query);
+  if (php_at_query_neighbors.size() != ids.size()) {
+    return Status::InvalidArgument(
+        "expected one PHP value per query neighbor, got " +
+        std::to_string(php_at_query_neighbors.size()));
+  }
+  const double wq = graph.WeightedDegree(query);
+  if (wq <= 0) {
+    return Status::FailedPrecondition("query node has no edges");
+  }
+  double sum = 0;
+  for (size_t e = 0; e < ids.size(); ++e) {
+    sum += ws[e] / wq * php_at_query_neighbors[e];
+  }
+  const double denom = wq * (1.0 - (1.0 - c) * sum);
+  if (denom <= 0) {
+    return Status::Internal("non-positive denominator in RWR scale");
+  }
+  return c / denom;
+}
+
+}  // namespace flos

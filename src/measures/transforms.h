@@ -1,0 +1,46 @@
+// Ranking-equivalence transforms among measures (Theorems 2 and 6).
+//
+// With matching parameters (PHP decay 1-c vs. EI/RWR restart c vs. DHT decay
+// c), the measures are connected by:
+//
+//   EI(i)  = K * PHP(i)            (same ranking)
+//   RWR(i) = K * w_i * PHP(i)      (degree-weighted ranking)
+//   DHT(i) = (1 - PHP(i)) / c      (reversed ranking, exact affine map)
+//
+// where K = RWR(q) / w_q depends only on the query. FLoS exploits these to
+// run one bound engine (the PHP-form system) for four measures.
+
+#ifndef FLOS_MEASURES_TRANSFORMS_H_
+#define FLOS_MEASURES_TRANSFORMS_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace flos {
+
+/// DHT score from a PHP score computed with decay (1 - c_dht):
+/// DHT(i) = (1 - PHP(i)) / c_dht.
+inline double DhtFromPhp(double php, double c_dht) {
+  return (1.0 - php) / c_dht;
+}
+
+/// PHP score (decay 1 - c_dht) from a DHT score: PHP(i) = 1 - c_dht*DHT(i).
+inline double PhpFromDht(double dht, double c_dht) {
+  return 1.0 - c_dht * dht;
+}
+
+/// The query-dependent scale K = RWR(q)/w_q = EI(q) relating PHP (decay
+/// 1-c) to EI and RWR (restart c):
+///
+///   K = c / (w_q * (1 - (1-c) * sum_j p_qj PHP(j)))
+///
+/// `php_at_query_neighbors` holds PHP(j) for each neighbor j of `query`, in
+/// NeighborIds order. Derived in Theorem 6's proof.
+Result<double> RwrScaleFromPhp(const Graph& graph, NodeId query, double c,
+                               const std::vector<double>& php_at_query_neighbors);
+
+}  // namespace flos
+
+#endif  // FLOS_MEASURES_TRANSFORMS_H_

@@ -1,0 +1,19 @@
+// Writes a Graph (or a generator stream) into the on-disk format read by
+// DiskGraph. See storage/disk_format.h for the layout.
+
+#ifndef FLOS_STORAGE_DISK_BUILDER_H_
+#define FLOS_STORAGE_DISK_BUILDER_H_
+
+#include <string>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace flos {
+
+/// Serializes `graph` to `path`. Overwrites an existing file.
+Status WriteDiskGraph(const Graph& graph, const std::string& path);
+
+}  // namespace flos
+
+#endif  // FLOS_STORAGE_DISK_BUILDER_H_

@@ -1,0 +1,40 @@
+// On-disk graph file layout shared by the builder and the reader.
+//
+// Layout (little-endian, packed):
+//   header            DiskHeader (64 bytes)
+//   offsets           (num_nodes + 1) x u64   adjacency entry index
+//   degrees           num_nodes x f64         weighted degrees
+//   degree order      num_nodes x u32         ids by descending w-degree
+//   adjacency         num_directed_edges x (u32 id + f64 weight), 12 B each
+//
+// The three index arrays are loaded into memory at open (8-20 bytes/node);
+// adjacency stays on disk behind the LRU block cache, which is the part
+// that dominates for large graphs.
+
+#ifndef FLOS_STORAGE_DISK_FORMAT_H_
+#define FLOS_STORAGE_DISK_FORMAT_H_
+
+#include <cstdint>
+
+namespace flos {
+
+inline constexpr char kDiskGraphMagic[8] = {'F', 'L', 'O', 'S',
+                                            'G', 'R', 'F', '1'};
+
+/// Fixed-size file header.
+struct DiskHeader {
+  char magic[8];
+  uint64_t num_nodes;
+  uint64_t num_directed_edges;
+  double max_weighted_degree;
+  uint64_t adjacency_offset;  ///< byte offset of the adjacency region
+  char reserved[24];
+};
+static_assert(sizeof(DiskHeader) == 64, "DiskHeader must stay 64 bytes");
+
+/// Bytes per adjacency entry (u32 neighbor id + f64 weight, packed).
+inline constexpr uint64_t kAdjacencyEntryBytes = 12;
+
+}  // namespace flos
+
+#endif  // FLOS_STORAGE_DISK_FORMAT_H_

@@ -1,0 +1,66 @@
+// Fixed-budget LRU block cache used by DiskGraph to bound memory while
+// reading adjacency data, mirroring the paper's disk-resident experiment
+// where total memory was capped (Section 6.4).
+
+#ifndef FLOS_STORAGE_LRU_CACHE_H_
+#define FLOS_STORAGE_LRU_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+namespace flos {
+
+/// Maps a block id to its bytes; evicts least-recently-used blocks once the
+/// byte budget is exceeded. Not thread-safe.
+class LruBlockCache {
+ public:
+  /// `capacity_bytes` counts cached payload bytes (0 disables caching).
+  explicit LruBlockCache(uint64_t capacity_bytes)
+      : capacity_(capacity_bytes) {}
+
+  /// Returns the cached block or nullptr.
+  const std::vector<char>* Get(uint64_t block_id) {
+    const auto it = index_.find(block_id);
+    if (it == index_.end()) return nullptr;
+    entries_.splice(entries_.begin(), entries_, it->second);
+    return &it->second->bytes;
+  }
+
+  /// Inserts (or replaces) a block and evicts as needed.
+  void Put(uint64_t block_id, std::vector<char> bytes) {
+    const auto it = index_.find(block_id);
+    if (it != index_.end()) {
+      used_ -= it->second->bytes.size();
+      entries_.erase(it->second);
+      index_.erase(it);
+    }
+    if (bytes.size() > capacity_) return;  // would never fit
+    used_ += bytes.size();
+    entries_.push_front(Entry{block_id, std::move(bytes)});
+    index_[block_id] = entries_.begin();
+    while (used_ > capacity_ && !entries_.empty()) {
+      used_ -= entries_.back().bytes.size();
+      index_.erase(entries_.back().id);
+      entries_.pop_back();
+    }
+  }
+
+  uint64_t used_bytes() const { return used_; }
+  size_t num_blocks() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    uint64_t id;
+    std::vector<char> bytes;
+  };
+  uint64_t capacity_;
+  uint64_t used_ = 0;
+  std::list<Entry> entries_;
+  std::unordered_map<uint64_t, std::list<Entry>::iterator> index_;
+};
+
+}  // namespace flos
+
+#endif  // FLOS_STORAGE_LRU_CACHE_H_

@@ -1,0 +1,146 @@
+// Lightweight error-handling primitives used throughout the library.
+//
+// The library is exception-free: fallible operations return a `Status`, or a
+// `Result<T>` when they also produce a value. Both carry an error code and a
+// human-readable message on failure. `FLOS_RETURN_IF_ERROR` and
+// `FLOS_ASSIGN_OR_RETURN` provide the usual propagation shorthand.
+
+#ifndef FLOS_UTIL_STATUS_H_
+#define FLOS_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace flos {
+
+/// Machine-readable category of an error.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kIoError,
+  kCorruption,
+  kResourceExhausted,
+  kInternal,
+};
+
+/// Returns a stable lowercase name for `code` (e.g., "invalid_argument").
+const char* StatusCodeName(StatusCode code);
+
+/// Outcome of a fallible operation that produces no value.
+///
+/// A default-constructed `Status` is OK. Error statuses carry a code and a
+/// message. The type is cheap to copy in the OK case (no allocation).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs an error status. `code` must not be `kOk`.
+  Status(StatusCode code, std::string message);
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "ok" or "<code>: <message>" for logs and test failures.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Outcome of a fallible operation that produces a `T` on success.
+///
+/// Holds either a value or an error `Status`. Access the value only after
+/// checking `ok()`; violating that is a programming error (asserts in debug
+/// builds).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value marks success.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error status. `status.ok()` must be false.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace flos
+
+/// Propagates a non-OK `Status` from the current function.
+#define FLOS_RETURN_IF_ERROR(expr)            \
+  do {                                        \
+    ::flos::Status flos_status_ = (expr);     \
+    if (!flos_status_.ok()) return flos_status_; \
+  } while (0)
+
+/// Evaluates a `Result<T>` expression; on success binds the value to `lhs`,
+/// on failure returns the error from the current function.
+#define FLOS_ASSIGN_OR_RETURN(lhs, expr)                 \
+  auto FLOS_CONCAT_(flos_result_, __LINE__) = (expr);    \
+  if (!FLOS_CONCAT_(flos_result_, __LINE__).ok())        \
+    return FLOS_CONCAT_(flos_result_, __LINE__).status(); \
+  lhs = std::move(FLOS_CONCAT_(flos_result_, __LINE__)).value()
+
+#define FLOS_CONCAT_INNER_(a, b) a##b
+#define FLOS_CONCAT_(a, b) FLOS_CONCAT_INNER_(a, b)
+
+#endif  // FLOS_UTIL_STATUS_H_

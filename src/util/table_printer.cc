@@ -1,0 +1,46 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace flos {
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::FormatDouble(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+  return buf;
+}
+
+void TablePrinter::Print(std::FILE* out) const {
+  if (rows_.empty()) return;
+  if (csv_) {
+    for (const auto& row : rows_) {
+      for (size_t i = 0; i < row.size(); ++i) {
+        std::fprintf(out, "%s%s", i ? "," : "", row[i].c_str());
+      }
+      std::fprintf(out, "\n");
+    }
+    return;
+  }
+  size_t num_cols = 0;
+  for (const auto& row : rows_) num_cols = std::max(num_cols, row.size());
+  std::vector<size_t> width(num_cols, 0);
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      width[i] = std::max(width[i], row[i].size());
+    }
+  }
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      std::fprintf(out, "%-*s%s", static_cast<int>(width[i]), row[i].c_str(),
+                   i + 1 < row.size() ? "  " : "");
+    }
+    std::fprintf(out, "\n");
+  }
+}
+
+}  // namespace flos

@@ -1,0 +1,42 @@
+// Aligned-column table output for benchmark harnesses.
+//
+// Each figure/table bench prints its rows through `TablePrinter` so the
+// console output lines up like the paper's tables, and `--csv` mode emits the
+// same rows as comma-separated values for plotting.
+
+#ifndef FLOS_UTIL_TABLE_PRINTER_H_
+#define FLOS_UTIL_TABLE_PRINTER_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace flos {
+
+/// Collects rows of string cells and prints them with aligned columns
+/// (or as CSV). The first added row is treated as the header.
+class TablePrinter {
+ public:
+  /// If `csv` is true, Print emits CSV instead of aligned columns.
+  explicit TablePrinter(bool csv = false) : csv_(csv) {}
+
+  /// Appends a row. Rows may have differing lengths; short rows are padded.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` significant digits.
+  static std::string FormatDouble(double v, int precision = 4);
+
+  /// Writes all rows to `out` (default stdout) and clears nothing; a printer
+  /// can be printed repeatedly as rows accumulate.
+  void Print(std::FILE* out = stdout) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  bool csv_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace flos
+
+#endif  // FLOS_UTIL_TABLE_PRINTER_H_

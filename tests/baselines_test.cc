@@ -1,0 +1,223 @@
+// Tests for the comparison methods (paper Table 5): exact baselines must
+// match ground truth; approximate baselines must behave sanely and are
+// measured, not asserted, for recall.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baselines/castanet.h"
+#include "baselines/dne.h"
+#include "baselines/ge_embed.h"
+#include "baselines/gi.h"
+#include "baselines/kdash.h"
+#include "baselines/ls_push.h"
+#include "baselines/ls_tht.h"
+#include "baselines/nn_ei.h"
+#include "graph/accessor.h"
+#include "measures/exact.h"
+#include "tests/test_util.h"
+
+namespace flos {
+namespace {
+
+using testing::ExpectTopKMatchesScores;
+using testing::RandomConnectedGraph;
+using testing::ValueOrDie;
+
+double Recall(const std::vector<NodeId>& got,
+              const std::vector<NodeId>& truth) {
+  if (truth.empty()) return 1.0;
+  int hits = 0;
+  for (const NodeId t : truth) {
+    hits += std::count(got.begin(), got.end(), t) > 0;
+  }
+  return static_cast<double>(hits) / truth.size();
+}
+
+TEST(GiTest, ExactForEveryMeasure) {
+  const Graph g = RandomConnectedGraph(200, 600, 3);
+  const NodeId q = 17;
+  const int k = 10;
+  for (const Measure m : {Measure::kPhp, Measure::kEi, Measure::kDht,
+                          Measure::kTht, Measure::kRwr}) {
+    GiOptions options;
+    options.measure = m;
+    options.tolerance = 1e-10;
+    const TopKAnswer answer = ValueOrDie(GiTopK(g, q, k, options));
+    EXPECT_TRUE(answer.exact);
+    ASSERT_EQ(answer.nodes.size(), static_cast<size_t>(k));
+    const auto exact = ValueOrDie(ExactMeasure(g, q, m, options.params));
+    ExpectTopKMatchesScores(answer.nodes, exact, q, k, MeasureDirection(m));
+  }
+}
+
+TEST(NnEiTest, ExactRankingUnderEi) {
+  const Graph g = RandomConnectedGraph(300, 900, 5);
+  NnEiOptions options;
+  options.c = 0.5;
+  InMemoryAccessor accessor(&g);
+  for (const NodeId q : {1u, 42u, 200u}) {
+    for (const int k : {1, 5, 15}) {
+      const TopKAnswer answer = ValueOrDie(NnEiTopK(&accessor, q, k, options));
+      EXPECT_TRUE(answer.exact);
+      const auto exact = ValueOrDie(ExactEi(g, q, 0.5));
+      ExpectTopKMatchesScores(answer.nodes, exact, q, k, Direction::kMaximize);
+    }
+  }
+}
+
+TEST(NnEiTest, IsLocal) {
+  const Graph g = RandomConnectedGraph(4000, 12000, 6);
+  InMemoryAccessor accessor(&g);
+  NnEiOptions options;
+  const TopKAnswer answer = ValueOrDie(NnEiTopK(&accessor, 7, 10, options));
+  EXPECT_LT(answer.touched_nodes, g.NumNodes() / 2)
+      << "push search should not touch most of the graph";
+}
+
+TEST(CastanetTest, ExactRwrTopK) {
+  const Graph g = RandomConnectedGraph(250, 750, 7);
+  CastanetOptions options;
+  options.c = 0.5;
+  for (const NodeId q : {0u, 99u}) {
+    for (const int k : {1, 8, 20}) {
+      const TopKAnswer answer = ValueOrDie(CastanetTopK(g, q, k, options));
+      EXPECT_TRUE(answer.exact);
+      const auto exact = ValueOrDie(ExactRwr(g, q, 0.5));
+      ExpectTopKMatchesScores(answer.nodes, exact, q, k, Direction::kMaximize);
+    }
+  }
+}
+
+TEST(CastanetTest, SmallComponent) {
+  GraphBuilder::Options builder_options;
+  builder_options.num_nodes = 6;
+  GraphBuilder builder(builder_options);
+  FLOS_ASSERT_OK(builder.AddEdge(0, 1));
+  FLOS_ASSERT_OK(builder.AddEdge(1, 2));
+  FLOS_ASSERT_OK(builder.AddEdge(3, 4));
+  const Graph g = ValueOrDie(std::move(builder).Build());
+  const TopKAnswer answer = ValueOrDie(CastanetTopK(g, 0, 5, CastanetOptions{}));
+  EXPECT_EQ(answer.nodes.size(), 2u);  // only {1,2} reachable
+}
+
+TEST(KdashTest, ExactAfterPrecomputation) {
+  const Graph g = RandomConnectedGraph(150, 400, 9);
+  KdashOptions options;
+  options.c = 0.5;
+  const KdashIndex index = ValueOrDie(KdashIndex::Build(&g, options));
+  EXPECT_GT(index.fill_entries(), 0u);
+  const auto exact = ValueOrDie(ExactRwr(g, 31, 0.5));
+  const TopKAnswer answer = ValueOrDie(index.Query(31, 12));
+  EXPECT_TRUE(answer.exact);
+  ExpectTopKMatchesScores(answer.nodes, exact, 31, 12, Direction::kMaximize);
+  // Scores are the actual RWR values.
+  for (size_t i = 0; i < answer.nodes.size(); ++i) {
+    EXPECT_NEAR(answer.scores[i], exact[answer.nodes[i]], 1e-8);
+  }
+}
+
+TEST(KdashTest, FillBudgetMakesBuildFailGracefully) {
+  const Graph g = RandomConnectedGraph(200, 1200, 10);
+  KdashOptions options;
+  options.max_fill_entries = 50;
+  const auto result = KdashIndex::Build(&g, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(DneTest, GoodRecallWithGenerousBudgetAndCappedVisits) {
+  const Graph g = RandomConnectedGraph(500, 1500, 11);
+  InMemoryAccessor accessor(&g);
+  DneOptions options;
+  options.node_budget = 400;
+  const NodeId q = 13;
+  const int k = 10;
+  const TopKAnswer answer = ValueOrDie(DneTopK(&accessor, q, k, options));
+  EXPECT_FALSE(answer.exact);
+  EXPECT_LE(answer.touched_nodes, options.node_budget + g.MaxWeightedDegree());
+  const auto exact = ValueOrDie(ExactPhp(g, q, 0.5));
+  const auto truth = TopKFromScores(exact, q, k, Direction::kMaximize);
+  EXPECT_GE(Recall(answer.nodes, truth), 0.7)
+      << "DNE with a large budget should find most of the true top-k";
+}
+
+TEST(LsPushTest, ClusersCoverGraphAndQueriesAreLocal) {
+  const Graph g = RandomConnectedGraph(600, 1800, 12);
+  LsPushOptions options;
+  options.cluster_size = 100;
+  const LsPushIndex index = ValueOrDie(LsPushIndex::Build(&g, options));
+  EXPECT_GE(index.num_clusters(), 6u);
+  MeasureParams params;
+  const TopKAnswer answer =
+      ValueOrDie(index.Query(44, 10, Measure::kRwr, params));
+  EXPECT_FALSE(answer.exact);
+  EXPECT_LE(answer.touched_nodes, options.cluster_size);
+  EXPECT_EQ(answer.nodes.size(), 10u);
+  // Recall is typically decent because close nodes cluster together.
+  const auto exact = ValueOrDie(ExactRwr(g, 44, 0.5));
+  const auto truth = TopKFromScores(exact, 44, 10, Direction::kMaximize);
+  EXPECT_GE(Recall(answer.nodes, truth), 0.3);
+}
+
+TEST(GeTest, NystromReconstructsLandmarkQueriesWell) {
+  // For a query that IS a landmark, the Nystrom reconstruction reproduces
+  // that landmark's kernel row (up to the ridge), so recall should be high.
+  const Graph g = RandomConnectedGraph(400, 1600, 13);
+  GeOptions options;
+  options.num_landmarks = 12;
+  const GeEmbedding ge = ValueOrDie(GeEmbedding::Build(&g, options));
+  EXPECT_EQ(ge.num_landmarks(), 12u);
+  const NodeId q = g.DegreeOrder()[0];  // the first landmark
+  const TopKAnswer answer = ValueOrDie(ge.Query(q, 10));
+  EXPECT_FALSE(answer.exact);
+  const auto exact = ValueOrDie(ExactRwr(g, q, 0.5));
+  const auto truth = TopKFromScores(exact, q, 10, Direction::kMaximize);
+  EXPECT_GE(Recall(answer.nodes, truth), 0.8);
+}
+
+TEST(GeTest, ArbitraryQueriesGetApproximateAnswers) {
+  const Graph g = RandomConnectedGraph(400, 1600, 13);
+  GeOptions options;
+  options.num_landmarks = 12;
+  const GeEmbedding ge = ValueOrDie(GeEmbedding::Build(&g, options));
+  const TopKAnswer answer = ValueOrDie(ge.Query(77, 10));
+  EXPECT_FALSE(answer.exact);
+  EXPECT_EQ(answer.nodes.size(), 10u);
+  // Scores come out ranked.
+  for (size_t i = 1; i < answer.scores.size(); ++i) {
+    EXPECT_GE(answer.scores[i - 1], answer.scores[i]);
+  }
+}
+
+TEST(LsThtTest, FindsNearNeighborsApproximately) {
+  const Graph g = RandomConnectedGraph(500, 1500, 14);
+  InMemoryAccessor accessor(&g);
+  LsThtOptions options;
+  options.length = 10;
+  options.node_budget = 450;
+  const NodeId q = 21;
+  const int k = 10;
+  const TopKAnswer answer = ValueOrDie(LsThtTopK(&accessor, q, k, options));
+  EXPECT_FALSE(answer.exact);
+  const auto exact = ValueOrDie(ExactTht(g, q, options.length));
+  const auto truth = TopKFromScores(exact, q, k, Direction::kMinimize);
+  EXPECT_GE(Recall(answer.nodes, truth), 0.6);
+}
+
+TEST(BaselinesTest, RejectBadArguments) {
+  const Graph g = RandomConnectedGraph(50, 100, 15);
+  InMemoryAccessor accessor(&g);
+  EXPECT_FALSE(GiTopK(g, 99, 5, GiOptions{}).ok());
+  EXPECT_FALSE(DneTopK(&accessor, 0, 0, DneOptions{}).ok());
+  EXPECT_FALSE(NnEiTopK(&accessor, 99, 5, NnEiOptions{}).ok());
+  EXPECT_FALSE(CastanetTopK(g, 0, 0, CastanetOptions{}).ok());
+  EXPECT_FALSE(LsThtTopK(&accessor, 0, 5, LsThtOptions{.length = 0}).ok());
+  LsPushOptions bad_cluster;
+  bad_cluster.cluster_size = 1;
+  EXPECT_FALSE(LsPushIndex::Build(&g, bad_cluster).ok());
+}
+
+}  // namespace
+}  // namespace flos

@@ -1,0 +1,179 @@
+// Direct tests of the PHP-form bound engine internals: the dual-dummy
+// upper construction, the tightened dummy values, frontier uppers, and the
+// equivalence of batched and single-node expansion schedules.
+
+#include "core/bound_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "core/flos.h"
+#include "core/local_graph.h"
+#include "graph/accessor.h"
+#include "measures/exact.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace flos {
+namespace {
+
+using testing::RandomConnectedGraph;
+using testing::ValueOrDie;
+
+struct EngineHarness {
+  explicit EngineHarness(const Graph* g, NodeId query,
+                         const BoundEngineOptions& be)
+      : accessor(g), local(&accessor) {
+    FLOS_EXPECT_OK(local.Init(query));
+    engine = std::make_unique<PhpBoundEngine>(&local, be);
+  }
+
+  // Expands the best-midpoint boundary node once; returns false when
+  // exhausted.
+  bool Step() {
+    LocalId best = kInvalidLocal;
+    double best_mid = -1;
+    for (LocalId i = 0; i < local.Size(); ++i) {
+      if (!local.IsBoundary(i)) continue;
+      const double mid = 0.5 * (engine->lower(i) + engine->upper(i));
+      if (mid > best_mid) {
+        best = i;
+        best_mid = mid;
+      }
+    }
+    if (best == kInvalidLocal) return false;
+    engine->CaptureDummyFromBoundary();
+    EXPECT_TRUE(local.Expand(best).ok());
+    engine->OnGrowth();
+    engine->UpdateBounds();
+    return true;
+  }
+
+  InMemoryAccessor accessor;
+  LocalGraph local;
+  std::unique_ptr<PhpBoundEngine> engine;
+};
+
+class DualDummyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DualDummyTest, UppersNeverCrossExactWithAllTighteningsOn) {
+  const uint64_t seed = GetParam();
+  const Graph g = RandomConnectedGraph(180, 540, seed);
+  const NodeId q = static_cast<NodeId>(seed % g.NumNodes());
+  const double alpha = 0.5;
+  ExactSolveOptions tight;
+  tight.tolerance = 1e-13;
+  const auto exact = ValueOrDie(ExactPhp(g, q, alpha, tight));
+
+  BoundEngineOptions be;
+  be.alpha = alpha;
+  be.tolerance = 1e-9;
+  be.self_loop_tightening = true;
+  be.alpha_dummy_tightening = true;
+  be.frontier_dummy = true;  // all tightenings at once
+  EngineHarness h(&g, q, be);
+  int steps = 0;
+  while (h.Step() && steps++ < 500) {
+    for (LocalId i = 0; i < h.local.Size(); ++i) {
+      const double truth = exact[h.local.GlobalId(i)];
+      ASSERT_GE(h.engine->upper(i), truth - 1e-9)
+          << "upper crossed exact at node " << h.local.GlobalId(i);
+      ASSERT_LE(h.engine->lower(i), truth + 1e-9);
+    }
+    // The tight dummy must dominate every unvisited exact proximity.
+    for (NodeId v = 0; v < g.NumNodes(); ++v) {
+      if (h.local.Contains(v)) continue;
+      ASSERT_GE(h.engine->tight_dummy_value(), exact[v] - 1e-9)
+          << "tight dummy below unvisited node " << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DualDummyTest, ::testing::Values(1, 2, 3, 4));
+
+TEST(BoundEngineTest, TightDummyIsNoLooserThanMeshDummy) {
+  const Graph g = RandomConnectedGraph(150, 450, 9);
+  BoundEngineOptions be;
+  be.alpha = 0.5;
+  be.frontier_dummy = true;
+  EngineHarness h(&g, 3, be);
+  for (int step = 0; step < 30 && h.Step(); ++step) {
+    EXPECT_LE(h.engine->tight_dummy_value(),
+              h.engine->dummy_value() + 1e-15);
+  }
+}
+
+TEST(BoundEngineTest, FrontierUppersDominateUnvisitedExact) {
+  const Graph g = RandomConnectedGraph(150, 450, 21);
+  const NodeId q = 5;
+  ExactSolveOptions tight;
+  tight.tolerance = 1e-13;
+  const auto exact = ValueOrDie(ExactPhp(g, q, 0.5, tight));
+  BoundEngineOptions be;
+  be.alpha = 0.5;
+  EngineHarness h(&g, q, be);
+  for (int step = 0; step < 25 && h.Step(); ++step) {
+    const auto out = h.engine->ComputeOutsideUppers();
+    if (!out.any) break;
+    for (NodeId v = 0; v < g.NumNodes(); ++v) {
+      if (h.local.Contains(v)) continue;
+      ASSERT_GE(out.max_value, exact[v] - 1e-9)
+          << "frontier max below unvisited node " << v;
+    }
+  }
+}
+
+TEST(BoundEngineTest, PaperDummyRuleWhenTighteningOff) {
+  // With alpha_dummy_tightening off, the dummy follows Algorithm 5 line 7
+  // verbatim: max upper over the previous boundary, non-increasing.
+  const Graph g = RandomConnectedGraph(100, 300, 2);
+  BoundEngineOptions be;
+  be.alpha = 0.5;
+  be.alpha_dummy_tightening = false;
+  EngineHarness h(&g, 0, be);
+  double prev = 1.0;
+  for (int step = 0; step < 20 && h.Step(); ++step) {
+    EXPECT_LE(h.engine->dummy_value(), prev + 1e-15);
+    EXPECT_DOUBLE_EQ(h.engine->tight_dummy_value(), h.engine->dummy_value());
+    prev = h.engine->dummy_value();
+  }
+}
+
+TEST(ExpansionScheduleTest, BatchedAndSingleNodeSchedulesAgree) {
+  // Exactness must not depend on the expansion schedule; only visited
+  // counts may differ (batching can overshoot).
+  const Graph g = RandomConnectedGraph(500, 1500, 77);
+  MeasureParams params;
+  for (const Measure m : {Measure::kPhp, Measure::kRwr}) {
+    const auto exact = ValueOrDie(ExactMeasure(g, 11, m, params));
+    FlosOptions single;
+    single.measure = m;
+    single.expansion_batch = 1;  // the paper's Algorithm 2
+    FlosOptions batched;
+    batched.measure = m;
+    batched.expansion_batch = 0;  // adaptive default
+    const FlosResult rs = ValueOrDie(FlosTopK(g, 11, 10, single));
+    const FlosResult rb = ValueOrDie(FlosTopK(g, 11, 10, batched));
+    EXPECT_TRUE(rs.stats.exact);
+    EXPECT_TRUE(rb.stats.exact);
+    std::vector<NodeId> ns;
+    std::vector<NodeId> nb;
+    for (const auto& s : rs.topk) ns.push_back(s.node);
+    for (const auto& s : rb.topk) nb.push_back(s.node);
+    testing::ExpectTopKMatchesScores(ns, exact, 11, 10, MeasureDirection(m));
+    testing::ExpectTopKMatchesScores(nb, exact, 11, 10, MeasureDirection(m));
+    EXPECT_GE(rb.stats.visited_nodes, rs.stats.visited_nodes / 2)
+        << "sanity: both schedules explore comparable regions";
+  }
+}
+
+TEST(ExpansionScheduleTest, FixedBatchRespected) {
+  const Graph g = RandomConnectedGraph(300, 900, 13);
+  FlosOptions options;
+  options.expansion_batch = 3;
+  const FlosResult r = ValueOrDie(FlosTopK(g, 2, 5, options));
+  EXPECT_TRUE(r.stats.exact);
+  EXPECT_GT(r.stats.expansions, 0u);
+}
+
+}  // namespace
+}  // namespace flos

@@ -1,0 +1,175 @@
+// Tests for the bound engines: the sandwich invariant (lower <= exact <=
+// upper at every iteration), monotone convergence (Section 5.2), self-loop
+// tightening (Section 5.3), and the Figure 4 trajectory on the paper's
+// example graph.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/flos.h"
+#include "core/local_graph.h"
+#include "core/tht_bound_engine.h"
+#include "measures/exact.h"
+#include "tests/test_util.h"
+
+namespace flos {
+namespace {
+
+using testing::PaperExampleGraph;
+using testing::RandomConnectedGraph;
+using testing::ValueOrDie;
+
+class BoundSandwichTest
+    : public ::testing::TestWithParam<std::tuple<bool, uint64_t>> {};
+
+TEST_P(BoundSandwichTest, BoundsBracketExactAndConvergeMonotonically) {
+  const auto [self_loop, seed] = GetParam();
+  const Graph g = RandomConnectedGraph(150, 450, seed);
+  const NodeId q = static_cast<NodeId>(seed % g.NumNodes());
+  const double c = 0.5;
+  ExactSolveOptions tight;
+  tight.tolerance = 1e-13;
+  const std::vector<double> exact = ValueOrDie(ExactPhp(g, q, c, tight));
+
+  const BoundTrace trace =
+      ValueOrDie(TraceFlosBounds(g, q, c, self_loop, /*max_iterations=*/500));
+  ASSERT_FALSE(trace.iterations.empty());
+
+  std::vector<double> prev_lower;
+  std::vector<double> prev_upper;
+  double prev_dummy = 1.0;
+  for (const auto& it : trace.iterations) {
+    for (size_t i = 0; i < it.nodes.size(); ++i) {
+      const double truth = exact[it.nodes[i]];
+      ASSERT_LE(it.lower[i], truth + 1e-9)
+          << "lower bound above exact for node " << it.nodes[i];
+      ASSERT_GE(it.upper[i], truth - 1e-9)
+          << "upper bound below exact for node " << it.nodes[i];
+      // Monotonicity vs. the previous iteration (prefix of same nodes).
+      if (i < prev_lower.size()) {
+        ASSERT_GE(it.lower[i], prev_lower[i] - 1e-12);
+        ASSERT_LE(it.upper[i], prev_upper[i] + 1e-12);
+      }
+    }
+    ASSERT_LE(it.dummy_value, prev_dummy + 1e-12) << "dummy must not increase";
+    prev_dummy = it.dummy_value;
+    prev_lower = it.lower;
+    prev_upper = it.upper;
+  }
+  // Once the whole component is visited, the bounds close.
+  const auto& last = trace.iterations.back();
+  ASSERT_EQ(last.nodes.size(), g.NumNodes());
+  for (size_t i = 0; i < last.nodes.size(); ++i) {
+    EXPECT_NEAR(last.lower[i], exact[last.nodes[i]], 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SelfLoopOnOff, BoundSandwichTest,
+                         ::testing::Combine(::testing::Bool(),
+                                            ::testing::Values(1u, 2u, 3u)));
+
+TEST(BoundTighteningTest, SelfLoopsGiveTighterOrEqualBounds) {
+  const Graph g = RandomConnectedGraph(200, 600, 4);
+  const NodeId q = 9;
+  const BoundTrace plain = ValueOrDie(TraceFlosBounds(g, q, 0.5, false, 40));
+  const BoundTrace tight = ValueOrDie(TraceFlosBounds(g, q, 0.5, true, 40));
+  const size_t common =
+      std::min(plain.iterations.size(), tight.iterations.size());
+  ASSERT_GT(common, 5u);
+  double total_plain = 0;
+  double total_tight = 0;
+  for (size_t t = 0; t < common; ++t) {
+    const auto& p = plain.iterations[t];
+    const auto& s = tight.iterations[t];
+    // Expansion order can differ; compare aggregate interval width on the
+    // common node count.
+    const size_t m = std::min(p.nodes.size(), s.nodes.size());
+    for (size_t i = 0; i < m; ++i) {
+      total_plain += p.upper[i] - p.lower[i];
+      total_tight += s.upper[i] - s.lower[i];
+    }
+  }
+  EXPECT_LE(total_tight, total_plain + 1e-9)
+      << "self-loop tightening should not widen bounds";
+  EXPECT_LT(total_tight, total_plain) << "and should strictly tighten overall";
+}
+
+TEST(PaperFigure4Test, BoundsOnExampleGraphBehaveAsReported) {
+  // q = 1 (0-based 0), c = 0.8: Figure 4 shows monotone bounds converging
+  // to the exact values, with the top-2 {2, 3} separable at iteration 4
+  // while node 8 is still unvisited.
+  const Graph g = PaperExampleGraph();
+  ExactSolveOptions tight_opts;
+  tight_opts.tolerance = 1e-13;
+  const std::vector<double> exact = ValueOrDie(ExactPhp(g, 0, 0.8, tight_opts));
+  const BoundTrace trace = ValueOrDie(TraceFlosBounds(g, 0, 0.8, true, 100));
+  ASSERT_GE(trace.iterations.size(), 4u);
+  // At iteration 4 (index 3), nodes {2,3} (0-based 1,2) should be separable
+  // from everything else: min lower of {1,2} >= max upper of the rest.
+  const auto& it4 = trace.iterations[3];
+  double min_top = 1e300;
+  double max_rest = 0;
+  for (size_t i = 0; i < it4.nodes.size(); ++i) {
+    if (it4.nodes[i] == 0) continue;  // query
+    if (it4.nodes[i] == 1 || it4.nodes[i] == 2) {
+      min_top = std::min(min_top, it4.lower[i]);
+    } else {
+      max_rest = std::max(max_rest, it4.upper[i]);
+    }
+  }
+  EXPECT_LT(it4.nodes.size(), g.NumNodes()) << "node 8 should be unvisited";
+  EXPECT_GE(min_top, max_rest)
+      << "top-2 should be certified at iteration 4 (Figure 4)";
+}
+
+TEST(ThtBoundsTest, SandwichAndConvergence) {
+  const Graph g = RandomConnectedGraph(120, 360, 8);
+  const NodeId q = 4;
+  const int length = 8;
+  const std::vector<double> exact = ValueOrDie(ExactTht(g, q, length));
+
+  InMemoryAccessor accessor(&g);
+  LocalGraph local(&accessor);
+  FLOS_ASSERT_OK(local.Init(q));
+  ThtBoundEngine engine(&local, length);
+  std::vector<double> prev_lower;
+  std::vector<double> prev_upper;
+  // Expand arbitrarily (round-robin over boundary) until exhausted.
+  while (true) {
+    LocalId pick = kInvalidLocal;
+    for (LocalId i = 0; i < local.Size(); ++i) {
+      if (local.IsBoundary(i)) {
+        pick = i;
+        break;
+      }
+    }
+    if (pick == kInvalidLocal) break;
+    ASSERT_TRUE(local.Expand(pick).ok());
+    engine.OnGrowth();
+    engine.UpdateBounds();
+    for (LocalId i = 0; i < local.Size(); ++i) {
+      const double truth = exact[local.GlobalId(i)];
+      ASSERT_LE(engine.lower(i), truth + 1e-9);
+      ASSERT_GE(engine.upper(i), truth - 1e-9);
+      if (i < prev_lower.size()) {
+        ASSERT_GE(engine.lower(i), prev_lower[i] - 1e-12);
+        ASSERT_LE(engine.upper(i), prev_upper[i] + 1e-12);
+      }
+    }
+    prev_lower.clear();
+    prev_upper.clear();
+    for (LocalId i = 0; i < local.Size(); ++i) {
+      prev_lower.push_back(engine.lower(i));
+      prev_upper.push_back(engine.upper(i));
+    }
+  }
+  // Exhausted: bounds coincide with the exact THT.
+  for (LocalId i = 0; i < local.Size(); ++i) {
+    EXPECT_NEAR(engine.lower(i), exact[local.GlobalId(i)], 1e-9);
+    EXPECT_NEAR(engine.upper(i), exact[local.GlobalId(i)], 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace flos

@@ -1,0 +1,219 @@
+// Headline correctness tests for FLoS: exactness of the returned top-k
+// against whole-graph ground truth, across measures, graphs, k, and query
+// nodes; plus behavior on the paper's worked example.
+
+#include "core/flos.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "measures/exact.h"
+#include "measures/measure.h"
+#include "tests/test_util.h"
+
+namespace flos {
+namespace {
+
+using testing::ExpectTopKMatchesScores;
+using testing::PaperExampleGraph;
+using testing::RandomConnectedGraph;
+using testing::ValueOrDie;
+
+std::vector<NodeId> NodesOf(const FlosResult& result) {
+  std::vector<NodeId> out;
+  for (const ScoredNode& s : result.topk) out.push_back(s.node);
+  return out;
+}
+
+TEST(FlosTest, PaperExampleTop2Php) {
+  // Figure 4: with q=1, c=0.8, nodes {2,3} are certified as the top-2
+  // before node 8 is visited.
+  const Graph g = PaperExampleGraph();
+  FlosOptions options;
+  options.measure = Measure::kPhp;
+  options.c = 0.8;
+  const FlosResult result = ValueOrDie(FlosTopK(g, /*query=*/0, 2, options));
+  ASSERT_EQ(result.topk.size(), 2u);
+  EXPECT_TRUE(result.stats.exact);
+  const std::vector<NodeId> nodes = NodesOf(result);
+  EXPECT_TRUE((nodes == std::vector<NodeId>{1, 2}) ||
+              (nodes == std::vector<NodeId>{2, 1}))
+      << nodes[0] << "," << nodes[1];
+  // The paper's point: termination happens before the whole graph is seen.
+  EXPECT_LT(result.stats.visited_nodes, g.NumNodes());
+}
+
+TEST(FlosTest, PaperExampleBoundsBracketExactValues) {
+  const Graph g = PaperExampleGraph();
+  const std::vector<double> exact = ValueOrDie(ExactPhp(g, 0, 0.8));
+  FlosOptions options;
+  options.measure = Measure::kPhp;
+  options.c = 0.8;
+  const FlosResult result = ValueOrDie(FlosTopK(g, 0, 3, options));
+  for (const ScoredNode& s : result.topk) {
+    EXPECT_LE(s.lower, exact[s.node] + 1e-9);
+    EXPECT_GE(s.upper, exact[s.node] - 1e-9);
+  }
+}
+
+struct ExactnessCase {
+  Measure measure;
+  bool self_loop;
+};
+
+class FlosExactnessTest
+    : public ::testing::TestWithParam<std::tuple<ExactnessCase, int>> {};
+
+TEST_P(FlosExactnessTest, MatchesGroundTruthOnRandomGraphs) {
+  const auto [cfg, seed] = GetParam();
+  const Graph g =
+      RandomConnectedGraph(/*nodes=*/300, /*edges=*/900, /*seed=*/seed * 7 + 1,
+                           /*random_weights=*/true);
+  MeasureParams params;
+  params.c = 0.5;
+  params.tht_length = 10;
+  FlosOptions options;
+  options.measure = cfg.measure;
+  options.c = params.c;
+  options.tht_length = params.tht_length;
+  options.tolerance = 1e-7;
+  options.self_loop_tightening = cfg.self_loop;
+  const Direction dir = MeasureDirection(cfg.measure);
+
+  Rng rng(seed);
+  for (int trial = 0; trial < 4; ++trial) {
+    const auto query = static_cast<NodeId>(rng.NextBounded(g.NumNodes()));
+    const std::vector<double> exact =
+        ValueOrDie(ExactMeasure(g, query, cfg.measure, params));
+    for (const int k : {1, 5, 20}) {
+      const FlosResult result = ValueOrDie(FlosTopK(g, query, k, options));
+      EXPECT_TRUE(result.stats.exact);
+      ASSERT_EQ(result.topk.size(), static_cast<size_t>(k));
+      ExpectTopKMatchesScores(NodesOf(result), exact, query, k, dir, 1e-6);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMeasures, FlosExactnessTest,
+    ::testing::Combine(
+        ::testing::Values(ExactnessCase{Measure::kPhp, true},
+                          ExactnessCase{Measure::kPhp, false},
+                          ExactnessCase{Measure::kEi, true},
+                          ExactnessCase{Measure::kDht, true},
+                          ExactnessCase{Measure::kTht, true},
+                          ExactnessCase{Measure::kRwr, true},
+                          ExactnessCase{Measure::kRwr, false}),
+        ::testing::Range(1, 4)));
+
+TEST(FlosTest, UnitWeightGraphWithTies) {
+  // Unit weights create score ties; exactness is asserted on scores.
+  const Graph g = RandomConnectedGraph(200, 500, 99, /*random_weights=*/false);
+  FlosOptions options;
+  options.measure = Measure::kPhp;
+  options.c = 0.5;
+  const std::vector<double> exact = ValueOrDie(ExactPhp(g, 5, 0.5));
+  const FlosResult result = ValueOrDie(FlosTopK(g, 5, 10, options));
+  ASSERT_EQ(result.topk.size(), 10u);
+  ExpectTopKMatchesScores(NodesOf(result), exact, 5, 10,
+                          Direction::kMaximize, 1e-6);
+}
+
+TEST(FlosTest, ScoresWithinReportedBounds) {
+  const Graph g = RandomConnectedGraph(250, 700, 17);
+  for (const Measure m : {Measure::kPhp, Measure::kDht, Measure::kTht}) {
+    FlosOptions options;
+    options.measure = m;
+    options.c = 0.5;
+    MeasureParams params;
+    const std::vector<double> exact = ValueOrDie(ExactMeasure(g, 3, m, params));
+    const FlosResult result = ValueOrDie(FlosTopK(g, 3, 8, options));
+    for (const ScoredNode& s : result.topk) {
+      EXPECT_LE(s.lower, exact[s.node] + 1e-6) << MeasureName(m);
+      EXPECT_GE(s.upper, exact[s.node] - 1e-6) << MeasureName(m);
+      EXPECT_LE(s.lower, s.upper + 1e-12);
+    }
+  }
+}
+
+TEST(FlosTest, RwrScoresApproximateExactValues) {
+  const Graph g = RandomConnectedGraph(250, 700, 21);
+  FlosOptions options;
+  options.measure = Measure::kRwr;
+  options.c = 0.5;
+  options.tolerance = 1e-9;
+  const std::vector<double> exact = ValueOrDie(ExactRwr(g, 7, 0.5));
+  const FlosResult result = ValueOrDie(FlosTopK(g, 7, 5, options));
+  for (const ScoredNode& s : result.topk) {
+    // The reported interval is rigorous (PHP bounds x the Theorem-6 scale
+    // interval), and the midpoint score approximates the exact value to
+    // within the half-width.
+    EXPECT_LE(s.lower, exact[s.node] + 1e-9);
+    EXPECT_GE(s.upper, exact[s.node] - 1e-9);
+    EXPECT_NEAR(s.score, exact[s.node],
+                0.5 * (s.upper - s.lower) + 1e-9);
+  }
+}
+
+TEST(FlosTest, SmallComponentReturnsEverything) {
+  // Query in a 4-node component; k larger than the component.
+  GraphBuilder builder;
+  FLOS_ASSERT_OK(builder.AddEdge(0, 1));
+  FLOS_ASSERT_OK(builder.AddEdge(1, 2));
+  FLOS_ASSERT_OK(builder.AddEdge(2, 3));
+  FLOS_ASSERT_OK(builder.AddEdge(4, 5));  // separate component
+  const Graph g = ValueOrDie(std::move(builder).Build());
+  FlosOptions options;
+  const FlosResult result = ValueOrDie(FlosTopK(g, 0, 10, options));
+  EXPECT_TRUE(result.stats.exhausted_component);
+  EXPECT_EQ(result.topk.size(), 3u);  // nodes 1, 2, 3
+  for (const ScoredNode& s : result.topk) EXPECT_LT(s.node, 4u);
+}
+
+TEST(FlosTest, IsolatedQueryReturnsEmpty) {
+  GraphBuilder::Options builder_options;
+  builder_options.num_nodes = 5;
+  GraphBuilder builder(builder_options);
+  FLOS_ASSERT_OK(builder.AddEdge(1, 2));
+  const Graph g = ValueOrDie(std::move(builder).Build());
+  FlosOptions options;
+  const FlosResult result = ValueOrDie(FlosTopK(g, 0, 3, options));
+  EXPECT_TRUE(result.topk.empty());
+  EXPECT_TRUE(result.stats.exhausted_component);
+}
+
+TEST(FlosTest, InvalidArgumentsAreRejected) {
+  const Graph g = PaperExampleGraph();
+  FlosOptions options;
+  EXPECT_FALSE(FlosTopK(g, 0, 0, options).ok());
+  EXPECT_FALSE(FlosTopK(g, 99, 2, options).ok());
+  options.c = 1.5;
+  EXPECT_FALSE(FlosTopK(g, 0, 2, options).ok());
+  options.c = 0.5;
+  options.measure = Measure::kTht;
+  options.tht_length = 0;
+  EXPECT_FALSE(FlosTopK(g, 0, 2, options).ok());
+}
+
+TEST(FlosTest, MaxVisitedCutoffIsRespected) {
+  const Graph g = RandomConnectedGraph(500, 1500, 5);
+  FlosOptions options;
+  options.max_visited = 30;
+  const FlosResult result = ValueOrDie(FlosTopK(g, 0, 50, options));
+  // The cutoff is checked after each expansion, so allow one batch overshoot.
+  EXPECT_LE(result.stats.visited_nodes, 30u + g.MaxWeightedDegree());
+}
+
+TEST(FlosTest, VisitsSmallFractionOfLargerGraph) {
+  const Graph g = RandomConnectedGraph(5000, 15000, 11);
+  FlosOptions options;
+  options.measure = Measure::kPhp;
+  const FlosResult result = ValueOrDie(FlosTopK(g, 42, 10, options));
+  EXPECT_TRUE(result.stats.exact);
+  EXPECT_LT(result.stats.visited_nodes, g.NumNodes() / 4)
+      << "FLoS should certify locally";
+}
+
+}  // namespace
+}  // namespace flos

@@ -1,0 +1,149 @@
+// Unit tests for the CSR graph, builder semantics, and accessor.
+
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/accessor.h"
+#include "tests/test_util.h"
+
+namespace flos {
+namespace {
+
+using testing::ValueOrDie;
+
+TEST(GraphBuilderTest, BuildsSymmetricCsr) {
+  GraphBuilder builder;
+  FLOS_ASSERT_OK(builder.AddEdge(0, 1, 2.0));
+  FLOS_ASSERT_OK(builder.AddEdge(1, 2, 3.0));
+  const Graph g = ValueOrDie(std::move(builder).Build());
+  EXPECT_EQ(g.NumNodes(), 3u);
+  EXPECT_EQ(g.NumEdges(), 2u);
+  EXPECT_EQ(g.NumDirectedEdges(), 4u);
+  EXPECT_EQ(g.Degree(1), 2u);
+  EXPECT_DOUBLE_EQ(g.WeightedDegree(1), 5.0);
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(0, 2), 0.0);
+  EXPECT_FALSE(g.HasEdge(0, 2));
+}
+
+TEST(GraphBuilderTest, DuplicateEdgesAccumulateWeight) {
+  GraphBuilder builder;
+  FLOS_ASSERT_OK(builder.AddEdge(0, 1, 1.0));
+  FLOS_ASSERT_OK(builder.AddEdge(1, 0, 2.5));
+  const Graph g = ValueOrDie(std::move(builder).Build());
+  EXPECT_EQ(g.NumEdges(), 1u);
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(0, 1), 3.5);
+}
+
+TEST(GraphBuilderTest, RejectsSelfLoopsAndBadWeights) {
+  GraphBuilder builder;
+  EXPECT_FALSE(builder.AddEdge(3, 3).ok());
+  EXPECT_FALSE(builder.AddEdge(0, 1, 0.0).ok());
+  EXPECT_FALSE(builder.AddEdge(0, 1, -1.0).ok());
+}
+
+TEST(GraphBuilderTest, IgnoreSelfLoopOption) {
+  GraphBuilder::Options options;
+  options.ignore_self_loops = true;
+  GraphBuilder builder(options);
+  FLOS_ASSERT_OK(builder.AddEdge(2, 2));
+  FLOS_ASSERT_OK(builder.AddEdge(0, 1));
+  const Graph g = ValueOrDie(std::move(builder).Build());
+  EXPECT_EQ(g.NumEdges(), 1u);
+}
+
+TEST(GraphBuilderTest, FixedNodeCount) {
+  GraphBuilder::Options options;
+  options.num_nodes = 10;
+  GraphBuilder builder(options);
+  FLOS_ASSERT_OK(builder.AddEdge(0, 1));
+  EXPECT_FALSE(builder.AddEdge(0, 10).ok());
+  const Graph g = ValueOrDie(std::move(builder).Build());
+  EXPECT_EQ(g.NumNodes(), 10u);
+  EXPECT_EQ(g.Degree(9), 0u);
+}
+
+TEST(GraphBuilderTest, EmptyBuilderYieldsEmptyGraph) {
+  GraphBuilder builder;
+  const Graph g = ValueOrDie(std::move(builder).Build());
+  EXPECT_EQ(g.NumNodes(), 0u);
+  EXPECT_EQ(g.NumEdges(), 0u);
+  EXPECT_DOUBLE_EQ(g.MaxWeightedDegree(), 0.0);
+}
+
+TEST(GraphTest, NeighborListsAreSorted) {
+  GraphBuilder builder;
+  FLOS_ASSERT_OK(builder.AddEdge(5, 2));
+  FLOS_ASSERT_OK(builder.AddEdge(5, 9));
+  FLOS_ASSERT_OK(builder.AddEdge(5, 1));
+  const Graph g = ValueOrDie(std::move(builder).Build());
+  const auto ids = g.NeighborIds(5);
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_EQ(ids[0], 1u);
+  EXPECT_EQ(ids[1], 2u);
+  EXPECT_EQ(ids[2], 9u);
+}
+
+TEST(GraphTest, DegreeOrderIsDescending) {
+  GraphBuilder builder;
+  FLOS_ASSERT_OK(builder.AddEdge(0, 1));
+  FLOS_ASSERT_OK(builder.AddEdge(0, 2));
+  FLOS_ASSERT_OK(builder.AddEdge(0, 3));
+  FLOS_ASSERT_OK(builder.AddEdge(1, 2));
+  const Graph g = ValueOrDie(std::move(builder).Build());
+  const auto& order = g.DegreeOrder();
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], 0u);  // degree 3
+  for (size_t i = 1; i < order.size(); ++i) {
+    EXPECT_GE(g.WeightedDegree(order[i - 1]), g.WeightedDegree(order[i]));
+  }
+  EXPECT_DOUBLE_EQ(g.MaxWeightedDegree(), 3.0);
+}
+
+TEST(GraphFromCsrPartsTest, AcceptsValidAndRejectsCorrupt) {
+  GraphBuilder builder;
+  FLOS_ASSERT_OK(builder.AddEdge(0, 1, 2.0));
+  FLOS_ASSERT_OK(builder.AddEdge(1, 2, 1.0));
+  const Graph g = ValueOrDie(std::move(builder).Build());
+  // Round-trip through raw parts.
+  const Graph g2 = ValueOrDie(
+      GraphFromCsrParts(g.offsets(), g.neighbors(), g.weights()));
+  EXPECT_EQ(g2.NumEdges(), g.NumEdges());
+  EXPECT_DOUBLE_EQ(g2.EdgeWeight(0, 1), 2.0);
+
+  // Asymmetric: 0->1 without 1->0.
+  EXPECT_FALSE(GraphFromCsrParts({0, 1, 1}, {1}, {1.0}).ok());
+  // Out-of-range neighbor.
+  EXPECT_FALSE(GraphFromCsrParts({0, 1, 2}, {5, 0}, {1.0, 1.0}).ok());
+  // Non-positive weight.
+  EXPECT_FALSE(GraphFromCsrParts({0, 1, 2}, {1, 0}, {0.0, 0.0}).ok());
+  // Unsorted neighbors.
+  EXPECT_FALSE(
+      GraphFromCsrParts({0, 2, 3, 5}, {2, 1, 0, 0, 1}, {1, 1, 1, 1, 1}).ok());
+}
+
+TEST(InMemoryAccessorTest, MatchesGraphAndCountsStats) {
+  GraphBuilder builder;
+  FLOS_ASSERT_OK(builder.AddEdge(0, 1, 2.0));
+  FLOS_ASSERT_OK(builder.AddEdge(0, 2, 1.0));
+  const Graph g = ValueOrDie(std::move(builder).Build());
+  InMemoryAccessor accessor(&g);
+  EXPECT_EQ(accessor.NumNodes(), 3u);
+  EXPECT_EQ(accessor.NumEdges(), 2u);
+  std::vector<Neighbor> nbs;
+  FLOS_ASSERT_OK(accessor.CopyNeighbors(0, &nbs));
+  ASSERT_EQ(nbs.size(), 2u);
+  EXPECT_EQ(nbs[0].id, 1u);
+  EXPECT_DOUBLE_EQ(nbs[0].weight, 2.0);
+  EXPECT_DOUBLE_EQ(accessor.WeightedDegree(0), 3.0);
+  EXPECT_EQ(accessor.stats().neighbor_fetches, 1u);
+  EXPECT_EQ(accessor.stats().degree_probes, 1u);
+  EXPECT_FALSE(accessor.CopyNeighbors(99, &nbs).ok());
+  accessor.ResetStats();
+  EXPECT_EQ(accessor.stats().neighbor_fetches, 0u);
+}
+
+}  // namespace
+}  // namespace flos

@@ -1,0 +1,101 @@
+// Tests for the benchmark-harness helpers (bench/harness.h): these drive
+// every figure reproduction, so their parsing, sampling, and sweep
+// construction deserve the same coverage as the library.
+
+#include "bench/harness.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "tests/test_util.h"
+
+namespace flos {
+namespace {
+
+using testing::ValueOrDie;
+
+TEST(HarnessTest, ParseIntList) {
+  const std::vector<int> one = bench::ParseIntList("20");
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], 20);
+  const std::vector<int> many = bench::ParseIntList("1,10,20,40");
+  ASSERT_EQ(many.size(), 4u);
+  EXPECT_EQ(many[3], 40);
+}
+
+TEST(HarnessTest, SampleQueriesSkipsIsolatedNodes) {
+  GraphBuilder::Options options;
+  options.num_nodes = 100;  // nodes 50..99 stay isolated
+  GraphBuilder builder(options);
+  for (NodeId u = 0; u + 1 < 50; ++u) {
+    FLOS_ASSERT_OK(builder.AddEdge(u, u + 1));
+  }
+  const Graph g = ValueOrDie(std::move(builder).Build());
+  const std::vector<NodeId> queries = bench::SampleQueries(g, 30, 7);
+  EXPECT_EQ(queries.size(), 30u);
+  for (const NodeId q : queries) {
+    EXPECT_GT(g.Degree(q), 0u) << "sampled isolated node " << q;
+  }
+  // Deterministic given the seed.
+  EXPECT_EQ(queries, bench::SampleQueries(g, 30, 7));
+  EXPECT_NE(queries, bench::SampleQueries(g, 30, 8));
+}
+
+TEST(HarnessTest, RecallCountsIntersection) {
+  EXPECT_DOUBLE_EQ(bench::Recall({1, 2, 3}, {1, 2, 3}), 1.0);
+  EXPECT_DOUBLE_EQ(bench::Recall({1, 2, 9}, {1, 2, 3}), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(bench::Recall({}, {1}), 0.0);
+  EXPECT_DOUBLE_EQ(bench::Recall({5}, {}), 1.0);  // empty truth: vacuous
+}
+
+TEST(HarnessTest, SizeSweepDoublesNodesAtFixedDensity) {
+  const auto specs = bench::SizeSweep(1000, 10.0, /*rmat=*/false);
+  ASSERT_EQ(specs.size(), 4u);
+  EXPECT_EQ(specs[0].nodes, 1000u);
+  EXPECT_EQ(specs[3].nodes, 8000u);
+  for (const auto& s : specs) {
+    EXPECT_EQ(s.edges, s.nodes * 5);  // density 10 = 2|E|/|V|
+    EXPECT_FALSE(s.rmat);
+    EXPECT_NE(s.label.find("RAND"), std::string::npos);
+  }
+}
+
+TEST(HarnessTest, DensitySweepFixesNodes) {
+  const auto specs = bench::DensitySweep(2000, {4.8, 9.5}, /*rmat=*/true);
+  ASSERT_EQ(specs.size(), 2u);
+  EXPECT_EQ(specs[0].nodes, 2000u);
+  EXPECT_EQ(specs[0].edges, 4800u);
+  EXPECT_EQ(specs[1].edges, 9500u);
+  EXPECT_TRUE(specs[0].rmat);
+}
+
+TEST(HarnessTest, BuildSynthHonorsSpec) {
+  bench::SynthSpec spec;
+  spec.nodes = 500;
+  spec.edges = 2000;
+  spec.rmat = true;
+  const Graph g = ValueOrDie(bench::BuildSynth(spec, 3));
+  EXPECT_EQ(g.NumNodes(), 500u);
+  EXPECT_EQ(g.NumEdges(), 2000u);
+}
+
+TEST(HarnessTest, TimeQueriesAggregates) {
+  int calls = 0;
+  const bench::Timing t = bench::TimeQueries(
+      {1, 2, 3}, [&](NodeId) {
+        ++calls;
+        return true;
+      });
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(t.runs, 3);
+  EXPECT_GE(t.max_ms, t.min_ms);
+  EXPECT_NEAR(t.total_ms, t.avg_ms * 3, 1e-9);
+  // Abort on false.
+  const bench::Timing aborted = bench::TimeQueries(
+      {1, 2, 3}, [&](NodeId q) { return q < 2; });
+  EXPECT_EQ(aborted.runs, 1);
+}
+
+}  // namespace
+}  // namespace flos

@@ -1,0 +1,126 @@
+// Tests for the LocalGraph visited-set bookkeeping.
+
+#include "core/local_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/accessor.h"
+#include "tests/test_util.h"
+
+namespace flos {
+namespace {
+
+using testing::PaperExampleGraph;
+using testing::ValueOrDie;
+
+TEST(LocalGraphTest, InitAddsQueryOnly) {
+  const Graph g = PaperExampleGraph();
+  InMemoryAccessor accessor(&g);
+  LocalGraph local(&accessor);
+  FLOS_ASSERT_OK(local.Init(0));
+  EXPECT_EQ(local.Size(), 1u);
+  EXPECT_TRUE(local.Contains(0));
+  EXPECT_FALSE(local.Contains(1));
+  EXPECT_EQ(local.LocalIndex(0), 0u);
+  EXPECT_EQ(local.LocalIndex(1), kInvalidLocal);
+  EXPECT_EQ(local.GlobalId(0), 0u);
+  EXPECT_TRUE(local.IsBoundary(0)) << "query has unvisited neighbors";
+  EXPECT_EQ(local.OutsideCount(0), 2u);  // neighbors 2,3 (paper ids)
+  EXPECT_DOUBLE_EQ(local.WeightedDegree(0), 2.0);
+  EXPECT_FALSE(local.Init(0).ok()) << "double init must fail";
+}
+
+TEST(LocalGraphTest, ExpandTracksBoundaryAndRows) {
+  const Graph g = PaperExampleGraph();
+  InMemoryAccessor accessor(&g);
+  LocalGraph local(&accessor);
+  FLOS_ASSERT_OK(local.Init(0));
+  // Expand the query: S = {1,2,3} in paper ids.
+  EXPECT_EQ(ValueOrDie(local.Expand(0)), 2u);
+  EXPECT_EQ(local.Size(), 3u);
+  EXPECT_FALSE(local.IsBoundary(0)) << "all of q's neighbors visited";
+  // Node 2 (paper) has neighbors {1,4}: 4 unvisited.
+  const LocalId l2 = local.LocalIndex(1);
+  EXPECT_EQ(local.OutsideCount(l2), 1u);
+  // Row of node 2 contains only the visited neighbor q with p = 1/2.
+  const auto& row = local.Row(l2);
+  ASSERT_EQ(row.size(), 1u);
+  EXPECT_EQ(row[0].first, local.LocalIndex(0));
+  EXPECT_DOUBLE_EQ(row[0].second, 0.5);
+  EXPECT_FALSE(local.Exhausted());
+}
+
+TEST(LocalGraphTest, ReverseRowsArePatchedOnJoin) {
+  const Graph g = PaperExampleGraph();
+  InMemoryAccessor accessor(&g);
+  LocalGraph local(&accessor);
+  FLOS_ASSERT_OK(local.Init(0));
+  FLOS_ASSERT_OK(local.Expand(0).status());
+  // Expand node 3 (paper): adds 4 and 5.
+  const LocalId l3 = local.LocalIndex(2);
+  FLOS_ASSERT_OK(local.Expand(l3).status());
+  EXPECT_EQ(local.Size(), 5u);
+  // Node 2's row must now also contain node 4 (p = 1/2).
+  const auto& row2 = local.Row(local.LocalIndex(1));
+  EXPECT_EQ(row2.size(), 2u);
+  // Node 4's row has visited neighbors {2,3} with p = 1/4 each.
+  const auto& row4 = local.Row(local.LocalIndex(3));
+  EXPECT_EQ(row4.size(), 2u);
+  for (const auto& [j, p] : row4) {
+    (void)j;
+    EXPECT_DOUBLE_EQ(p, 0.25);
+  }
+}
+
+TEST(LocalGraphTest, ExhaustionOnFullVisit) {
+  const Graph g = PaperExampleGraph();
+  InMemoryAccessor accessor(&g);
+  LocalGraph local(&accessor);
+  FLOS_ASSERT_OK(local.Init(0));
+  while (true) {
+    LocalId pick = kInvalidLocal;
+    for (LocalId i = 0; i < local.Size(); ++i) {
+      if (local.IsBoundary(i)) {
+        pick = i;
+        break;
+      }
+    }
+    if (pick == kInvalidLocal) break;
+    FLOS_ASSERT_OK(local.Expand(pick).status());
+  }
+  EXPECT_TRUE(local.Exhausted());
+  EXPECT_EQ(local.Size(), g.NumNodes());
+  for (LocalId i = 0; i < local.Size(); ++i) {
+    EXPECT_EQ(local.OutsideCount(i), 0u);
+  }
+  // Visited count equals accessor fetches.
+  EXPECT_EQ(accessor.stats().neighbor_fetches, g.NumNodes());
+}
+
+TEST(LocalGraphTest, ProbeDegreeCaches) {
+  const Graph g = PaperExampleGraph();
+  InMemoryAccessor accessor(&g);
+  LocalGraph local(&accessor);
+  FLOS_ASSERT_OK(local.Init(0));
+  const uint64_t before = accessor.stats().degree_probes;
+  EXPECT_DOUBLE_EQ(local.ProbeDegree(7), 3.0);  // paper node 8
+  EXPECT_DOUBLE_EQ(local.ProbeDegree(7), 3.0);
+  EXPECT_EQ(accessor.stats().degree_probes, before + 1)
+      << "second probe must hit the cache";
+  // Visited nodes are already cached from their fetch.
+  EXPECT_DOUBLE_EQ(local.ProbeDegree(0), 2.0);
+  EXPECT_EQ(accessor.stats().degree_probes, before + 1);
+}
+
+TEST(LocalGraphTest, RejectsBadIds) {
+  const Graph g = PaperExampleGraph();
+  InMemoryAccessor accessor(&g);
+  LocalGraph local(&accessor);
+  EXPECT_FALSE(local.Init(100).ok());
+  LocalGraph local2(&accessor);
+  FLOS_ASSERT_OK(local2.Init(0));
+  EXPECT_FALSE(local2.Expand(55).ok());
+}
+
+}  // namespace
+}  // namespace flos

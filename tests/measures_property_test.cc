@@ -1,0 +1,186 @@
+// Property tests for Section 3: the no-local-optimum property (Table 2),
+// the ranking equivalences of Theorem 2, and the RWR-PHP relationship of
+// Theorem 6.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "measures/exact.h"
+#include "measures/measure.h"
+#include "measures/transforms.h"
+#include "tests/test_util.h"
+
+namespace flos {
+namespace {
+
+using testing::RandomConnectedGraph;
+using testing::ValueOrDie;
+
+// Returns true iff some non-query node has no strictly closer neighbor.
+bool HasLocalOptimum(const Graph& g, const std::vector<double>& r, NodeId q,
+                     Direction dir, double tie_tol = 1e-11) {
+  for (NodeId i = 0; i < g.NumNodes(); ++i) {
+    if (i == q || g.Degree(i) == 0) continue;
+    bool has_closer = false;
+    for (const NodeId j : g.NeighborIds(i)) {
+      const double margin = dir == Direction::kMaximize ? r[j] - r[i]
+                                                        : r[i] - r[j];
+      if (margin > tie_tol) {
+        has_closer = true;
+        break;
+      }
+    }
+    if (!has_closer) return true;
+  }
+  return false;
+}
+
+class NoLocalOptimumTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(NoLocalOptimumTest, Table2HoldsOnRandomGraphs) {
+  const uint64_t seed = GetParam();
+  const Graph g = RandomConnectedGraph(120, 360, seed);
+  const NodeId q = static_cast<NodeId>(seed % g.NumNodes());
+  ExactSolveOptions tight;
+  tight.tolerance = 1e-13;
+  // PHP: no local maximum (Lemma 1).
+  EXPECT_FALSE(HasLocalOptimum(g, ValueOrDie(ExactPhp(g, q, 0.5, tight)), q,
+                               Direction::kMaximize));
+  // EI: no local maximum (Lemma 5).
+  EXPECT_FALSE(HasLocalOptimum(g, ValueOrDie(ExactEi(g, q, 0.5, tight)), q,
+                               Direction::kMaximize));
+  // DHT: no local minimum (Lemma 6).
+  EXPECT_FALSE(HasLocalOptimum(g, ValueOrDie(ExactDht(g, q, 0.5, tight)), q,
+                               Direction::kMinimize));
+}
+
+TEST_P(NoLocalOptimumTest, ThtHasNoLocalMinimumWithinLHops) {
+  const uint64_t seed = GetParam();
+  const Graph g = RandomConnectedGraph(120, 360, seed);
+  const NodeId q = static_cast<NodeId>((seed * 13) % g.NumNodes());
+  const int length = 10;
+  const std::vector<double> r = ValueOrDie(ExactTht(g, q, length));
+  // Lemma 7 applies to nodes with value < L (those within L hops).
+  for (NodeId i = 0; i < g.NumNodes(); ++i) {
+    if (i == q || r[i] >= length - 1e-9) continue;
+    bool has_closer = false;
+    for (const NodeId j : g.NeighborIds(i)) {
+      if (r[j] < r[i] - 1e-11) {
+        has_closer = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(has_closer) << "THT local minimum at node " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NoLocalOptimumTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(LocalOptimumTest, RwrHasLocalMaxima) {
+  // Lemma 8: RWR has local maxima. Deterministic counterexample: a path
+  // q - a - b - hub where the hub carries many leaves. RWR(i) is
+  // proportional to w_i * PHP(i) (Theorem 6); with a small restart
+  // probability (c = 0.1, decay 0.9) the hub's degree factor overwhelms
+  // its neighbors' larger PHP values: w_h PHP_h ~ alpha/(1-alpha^2) PHP_b
+  // ~ 4.7 PHP_b > w_b PHP_b = 2 PHP_b.
+  GraphBuilder builder;
+  FLOS_ASSERT_OK(builder.AddEdge(0, 1));  // q - a
+  FLOS_ASSERT_OK(builder.AddEdge(1, 2));  // a - b
+  FLOS_ASSERT_OK(builder.AddEdge(2, 3));  // b - hub
+  for (NodeId leaf = 4; leaf < 24; ++leaf) {
+    FLOS_ASSERT_OK(builder.AddEdge(3, leaf));
+  }
+  const Graph g = ValueOrDie(std::move(builder).Build());
+  const std::vector<double> r = ValueOrDie(ExactRwr(g, 0, 0.1));
+  // The hub beats all of its neighbors: a local maximum.
+  for (const NodeId nb : g.NeighborIds(3)) {
+    EXPECT_GT(r[3], r[nb]) << "hub should dominate neighbor " << nb;
+  }
+  EXPECT_TRUE(HasLocalOptimum(g, r, 0, Direction::kMaximize));
+}
+
+std::vector<NodeId> RankAll(const std::vector<double>& scores, NodeId q,
+                            Direction dir) {
+  std::vector<NodeId> ids;
+  for (NodeId i = 0; i < scores.size(); ++i) {
+    if (i != q) ids.push_back(i);
+  }
+  std::sort(ids.begin(), ids.end(), [&](NodeId a, NodeId b) {
+    if (scores[a] != scores[b]) return IsCloser(dir, scores[a], scores[b]);
+    return a < b;
+  });
+  return ids;
+}
+
+TEST(Theorem2Test, PhpEiDhtGiveTheSameRanking) {
+  // Matching parameters: PHP decay (1-c) vs EI restart c vs DHT decay c.
+  const double c = 0.3;
+  const Graph g = RandomConnectedGraph(100, 300, 17);
+  const NodeId q = 11;
+  ExactSolveOptions tight;
+  tight.tolerance = 1e-13;
+  const auto php = ValueOrDie(ExactPhp(g, q, 1.0 - c, tight));
+  const auto ei = ValueOrDie(ExactEi(g, q, c, tight));
+  const auto dht = ValueOrDie(ExactDht(g, q, c, tight));
+  const auto rank_php = RankAll(php, q, Direction::kMaximize);
+  const auto rank_ei = RankAll(ei, q, Direction::kMaximize);
+  const auto rank_dht = RankAll(dht, q, Direction::kMinimize);
+  EXPECT_EQ(rank_php, rank_ei);
+  EXPECT_EQ(rank_php, rank_dht);
+}
+
+TEST(Theorem2Test, DhtIsAffineInPhp) {
+  // PHP(i) = 1 - c * DHT(i) with PHP decay (1-c), DHT decay c.
+  const double c = 0.4;
+  const Graph g = RandomConnectedGraph(80, 240, 23);
+  const NodeId q = 5;
+  ExactSolveOptions tight;
+  tight.tolerance = 1e-13;
+  const auto php = ValueOrDie(ExactPhp(g, q, 1.0 - c, tight));
+  const auto dht = ValueOrDie(ExactDht(g, q, c, tight));
+  for (NodeId i = 0; i < g.NumNodes(); ++i) {
+    EXPECT_NEAR(php[i], PhpFromDht(dht[i], c), 1e-8);
+    EXPECT_NEAR(dht[i], DhtFromPhp(php[i], c), 1e-8);
+  }
+}
+
+TEST(Theorem6Test, RwrIsDegreeWeightedPhp) {
+  // RWR(i) = RWR(q)/w_q * w_i * PHP(i) with PHP decay (1-c).
+  const double c = 0.5;
+  const Graph g = RandomConnectedGraph(90, 270, 31);
+  const NodeId q = 7;
+  ExactSolveOptions tight;
+  tight.tolerance = 1e-13;
+  const auto php = ValueOrDie(ExactPhp(g, q, 1.0 - c, tight));
+  const auto rwr = ValueOrDie(ExactRwr(g, q, c, tight));
+  const double key = rwr[q] / g.WeightedDegree(q);
+  for (NodeId i = 0; i < g.NumNodes(); ++i) {
+    EXPECT_NEAR(rwr[i], key * g.WeightedDegree(i) * php[i], 1e-8);
+  }
+}
+
+TEST(Theorem6Test, RwrScaleFromPhpRecoversTheConstant) {
+  const double c = 0.5;
+  const Graph g = RandomConnectedGraph(90, 270, 37);
+  const NodeId q = 2;
+  ExactSolveOptions tight;
+  tight.tolerance = 1e-13;
+  const auto php = ValueOrDie(ExactPhp(g, q, 1.0 - c, tight));
+  const auto rwr = ValueOrDie(ExactRwr(g, q, c, tight));
+  std::vector<double> php_neighbors;
+  for (const NodeId j : g.NeighborIds(q)) php_neighbors.push_back(php[j]);
+  const double k = ValueOrDie(RwrScaleFromPhp(g, q, c, php_neighbors));
+  EXPECT_NEAR(k, rwr[q] / g.WeightedDegree(q), 1e-8);
+}
+
+TEST(Theorem6Test, ScaleRejectsBadInput) {
+  const Graph g = RandomConnectedGraph(20, 30, 1);
+  EXPECT_FALSE(RwrScaleFromPhp(g, 99, 0.5, {}).ok());
+  EXPECT_FALSE(RwrScaleFromPhp(g, 0, 0.5, {}).ok());  // neighbor count mismatch
+}
+
+}  // namespace
+}  // namespace flos

@@ -1,0 +1,214 @@
+// Numerical verification of the transition-probability operations of
+// Section 4 (Theorems 3, 4, 5) and the star-to-mesh transformation of
+// Section 5.3 (Lemma 2), including the paper's worked examples.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "linalg/dense_matrix.h"
+#include "linalg/lu.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace flos {
+namespace {
+
+using testing::ValueOrDie;
+
+// Solves the PHP-form system r = c T r + e exactly ((I - cT) r = e).
+std::vector<double> SolvePhp(const DenseMatrix& t, double c,
+                             const std::vector<double>& e) {
+  const uint32_t n = t.rows();
+  DenseMatrix a(n, n);
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = 0; j < n; ++j) {
+      a.at(i, j) = (i == j ? 1.0 : 0.0) - c * t.at(i, j);
+    }
+  }
+  const DenseLu lu = ValueOrDie(DenseLu::Factor(a));
+  std::vector<double> r;
+  EXPECT_TRUE(lu.Solve(e, &r).ok());
+  return r;
+}
+
+// The paper's Figure 2 system: path 1-2-3 (0-based 0-1-2), q = 0.
+// T has row q zeroed; p_10 = p_12 = 0.5; p_21 = 1.
+DenseMatrix PaperPathT() {
+  DenseMatrix t(3, 3);
+  t.at(1, 0) = 0.5;
+  t.at(1, 2) = 0.5;
+  t.at(2, 1) = 1.0;
+  return t;
+}
+
+const std::vector<double> kE = {1.0, 0.0, 0.0};
+
+TEST(OperationsTest, PaperBaselineValues) {
+  const auto r = SolvePhp(PaperPathT(), 0.5, kE);
+  EXPECT_NEAR(r[0], 1.0, 1e-12);
+  EXPECT_NEAR(r[1], 2.0 / 7.0, 1e-12);
+  EXPECT_NEAR(r[2], 1.0 / 7.0, 1e-12);
+}
+
+TEST(OperationsTest, Theorem3DeletionPaperExample) {
+  // Deleting p_23 (paper: p_{2,3}) gives r' = [1, 1/4, 1/8].
+  DenseMatrix t = PaperPathT();
+  t.at(1, 2) = 0.0;
+  const auto r = SolvePhp(t, 0.5, kE);
+  EXPECT_NEAR(r[0], 1.0, 1e-12);
+  EXPECT_NEAR(r[1], 1.0 / 4.0, 1e-12);
+  EXPECT_NEAR(r[2], 1.0 / 8.0, 1e-12);
+}
+
+TEST(OperationsTest, Theorem5DestinationChangePaperExample) {
+  // Changing the destination of p_32 from node 2 to the query (node 1)
+  // gives r' = [1, 3/8, 1/2].
+  DenseMatrix t = PaperPathT();
+  t.at(2, 1) = 0.0;
+  t.at(2, 0) = 1.0;
+  const auto r = SolvePhp(t, 0.5, kE);
+  EXPECT_NEAR(r[0], 1.0, 1e-12);
+  EXPECT_NEAR(r[1], 3.0 / 8.0, 1e-12);
+  EXPECT_NEAR(r[2], 1.0 / 2.0, 1e-12);
+}
+
+// Builds a random PHP-form transition system: row q zeroed, other rows are
+// sub-stochastic transition rows.
+DenseMatrix RandomT(uint32_t n, Rng* rng) {
+  DenseMatrix t(n, n);
+  for (uint32_t i = 1; i < n; ++i) {  // q = 0
+    double sum = 0;
+    for (uint32_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      const double v = rng->NextBernoulli(0.4) ? rng->NextDouble() : 0.0;
+      t.at(i, j) = v;
+      sum += v;
+    }
+    if (sum > 0) {
+      for (uint32_t j = 0; j < n; ++j) t.at(i, j) /= sum;
+    }
+  }
+  return t;
+}
+
+class OperationPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OperationPropertyTest, DeletionNeverIncreasesAnyProximity) {
+  Rng rng(GetParam());
+  const uint32_t n = 12;
+  DenseMatrix t = RandomT(n, &rng);
+  std::vector<double> e(n, 0.0);
+  e[0] = 1.0;
+  const auto before = SolvePhp(t, 0.6, e);
+  // Delete three random present transitions.
+  for (int d = 0; d < 3; ++d) {
+    const uint32_t i = 1 + static_cast<uint32_t>(rng.NextBounded(n - 1));
+    for (uint32_t j = 0; j < n; ++j) {
+      if (t.at(i, j) > 0) {
+        t.at(i, j) = 0;
+        break;
+      }
+    }
+  }
+  const auto after = SolvePhp(t, 0.6, e);
+  for (uint32_t i = 0; i < n; ++i) {
+    EXPECT_LE(after[i], before[i] + 1e-12) << "node " << i;
+  }
+}
+
+TEST_P(OperationPropertyTest, RestorationNeverDecreasesAnyProximity) {
+  Rng rng(GetParam() + 100);
+  const uint32_t n = 12;
+  DenseMatrix full = RandomT(n, &rng);
+  DenseMatrix pruned = full;
+  // Delete some transitions, then "restore" by going back to full.
+  for (uint32_t i = 1; i < n; ++i) {
+    for (uint32_t j = 0; j < n; ++j) {
+      if (pruned.at(i, j) > 0 && rng.NextBernoulli(0.3)) pruned.at(i, j) = 0;
+    }
+  }
+  std::vector<double> e(n, 0.0);
+  e[0] = 1.0;
+  const auto before = SolvePhp(pruned, 0.6, e);
+  const auto after = SolvePhp(full, 0.6, e);  // restoration (Theorem 4)
+  for (uint32_t i = 0; i < n; ++i) {
+    EXPECT_GE(after[i], before[i] - 1e-12) << "node " << i;
+  }
+}
+
+TEST_P(OperationPropertyTest, DestinationChangeMovesProximityWithTarget) {
+  Rng rng(GetParam() + 200);
+  const uint32_t n = 12;
+  const DenseMatrix t = RandomT(n, &rng);
+  std::vector<double> e(n, 0.0);
+  e[0] = 1.0;
+  const auto base = SolvePhp(t, 0.6, e);
+  // Pick a transition (i, j) and redirect to the best and worst nodes.
+  for (uint32_t i = 1; i < n; ++i) {
+    for (uint32_t j = 0; j < n; ++j) {
+      if (t.at(i, j) <= 0) continue;
+      uint32_t best = 0;  // query has the max proximity 1
+      uint32_t worst = 0;
+      for (uint32_t l = 0; l < n; ++l) {
+        if (base[l] > base[best]) best = l;
+        if (base[l] < base[worst]) worst = l;
+      }
+      // Redirecting onto the current destination would be a no-op (or a
+      // deletion if coded as add-then-zero); pick a transition whose
+      // endpoint is neither extreme.
+      if (j == best || j == worst) continue;
+      DenseMatrix up = t;
+      up.at(i, best) += up.at(i, j);
+      up.at(i, j) = 0;
+      const auto raised = SolvePhp(up, 0.6, e);
+      DenseMatrix down = t;
+      down.at(i, worst) += down.at(i, j);
+      down.at(i, j) = 0;
+      const auto lowered = SolvePhp(down, 0.6, e);
+      for (uint32_t l = 0; l < n; ++l) {
+        EXPECT_GE(raised[l], base[l] - 1e-12);
+        EXPECT_LE(lowered[l], base[l] + 1e-12);
+      }
+      return;  // one transition per seed is enough
+    }
+  }
+}
+
+TEST_P(OperationPropertyTest, StarToMeshPreservesRemainingProximities) {
+  // Lemma 2: eliminating node u and adding p'_ij = c p_iu p_uj leaves the
+  // proximities of all other nodes unchanged.
+  Rng rng(GetParam() + 300);
+  const uint32_t n = 10;
+  const double c = 0.55;
+  const DenseMatrix t = RandomT(n, &rng);
+  std::vector<double> e(n, 0.0);
+  e[0] = 1.0;
+  const auto before = SolvePhp(t, c, e);
+  const uint32_t u = 1 + static_cast<uint32_t>(rng.NextBounded(n - 1));
+  // Eliminate u: for every pair (i, j), add c * p_iu * p_uj; zero u's row
+  // and column. (Self-loops i == j are included, as in Definition 3.)
+  DenseMatrix t2 = t;
+  for (uint32_t i = 0; i < n; ++i) {
+    if (i == u) continue;
+    const double piu = t.at(i, u);
+    if (piu <= 0) continue;
+    for (uint32_t j = 0; j < n; ++j) {
+      if (j == u) continue;
+      t2.at(i, j) += c * piu * t.at(u, j);
+    }
+    t2.at(i, u) = 0;
+  }
+  for (uint32_t j = 0; j < n; ++j) t2.at(u, j) = 0;
+  const auto after = SolvePhp(t2, c, e);
+  for (uint32_t i = 0; i < n; ++i) {
+    if (i == u) continue;
+    EXPECT_NEAR(after[i], before[i], 1e-10) << "node " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OperationPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace flos

@@ -1,0 +1,162 @@
+// Robustness tests: error propagation through the search stack (failure
+// injection via a faulty accessor) and numerical behaviour under extreme
+// edge weights.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/dne.h"
+#include "baselines/ls_tht.h"
+#include "baselines/nn_ei.h"
+#include "core/flos.h"
+#include "graph/accessor.h"
+#include "measures/exact.h"
+#include "tests/test_util.h"
+
+namespace flos {
+namespace {
+
+using testing::RandomConnectedGraph;
+using testing::ValueOrDie;
+
+// An accessor that fails CopyNeighbors for one poisoned node: simulates an
+// I/O error (torn page, disk failure) surfacing mid-search.
+class FaultyAccessor final : public GraphAccessor {
+ public:
+  FaultyAccessor(const Graph* graph, NodeId poisoned)
+      : inner_(graph), poisoned_(poisoned) {}
+
+  uint64_t NumNodes() const override { return inner_.NumNodes(); }
+  uint64_t NumEdges() const override { return inner_.NumEdges(); }
+  double WeightedDegree(NodeId u) override {
+    return inner_.WeightedDegree(u);
+  }
+  Status CopyNeighbors(NodeId u, std::vector<Neighbor>* out) override {
+    if (u == poisoned_) {
+      return Status::IoError("injected failure reading node " +
+                             std::to_string(u));
+    }
+    return inner_.CopyNeighbors(u, out);
+  }
+  const std::vector<NodeId>& DegreeOrder() override {
+    return inner_.DegreeOrder();
+  }
+  double MaxWeightedDegree() override { return inner_.MaxWeightedDegree(); }
+
+ private:
+  InMemoryAccessor inner_;
+  NodeId poisoned_;
+};
+
+TEST(FailureInjectionTest, FlosPropagatesIoErrors) {
+  const Graph g = RandomConnectedGraph(300, 900, 5);
+  // Poison a node adjacent to the query so the search must hit it.
+  const NodeId query = 7;
+  const NodeId poisoned = g.NeighborIds(query)[0];
+  FaultyAccessor accessor(&g, poisoned);
+  FlosOptions options;
+  const auto result = FlosTopK(&accessor, query, 10, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+  EXPECT_NE(result.status().message().find("injected failure"),
+            std::string::npos);
+}
+
+TEST(FailureInjectionTest, PoisonedQueryFailsImmediately) {
+  const Graph g = RandomConnectedGraph(100, 300, 6);
+  FaultyAccessor accessor(&g, 3);
+  EXPECT_FALSE(FlosTopK(&accessor, 3, 5, FlosOptions{}).ok());
+}
+
+TEST(FailureInjectionTest, LocalBaselinesPropagateIoErrors) {
+  const Graph g = RandomConnectedGraph(300, 900, 8);
+  const NodeId query = 11;
+  const NodeId poisoned = g.NeighborIds(query)[0];
+  FaultyAccessor accessor(&g, poisoned);
+  EXPECT_FALSE(DneTopK(&accessor, query, 5, DneOptions{}).ok());
+  EXPECT_FALSE(NnEiTopK(&accessor, query, 5, NnEiOptions{}).ok());
+  EXPECT_FALSE(LsThtTopK(&accessor, query, 5, LsThtOptions{}).ok());
+}
+
+TEST(FailureInjectionTest, UnreachedPoisonDoesNotHurt) {
+  // Poison a node the local search never needs: query answers normally.
+  const Graph g = RandomConnectedGraph(5000, 15000, 9);
+  const NodeId query = 0;
+  // Pick a far-away node (last in BFS order is a decent heuristic: the
+  // highest id not adjacent to the query).
+  NodeId far = static_cast<NodeId>(g.NumNodes() - 1);
+  while (g.HasEdge(query, far) || far == query) --far;
+  FaultyAccessor accessor(&g, far);
+  FlosOptions options;
+  options.measure = Measure::kPhp;
+  const auto result = FlosTopK(&accessor, query, 5, options);
+  // The search may legitimately touch `far` on unlucky seeds; accept both
+  // outcomes but require a clean status signal either way.
+  if (result.ok()) {
+    EXPECT_EQ(result->topk.size(), 5u);
+    EXPECT_TRUE(result->stats.exact);
+  } else {
+    EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+  }
+}
+
+class ExtremeWeightsTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ExtremeWeightsTest, FlosStaysExactUnderWeightScaling) {
+  // Transition probabilities are scale-invariant, so scaling every weight
+  // by 1e-6 .. 1e6 must not change any ranking.
+  const double scale = GetParam();
+  GraphBuilder builder;
+  Rng rng(17);
+  const Graph base = RandomConnectedGraph(150, 450, 23);
+  for (NodeId u = 0; u < base.NumNodes(); ++u) {
+    const auto ids = base.NeighborIds(u);
+    const auto ws = base.NeighborWeights(u);
+    for (size_t e = 0; e < ids.size(); ++e) {
+      if (ids[e] > u) {
+        FLOS_ASSERT_OK(builder.AddEdge(u, ids[e], ws[e] * scale));
+      }
+    }
+  }
+  const Graph scaled = ValueOrDie(std::move(builder).Build());
+  FlosOptions options;
+  options.measure = Measure::kPhp;
+  const FlosResult r_base = ValueOrDie(FlosTopK(base, 4, 10, options));
+  const FlosResult r_scaled = ValueOrDie(FlosTopK(scaled, 4, 10, options));
+  ASSERT_EQ(r_base.topk.size(), r_scaled.topk.size());
+  for (size_t i = 0; i < r_base.topk.size(); ++i) {
+    EXPECT_EQ(r_base.topk[i].node, r_scaled.topk[i].node);
+    EXPECT_NEAR(r_base.topk[i].score, r_scaled.topk[i].score, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, ExtremeWeightsTest,
+                         ::testing::Values(1e-6, 1e-3, 1e3, 1e6));
+
+TEST(ExtremeWeightsTest, MixedMagnitudeWeightsStayExact) {
+  // Weights spanning 9 orders of magnitude within one graph.
+  GraphBuilder builder;
+  Rng rng(29);
+  for (int u = 0; u + 1 < 60; ++u) {
+    FLOS_ASSERT_OK(
+        builder.AddEdge(u, u + 1, std::pow(10.0, rng.NextDouble() * 9 - 4)));
+    if (u % 3 == 0 && u + 7 < 60) {
+      FLOS_ASSERT_OK(builder.AddEdge(
+          u, u + 7, std::pow(10.0, rng.NextDouble() * 9 - 4)));
+    }
+  }
+  const Graph g = ValueOrDie(std::move(builder).Build());
+  FlosOptions options;
+  options.measure = Measure::kPhp;
+  options.tolerance = 1e-9;
+  const auto exact = ValueOrDie(ExactPhp(g, 0, 0.5));
+  const FlosResult r = ValueOrDie(FlosTopK(g, 0, 10, options));
+  std::vector<NodeId> nodes;
+  for (const auto& s : r.topk) nodes.push_back(s.node);
+  testing::ExpectTopKMatchesScores(nodes, exact, 0, 10, Direction::kMaximize,
+                                   1e-6);
+}
+
+}  // namespace
+}  // namespace flos

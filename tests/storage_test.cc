@@ -1,0 +1,162 @@
+// Tests for the disk-resident graph store: round-trip fidelity, identical
+// FLoS answers over memory and disk, cache behaviour under tiny budgets,
+// and corruption detection.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+
+#include "core/flos.h"
+#include "storage/disk_builder.h"
+#include "storage/disk_format.h"
+#include "storage/disk_graph.h"
+#include "storage/lru_cache.h"
+#include "tests/test_util.h"
+
+namespace flos {
+namespace {
+
+using testing::PaperExampleGraph;
+using testing::RandomConnectedGraph;
+using testing::ValueOrDie;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(LruBlockCacheTest, EvictsLeastRecentlyUsed) {
+  LruBlockCache cache(10);
+  cache.Put(1, std::vector<char>(4, 'a'));
+  cache.Put(2, std::vector<char>(4, 'b'));
+  ASSERT_NE(cache.Get(1), nullptr);  // touch 1 -> 2 becomes LRU
+  cache.Put(3, std::vector<char>(4, 'c'));
+  EXPECT_EQ(cache.Get(2), nullptr) << "block 2 should have been evicted";
+  EXPECT_NE(cache.Get(1), nullptr);
+  EXPECT_NE(cache.Get(3), nullptr);
+  EXPECT_LE(cache.used_bytes(), 10u);
+}
+
+TEST(LruBlockCacheTest, OversizedBlockIsNotCached) {
+  LruBlockCache cache(4);
+  cache.Put(1, std::vector<char>(16, 'x'));
+  EXPECT_EQ(cache.Get(1), nullptr);
+  EXPECT_EQ(cache.used_bytes(), 0u);
+}
+
+TEST(DiskGraphTest, RoundTripsExactly) {
+  const Graph g = RandomConnectedGraph(300, 900, 19);
+  const std::string path = TempPath("roundtrip.flos");
+  FLOS_ASSERT_OK(WriteDiskGraph(g, path));
+  auto disk = ValueOrDie(DiskGraph::Open(path, DiskGraphOptions{}));
+  EXPECT_EQ(disk->NumNodes(), g.NumNodes());
+  EXPECT_EQ(disk->NumEdges(), g.NumEdges());
+  EXPECT_DOUBLE_EQ(disk->MaxWeightedDegree(), g.MaxWeightedDegree());
+  EXPECT_EQ(disk->DegreeOrder(), g.DegreeOrder());
+  std::vector<Neighbor> from_disk;
+  std::vector<Neighbor> from_mem;
+  InMemoryAccessor mem(&g);
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    FLOS_ASSERT_OK(disk->CopyNeighbors(u, &from_disk));
+    FLOS_ASSERT_OK(mem.CopyNeighbors(u, &from_mem));
+    ASSERT_EQ(from_disk, from_mem) << "node " << u;
+    EXPECT_DOUBLE_EQ(disk->WeightedDegree(u), g.WeightedDegree(u));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DiskGraphTest, FlosAnswersMatchMemory) {
+  const Graph g = RandomConnectedGraph(800, 2400, 23);
+  const std::string path = TempPath("flos_query.flos");
+  FLOS_ASSERT_OK(WriteDiskGraph(g, path));
+  DiskGraphOptions disk_options;
+  disk_options.cache_bytes = 1 << 16;  // small cache: force real I/O
+  disk_options.block_bytes = 1 << 10;
+  auto disk = ValueOrDie(DiskGraph::Open(path, disk_options));
+  for (const Measure m : {Measure::kPhp, Measure::kRwr, Measure::kTht}) {
+    FlosOptions options;
+    options.measure = m;
+    const FlosResult mem_result = ValueOrDie(FlosTopK(g, 5, 10, options));
+    const FlosResult disk_result =
+        ValueOrDie(FlosTopK(disk.get(), 5, 10, options));
+    ASSERT_EQ(mem_result.topk.size(), disk_result.topk.size());
+    for (size_t i = 0; i < mem_result.topk.size(); ++i) {
+      EXPECT_EQ(mem_result.topk[i].node, disk_result.topk[i].node);
+      EXPECT_NEAR(mem_result.topk[i].score, disk_result.topk[i].score, 1e-12);
+    }
+    EXPECT_EQ(mem_result.stats.visited_nodes, disk_result.stats.visited_nodes);
+  }
+  // The disk accessor actually hit the cache machinery.
+  EXPECT_GT(disk->stats().cache_misses, 0u);
+  EXPECT_GT(disk->stats().bytes_read, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(DiskGraphTest, TinyCacheStillCorrect) {
+  const Graph g = RandomConnectedGraph(200, 600, 29);
+  const std::string path = TempPath("tiny_cache.flos");
+  FLOS_ASSERT_OK(WriteDiskGraph(g, path));
+  DiskGraphOptions disk_options;
+  disk_options.cache_bytes = 2048;  // two 1 KiB blocks
+  disk_options.block_bytes = 1024;
+  auto disk = ValueOrDie(DiskGraph::Open(path, disk_options));
+  std::vector<Neighbor> nbs;
+  InMemoryAccessor mem(&g);
+  std::vector<Neighbor> expected;
+  // Sweep twice; second sweep gets plenty of evictions.
+  for (int round = 0; round < 2; ++round) {
+    for (NodeId u = 0; u < g.NumNodes(); ++u) {
+      FLOS_ASSERT_OK(disk->CopyNeighbors(u, &nbs));
+      FLOS_ASSERT_OK(mem.CopyNeighbors(u, &expected));
+      ASSERT_EQ(nbs, expected);
+    }
+  }
+  EXPECT_GT(disk->stats().cache_hits, 0u);
+  EXPECT_GT(disk->stats().cache_misses, 2u);
+  std::remove(path.c_str());
+}
+
+TEST(DiskGraphTest, DetectsCorruption) {
+  EXPECT_FALSE(DiskGraph::Open("/no/such/file", DiskGraphOptions{}).ok());
+
+  // Bad magic.
+  const std::string bad_magic = TempPath("bad_magic.flos");
+  std::FILE* f = std::fopen(bad_magic.c_str(), "wb");
+  DiskHeader header{};
+  std::memcpy(header.magic, "NOTFLOS!", 8);
+  std::fwrite(&header, sizeof(header), 1, f);
+  std::fclose(f);
+  const auto r1 = DiskGraph::Open(bad_magic, DiskGraphOptions{});
+  ASSERT_FALSE(r1.ok());
+  EXPECT_EQ(r1.status().code(), StatusCode::kCorruption);
+  std::remove(bad_magic.c_str());
+
+  // Truncated adjacency region.
+  const Graph g = PaperExampleGraph();
+  const std::string truncated = TempPath("truncated.flos");
+  FLOS_ASSERT_OK(WriteDiskGraph(g, truncated));
+  // Chop the last 16 bytes off.
+  f = std::fopen(truncated.c_str(), "rb");
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  FLOS_ASSERT_OK([&]() -> Status {
+    if (truncate(truncated.c_str(), size - 16) != 0) {
+      return Status::IoError("truncate failed");
+    }
+    return Status::OK();
+  }());
+  auto disk = ValueOrDie(DiskGraph::Open(truncated, DiskGraphOptions{}));
+  std::vector<Neighbor> nbs;
+  Status last = Status::OK();
+  for (NodeId u = 0; u < g.NumNodes() && last.ok(); ++u) {
+    last = disk->CopyNeighbors(u, &nbs);
+  }
+  EXPECT_FALSE(last.ok()) << "reading past the truncation must fail";
+  std::remove(truncated.c_str());
+}
+
+}  // namespace
+}  // namespace flos

@@ -1,0 +1,178 @@
+// Unit tests for the utility substrate: Status/Result, Rng, FlagParser,
+// TablePrinter.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "tests/test_util.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/table_printer.h"
+
+namespace flos {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status s = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad k");
+  EXPECT_EQ(s.ToString(), "invalid_argument: bad k");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (const StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kOutOfRange, StatusCode::kFailedPrecondition,
+        StatusCode::kIoError, StatusCode::kCorruption,
+        StatusCode::kResourceExhausted, StatusCode::kInternal}) {
+    EXPECT_STRNE(StatusCodeName(code), "unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValueOrStatus) {
+  Result<int> ok(42);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  Result<int> bad(Status::NotFound("nope"));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+}
+
+Result<int> Doubler(Result<int> in) {
+  FLOS_ASSIGN_OR_RETURN(const int v, std::move(in));
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Doubler(21), 42);
+  EXPECT_EQ(Doubler(Status::Internal("x")).status().code(),
+            StatusCode::kInternal);
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+  // Rough uniformity: all 17 residues appear.
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.NextBounded(17));
+  EXPECT_EQ(seen.size(), 17u);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, SampleDistinctIsDistinctAndComplete) {
+  Rng rng(11);
+  const auto sparse = rng.SampleDistinct(1000, 10);
+  EXPECT_EQ(std::set<uint64_t>(sparse.begin(), sparse.end()).size(), 10u);
+  const auto dense = rng.SampleDistinct(20, 20);
+  EXPECT_EQ(std::set<uint64_t>(dense.begin(), dense.end()).size(), 20u);
+  for (const uint64_t v : dense) EXPECT_LT(v, 20u);
+}
+
+TEST(FlagParserTest, ParsesAllTypesAndForms) {
+  FlagParser flags;
+  int64_t k = 20;
+  double c = 0.5;
+  bool verbose = false;
+  bool fancy = true;
+  std::string name = "default";
+  flags.AddInt("k", &k, "k");
+  flags.AddDouble("c", &c, "c");
+  flags.AddBool("verbose", &verbose, "v");
+  flags.AddBool("fancy", &fancy, "f");
+  flags.AddString("name", &name, "n");
+  const char* argv[] = {"prog",      "--k=40",   "--c", "0.8", "--verbose",
+                        "--no-fancy", "--name=x", "pos"};
+  FLOS_ASSERT_OK(flags.Parse(8, const_cast<char**>(argv)));
+  EXPECT_EQ(k, 40);
+  EXPECT_DOUBLE_EQ(c, 0.8);
+  EXPECT_TRUE(verbose);
+  EXPECT_FALSE(fancy);
+  EXPECT_EQ(name, "x");
+  ASSERT_EQ(flags.positional_args().size(), 1u);
+  EXPECT_EQ(flags.positional_args()[0], "pos");
+}
+
+TEST(FlagParserTest, RejectsUnknownAndMalformed) {
+  FlagParser flags;
+  int64_t k = 1;
+  flags.AddInt("k", &k, "k");
+  {
+    const char* argv[] = {"prog", "--unknown=1"};
+    EXPECT_FALSE(flags.Parse(2, const_cast<char**>(argv)).ok());
+  }
+  {
+    const char* argv[] = {"prog", "--k=abc"};
+    EXPECT_FALSE(flags.Parse(2, const_cast<char**>(argv)).ok());
+  }
+  {
+    const char* argv[] = {"prog", "--k"};
+    EXPECT_FALSE(flags.Parse(2, const_cast<char**>(argv)).ok());
+  }
+}
+
+TEST(TablePrinterTest, FormatsDoubles) {
+  EXPECT_EQ(TablePrinter::FormatDouble(0.5), "0.5");
+  EXPECT_EQ(TablePrinter::FormatDouble(1234.5678, 6), "1234.57");
+}
+
+TEST(TablePrinterTest, CsvMode) {
+  TablePrinter t(/*csv=*/true);
+  t.AddRow({"a", "b"});
+  t.AddRow({"1", "2"});
+  char buf[256] = {};
+  std::FILE* mem = fmemopen(buf, sizeof(buf), "w");
+  t.Print(mem);
+  std::fclose(mem);
+  EXPECT_STREQ(buf, "a,b\n1,2\n");
+}
+
+TEST(TablePrinterTest, AlignedMode) {
+  TablePrinter t;
+  t.AddRow({"long-header", "x"});
+  t.AddRow({"a", "y"});
+  char buf[256] = {};
+  std::FILE* mem = fmemopen(buf, sizeof(buf), "w");
+  t.Print(mem);
+  std::fclose(mem);
+  EXPECT_STREQ(buf, "long-header  x\na            y\n");
+}
+
+}  // namespace
+}  // namespace flos
