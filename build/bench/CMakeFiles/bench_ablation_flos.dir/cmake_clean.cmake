@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_flos.dir/bench_ablation_flos.cc.o"
+  "CMakeFiles/bench_ablation_flos.dir/bench_ablation_flos.cc.o.d"
+  "bench_ablation_flos"
+  "bench_ablation_flos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_flos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_tht_real.dir/bench_fig10_tht_real.cc.o"
+  "CMakeFiles/bench_fig10_tht_real.dir/bench_fig10_tht_real.cc.o.d"
+  "bench_fig10_tht_real"
+  "bench_fig10_tht_real.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_tht_real.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

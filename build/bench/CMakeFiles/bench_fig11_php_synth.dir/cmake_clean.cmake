@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_php_synth.dir/bench_fig11_php_synth.cc.o"
+  "CMakeFiles/bench_fig11_php_synth.dir/bench_fig11_php_synth.cc.o.d"
+  "bench_fig11_php_synth"
+  "bench_fig11_php_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_php_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_rwr_synth.dir/bench_fig12_rwr_synth.cc.o"
+  "CMakeFiles/bench_fig12_rwr_synth.dir/bench_fig12_rwr_synth.cc.o.d"
+  "bench_fig12_rwr_synth"
+  "bench_fig12_rwr_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_rwr_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_property.dir/bench_table2_property.cc.o"
+  "CMakeFiles/bench_table2_property.dir/bench_table2_property.cc.o.d"
+  "bench_table2_property"
+  "bench_table2_property.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flos_bench_harness.dir/harness.cc.o"
+  "CMakeFiles/flos_bench_harness.dir/harness.cc.o.d"
+  "libflos_bench_harness.a"
+  "libflos_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flos_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libflos_bench_harness.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disk_graph_query.dir/disk_graph_query.cpp.o"
+  "CMakeFiles/disk_graph_query.dir/disk_graph_query.cpp.o.d"
+  "disk_graph_query"
+  "disk_graph_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disk_graph_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

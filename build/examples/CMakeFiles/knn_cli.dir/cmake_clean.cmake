@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knn_cli.dir/knn_cli.cpp.o"
+  "CMakeFiles/knn_cli.dir/knn_cli.cpp.o.d"
+  "knn_cli"
+  "knn_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knn_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

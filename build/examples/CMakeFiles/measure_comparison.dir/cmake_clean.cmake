@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/measure_comparison.dir/measure_comparison.cpp.o"
+  "CMakeFiles/measure_comparison.dir/measure_comparison.cpp.o.d"
+  "measure_comparison"
+  "measure_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/measure_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

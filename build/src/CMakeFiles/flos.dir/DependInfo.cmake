@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/castanet.cc" "src/CMakeFiles/flos.dir/baselines/castanet.cc.o" "gcc" "src/CMakeFiles/flos.dir/baselines/castanet.cc.o.d"
+  "/root/repo/src/baselines/dne.cc" "src/CMakeFiles/flos.dir/baselines/dne.cc.o" "gcc" "src/CMakeFiles/flos.dir/baselines/dne.cc.o.d"
+  "/root/repo/src/baselines/ge_embed.cc" "src/CMakeFiles/flos.dir/baselines/ge_embed.cc.o" "gcc" "src/CMakeFiles/flos.dir/baselines/ge_embed.cc.o.d"
+  "/root/repo/src/baselines/gi.cc" "src/CMakeFiles/flos.dir/baselines/gi.cc.o" "gcc" "src/CMakeFiles/flos.dir/baselines/gi.cc.o.d"
+  "/root/repo/src/baselines/kdash.cc" "src/CMakeFiles/flos.dir/baselines/kdash.cc.o" "gcc" "src/CMakeFiles/flos.dir/baselines/kdash.cc.o.d"
+  "/root/repo/src/baselines/ls_push.cc" "src/CMakeFiles/flos.dir/baselines/ls_push.cc.o" "gcc" "src/CMakeFiles/flos.dir/baselines/ls_push.cc.o.d"
+  "/root/repo/src/baselines/ls_tht.cc" "src/CMakeFiles/flos.dir/baselines/ls_tht.cc.o" "gcc" "src/CMakeFiles/flos.dir/baselines/ls_tht.cc.o.d"
+  "/root/repo/src/baselines/nn_ei.cc" "src/CMakeFiles/flos.dir/baselines/nn_ei.cc.o" "gcc" "src/CMakeFiles/flos.dir/baselines/nn_ei.cc.o.d"
+  "/root/repo/src/core/bound_engine.cc" "src/CMakeFiles/flos.dir/core/bound_engine.cc.o" "gcc" "src/CMakeFiles/flos.dir/core/bound_engine.cc.o.d"
+  "/root/repo/src/core/flos.cc" "src/CMakeFiles/flos.dir/core/flos.cc.o" "gcc" "src/CMakeFiles/flos.dir/core/flos.cc.o.d"
+  "/root/repo/src/core/local_graph.cc" "src/CMakeFiles/flos.dir/core/local_graph.cc.o" "gcc" "src/CMakeFiles/flos.dir/core/local_graph.cc.o.d"
+  "/root/repo/src/core/tht_bound_engine.cc" "src/CMakeFiles/flos.dir/core/tht_bound_engine.cc.o" "gcc" "src/CMakeFiles/flos.dir/core/tht_bound_engine.cc.o.d"
+  "/root/repo/src/graph/accessor.cc" "src/CMakeFiles/flos.dir/graph/accessor.cc.o" "gcc" "src/CMakeFiles/flos.dir/graph/accessor.cc.o.d"
+  "/root/repo/src/graph/dynamic_graph.cc" "src/CMakeFiles/flos.dir/graph/dynamic_graph.cc.o" "gcc" "src/CMakeFiles/flos.dir/graph/dynamic_graph.cc.o.d"
+  "/root/repo/src/graph/edge_list_io.cc" "src/CMakeFiles/flos.dir/graph/edge_list_io.cc.o" "gcc" "src/CMakeFiles/flos.dir/graph/edge_list_io.cc.o.d"
+  "/root/repo/src/graph/generators.cc" "src/CMakeFiles/flos.dir/graph/generators.cc.o" "gcc" "src/CMakeFiles/flos.dir/graph/generators.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/CMakeFiles/flos.dir/graph/graph.cc.o" "gcc" "src/CMakeFiles/flos.dir/graph/graph.cc.o.d"
+  "/root/repo/src/graph/presets.cc" "src/CMakeFiles/flos.dir/graph/presets.cc.o" "gcc" "src/CMakeFiles/flos.dir/graph/presets.cc.o.d"
+  "/root/repo/src/graph/stats.cc" "src/CMakeFiles/flos.dir/graph/stats.cc.o" "gcc" "src/CMakeFiles/flos.dir/graph/stats.cc.o.d"
+  "/root/repo/src/graph/traversal.cc" "src/CMakeFiles/flos.dir/graph/traversal.cc.o" "gcc" "src/CMakeFiles/flos.dir/graph/traversal.cc.o.d"
+  "/root/repo/src/linalg/csr_matrix.cc" "src/CMakeFiles/flos.dir/linalg/csr_matrix.cc.o" "gcc" "src/CMakeFiles/flos.dir/linalg/csr_matrix.cc.o.d"
+  "/root/repo/src/linalg/dense_matrix.cc" "src/CMakeFiles/flos.dir/linalg/dense_matrix.cc.o" "gcc" "src/CMakeFiles/flos.dir/linalg/dense_matrix.cc.o.d"
+  "/root/repo/src/linalg/iterative_solver.cc" "src/CMakeFiles/flos.dir/linalg/iterative_solver.cc.o" "gcc" "src/CMakeFiles/flos.dir/linalg/iterative_solver.cc.o.d"
+  "/root/repo/src/linalg/lu.cc" "src/CMakeFiles/flos.dir/linalg/lu.cc.o" "gcc" "src/CMakeFiles/flos.dir/linalg/lu.cc.o.d"
+  "/root/repo/src/linalg/rcm.cc" "src/CMakeFiles/flos.dir/linalg/rcm.cc.o" "gcc" "src/CMakeFiles/flos.dir/linalg/rcm.cc.o.d"
+  "/root/repo/src/measures/exact.cc" "src/CMakeFiles/flos.dir/measures/exact.cc.o" "gcc" "src/CMakeFiles/flos.dir/measures/exact.cc.o.d"
+  "/root/repo/src/measures/measure.cc" "src/CMakeFiles/flos.dir/measures/measure.cc.o" "gcc" "src/CMakeFiles/flos.dir/measures/measure.cc.o.d"
+  "/root/repo/src/measures/transforms.cc" "src/CMakeFiles/flos.dir/measures/transforms.cc.o" "gcc" "src/CMakeFiles/flos.dir/measures/transforms.cc.o.d"
+  "/root/repo/src/storage/disk_builder.cc" "src/CMakeFiles/flos.dir/storage/disk_builder.cc.o" "gcc" "src/CMakeFiles/flos.dir/storage/disk_builder.cc.o.d"
+  "/root/repo/src/storage/disk_graph.cc" "src/CMakeFiles/flos.dir/storage/disk_graph.cc.o" "gcc" "src/CMakeFiles/flos.dir/storage/disk_graph.cc.o.d"
+  "/root/repo/src/util/flags.cc" "src/CMakeFiles/flos.dir/util/flags.cc.o" "gcc" "src/CMakeFiles/flos.dir/util/flags.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/flos.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/flos.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/flos.dir/util/status.cc.o" "gcc" "src/CMakeFiles/flos.dir/util/status.cc.o.d"
+  "/root/repo/src/util/table_printer.cc" "src/CMakeFiles/flos.dir/util/table_printer.cc.o" "gcc" "src/CMakeFiles/flos.dir/util/table_printer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flos_test.dir/flos_test.cc.o"
+  "CMakeFiles/flos_test.dir/flos_test.cc.o.d"
+  "flos_test"
+  "flos_test.pdb"
+  "flos_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

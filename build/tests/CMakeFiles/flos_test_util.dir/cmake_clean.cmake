@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flos_test_util.dir/test_util.cc.o"
+  "CMakeFiles/flos_test_util.dir/test_util.cc.o.d"
+  "libflos_test_util.a"
+  "libflos_test_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flos_test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

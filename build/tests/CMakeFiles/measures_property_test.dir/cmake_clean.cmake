@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/measures_property_test.dir/measures_property_test.cc.o"
+  "CMakeFiles/measures_property_test.dir/measures_property_test.cc.o.d"
+  "measures_property_test"
+  "measures_property_test.pdb"
+  "measures_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/measures_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traversal_stats_test.dir/traversal_stats_test.cc.o"
+  "CMakeFiles/traversal_stats_test.dir/traversal_stats_test.cc.o.d"
+  "traversal_stats_test"
+  "traversal_stats_test.pdb"
+  "traversal_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traversal_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

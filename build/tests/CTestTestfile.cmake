@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/flos_test[1]_include.cmake")
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/generators_test[1]_include.cmake")
+include("/root/repo/build/tests/linalg_test[1]_include.cmake")
+include("/root/repo/build/tests/measures_test[1]_include.cmake")
+include("/root/repo/build/tests/measures_property_test[1]_include.cmake")
+include("/root/repo/build/tests/operations_test[1]_include.cmake")
+include("/root/repo/build/tests/bounds_test[1]_include.cmake")
+include("/root/repo/build/tests/local_graph_test[1]_include.cmake")
+include("/root/repo/build/tests/traversal_stats_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/bound_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/dynamic_graph_test[1]_include.cmake")
+include("/root/repo/build/tests/multi_source_test[1]_include.cmake")
+include("/root/repo/build/tests/harness_test[1]_include.cmake")
