@@ -1,0 +1,124 @@
+// Batch-serving throughput bench: quantifies the two architecture wins of
+// the query-engine refactor.
+//
+//   1. Workspace reuse: single-thread QPS of a reused FlosEngine vs the
+//      one-shot FlosTopK wrapper (fresh workspace per query).
+//   2. Thread scaling: BatchTopK aggregate QPS over a list of worker
+//      counts (one engine per worker over the shared graph).
+//
+//   ./bench/bench_batch_throughput --nodes=65536 --queries=2000 \
+//       --threads=1,2,4,8 --k=10 [--csv]
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "core/batch_topk.h"
+#include "core/flos.h"
+#include "core/flos_engine.h"
+#include "graph/accessor.h"
+#include "graph/generators.h"
+#include "util/flags.h"
+#include "util/timer.h"
+
+namespace flos {
+namespace {
+
+int Run(int argc, char** argv) {
+  FlagParser flags;
+  int64_t nodes = 65536;
+  double density = 8.0;
+  int64_t num_queries = 2000;
+  int64_t k = 10;
+  double c = 0.5;
+  int64_t seed = 42;
+  std::string threads_csv = "1,2,4,8";
+  bool csv = false;
+  flags.AddInt("nodes", &nodes, "graph size (Erdős–Rényi)");
+  flags.AddDouble("density", &density, "average degree");
+  flags.AddInt("queries", &num_queries, "queries per measurement");
+  flags.AddInt("k", &k, "neighbors per query");
+  flags.AddDouble("c", &c, "decay factor");
+  flags.AddInt("seed", &seed, "graph + query sampling seed");
+  flags.AddString("threads", &threads_csv, "worker counts for BatchTopK");
+  flags.AddBool("csv", &csv, "emit CSV rows");
+  if (const Status s = flags.Parse(argc, argv); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    flags.PrintUsage(argv[0]);
+    return 1;
+  }
+
+  bench::SynthSpec spec;
+  spec.label = "RAND";
+  spec.nodes = static_cast<uint64_t>(nodes);
+  spec.edges = static_cast<uint64_t>(static_cast<double>(nodes) * density);
+  spec.rmat = false;
+  const Graph graph =
+      bench::CheckOk(bench::BuildSynth(spec, static_cast<uint64_t>(seed)));
+  bench::PrintGraphLine(spec.label, graph);
+
+  const std::vector<NodeId> queries = bench::SampleQueries(
+      graph, static_cast<int>(num_queries), static_cast<uint64_t>(seed) + 7);
+  FlosOptions options;
+  options.measure = Measure::kPhp;
+  options.c = c;
+  const int kk = static_cast<int>(k);
+
+  // --- 1. Fresh workspace per query (the pre-refactor architecture). ---
+  double fresh_qps = 0;
+  {
+    WallTimer timer;
+    for (const NodeId q : queries) {
+      bench::CheckOk(FlosTopK(graph, q, kk, options).status());
+    }
+    fresh_qps = 1000.0 * queries.size() / timer.ElapsedMillis();
+  }
+
+  // --- 2. One reused engine (steady-state allocations: none). ---
+  double reused_qps = 0;
+  {
+    InMemoryAccessor accessor(&graph);
+    FlosEngine engine(&accessor);
+    // Warm-up pass so the workspace reaches its high-water capacity.
+    for (const NodeId q : queries) {
+      bench::CheckOk(engine.TopK(q, kk, options).status());
+    }
+    WallTimer timer;
+    for (const NodeId q : queries) {
+      bench::CheckOk(engine.TopK(q, kk, options).status());
+    }
+    reused_qps = 1000.0 * queries.size() / timer.ElapsedMillis();
+  }
+
+  if (csv) {
+    std::printf("mode,threads,qps,speedup\n");
+    std::printf("fresh,1,%.1f,1.00\n", fresh_qps);
+    std::printf("reused,1,%.1f,%.2f\n", reused_qps, reused_qps / fresh_qps);
+  } else {
+    std::printf("single-thread  fresh-per-query %10.1f qps\n", fresh_qps);
+    std::printf("single-thread  reused engine   %10.1f qps   (%.2fx)\n",
+                reused_qps, reused_qps / fresh_qps);
+  }
+
+  // --- 3. BatchTopK thread scaling. ---
+  double base_qps = 0;
+  for (const int threads : bench::ParseIntList(threads_csv)) {
+    WallTimer timer;
+    bench::CheckOk(BatchTopK(graph, queries, kk, options, threads).status());
+    const double qps = 1000.0 * queries.size() / timer.ElapsedMillis();
+    if (base_qps == 0) base_qps = qps;
+    if (csv) {
+      std::printf("batch,%d,%.1f,%.2f\n", threads, qps, qps / base_qps);
+    } else {
+      std::printf("batch          %2d thread(s)    %10.1f qps   (%.2fx)\n",
+                  threads, qps, qps / base_qps);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace flos
+
+int main(int argc, char** argv) { return flos::Run(argc, argv); }

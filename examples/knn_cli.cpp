@@ -4,15 +4,20 @@
 //
 //   ./examples/knn_cli --graph=my_edges.txt --measure=rwr --k=10 5 42 777
 //   ./examples/knn_cli --synthetic-nodes=50000 --measure=php 123
+//   ./examples/knn_cli --graph=my_edges.txt --batch-file=ids.txt --threads=4
 //
 // Positional arguments are query node ids. Without any, a few random
-// queries are run.
+// queries are run. With --batch-file (one node id per line, '#' comments),
+// the whole batch is answered via the thread-pooled BatchTopK engine and
+// --threads workers; results print in input order.
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
+#include "core/batch_topk.h"
 #include "core/flos.h"
 #include "graph/edge_list_io.h"
 #include "graph/generators.h"
@@ -33,6 +38,37 @@ flos::Result<flos::Measure> ParseMeasure(const std::string& name) {
       "unknown measure '" + name + "' (expected php|ei|dht|tht|rwr)");
 }
 
+flos::Result<std::vector<flos::NodeId>> ReadBatchFile(const std::string& path,
+                                                      uint64_t num_nodes) {
+  std::ifstream in(path);
+  if (!in) return flos::Status::IoError("cannot open batch file " + path);
+  std::vector<flos::NodeId> queries;
+  std::string line;
+  while (std::getline(in, line)) {
+    const size_t start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos || line[start] == '#') continue;
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(line.c_str() + start, &end, 10);
+    if (end == line.c_str() + start || v >= num_nodes) {
+      return flos::Status::InvalidArgument("bad query node '" + line +
+                                           "' in " + path);
+    }
+    queries.push_back(static_cast<flos::NodeId>(v));
+  }
+  return queries;
+}
+
+void PrintResult(const flos::FlosResult& result, bool show_bounds) {
+  for (const flos::ScoredNode& s : result.topk) {
+    if (show_bounds) {
+      std::printf("  %-10u %-12.6g in [%.6g, %.6g]\n", s.node, s.score,
+                  s.lower, s.upper);
+    } else {
+      std::printf("  %-10u %.6g\n", s.node, s.score);
+    }
+  }
+}
+
 int Run(int argc, char** argv) {
   flos::FlagParser flags;
   std::string graph_path;
@@ -43,7 +79,13 @@ int Run(int argc, char** argv) {
   int64_t synthetic_nodes = 10000;
   int64_t seed = 1;
   bool show_bounds = false;
+  std::string batch_file;
+  int64_t threads = 0;
   flags.AddString("graph", &graph_path, "SNAP-style edge list to load");
+  flags.AddString("batch-file", &batch_file,
+                  "file of query node ids, one per line");
+  flags.AddInt("threads", &threads,
+               "worker threads for --batch-file (0 = all cores)");
   flags.AddString("measure", &measure_name, "php|ei|dht|tht|rwr");
   flags.AddInt("k", &k, "neighbors to return");
   flags.AddDouble("c", &c, "decay factor / restart probability");
@@ -91,6 +133,34 @@ int Run(int argc, char** argv) {
   options.c = c;
   options.tht_length = static_cast<int>(tht_length);
 
+  if (!batch_file.empty()) {
+    auto batch = ReadBatchFile(batch_file, graph.NumNodes());
+    if (!batch.ok()) {
+      std::fprintf(stderr, "%s\n", batch.status().ToString().c_str());
+      return 1;
+    }
+    const std::vector<flos::NodeId> queries = std::move(batch).value();
+    flos::WallTimer timer;
+    auto results = flos::BatchTopK(graph, queries, static_cast<int>(k),
+                                   options, static_cast<int>(threads));
+    if (!results.ok()) {
+      std::fprintf(stderr, "batch: %s\n", results.status().ToString().c_str());
+      return 1;
+    }
+    const double ms = timer.ElapsedMillis();
+    std::printf("batch of %zu queries (%s, k=%lld): %.2f ms total, %.1f qps\n",
+                queries.size(), flos::MeasureName(*measure).c_str(),
+                static_cast<long long>(k), ms, 1000.0 * queries.size() / ms);
+    for (size_t i = 0; i < queries.size(); ++i) {
+      const flos::FlosResult& r = (*results)[i];
+      std::printf("query %u: visited %llu, %s\n", queries[i],
+                  static_cast<unsigned long long>(r.stats.visited_nodes),
+                  r.stats.exact ? "exact" : "approximate");
+      PrintResult(r, show_bounds);
+    }
+    return 0;
+  }
+
   std::vector<flos::NodeId> queries;
   for (const std::string& arg : flags.positional_args()) {
     char* end = nullptr;
@@ -124,14 +194,7 @@ int Run(int argc, char** argv) {
                 static_cast<unsigned long long>(result->stats.visited_nodes),
                 static_cast<unsigned long long>(graph.NumNodes()),
                 result->stats.exact ? "exact" : "approximate");
-    for (const flos::ScoredNode& s : result->topk) {
-      if (show_bounds) {
-        std::printf("  %-10u %-12.6g in [%.6g, %.6g]\n", s.node, s.score,
-                    s.lower, s.upper);
-      } else {
-        std::printf("  %-10u %.6g\n", s.node, s.score);
-      }
-    }
+    PrintResult(*result, show_bounds);
   }
   return 0;
 }

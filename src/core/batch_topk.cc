@@ -1,0 +1,78 @@
+#include "core/batch_topk.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <utility>
+
+#include "core/flos_engine.h"
+#include "util/thread_pool.h"
+
+namespace flos {
+
+Result<std::vector<FlosResult>> BatchTopK(const AccessorFactory& make_accessor,
+                                          const std::vector<NodeId>& queries,
+                                          int k, const FlosOptions& options,
+                                          int num_threads) {
+  if (num_threads <= 0) num_threads = ThreadPool::DefaultNumThreads();
+  num_threads = static_cast<int>(
+      std::min<size_t>(num_threads, std::max<size_t>(1, queries.size())));
+
+  std::vector<FlosResult> results(queries.size());
+  std::atomic<size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::mutex error_mu;
+  Status first_error;  // guarded by error_mu; `failed` is the fast flag
+
+  const auto record_error = [&](const Status& status) {
+    std::lock_guard<std::mutex> lock(error_mu);
+    if (first_error.ok()) first_error = status;
+    failed.store(true, std::memory_order_release);
+  };
+
+  {
+    ThreadPool pool(num_threads);
+    for (int t = 0; t < num_threads; ++t) {
+      pool.Submit([&] {
+        auto accessor = make_accessor();
+        if (!accessor.ok()) {
+          record_error(accessor.status());
+          return;
+        }
+        FlosEngine engine(accessor->get());
+        for (size_t i = next.fetch_add(1, std::memory_order_relaxed);
+             i < queries.size();
+             i = next.fetch_add(1, std::memory_order_relaxed)) {
+          if (failed.load(std::memory_order_acquire)) return;
+          auto result = engine.TopK(queries[i], k, options);
+          if (!result.ok()) {
+            record_error(result.status());
+            return;
+          }
+          // Each slot is written by exactly one worker (the one that drew
+          // index i), so no synchronization is needed on `results`.
+          results[i] = std::move(result).value();
+        }
+      });
+    }
+    pool.Wait();
+  }
+
+  if (failed.load(std::memory_order_acquire)) return first_error;
+  return results;
+}
+
+Result<std::vector<FlosResult>> BatchTopK(const Graph& graph,
+                                          const std::vector<NodeId>& queries,
+                                          int k, const FlosOptions& options,
+                                          int num_threads) {
+  return BatchTopK(
+      [&graph]() -> Result<std::unique_ptr<GraphAccessor>> {
+        return std::unique_ptr<GraphAccessor>(
+            std::make_unique<InMemoryAccessor>(&graph));
+      },
+      queries, k, options, num_threads);
+}
+
+}  // namespace flos

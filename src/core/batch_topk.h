@@ -1,0 +1,51 @@
+// Thread-pooled batch top-k serving.
+//
+// Fans a batch of single-source queries out across worker threads, each
+// running its own reusable FlosEngine over the shared immutable graph —
+// the serving pattern the GraphAccessor thread-safety contract prescribes
+// (one accessor instance per thread, storage shared). Output order matches
+// input order regardless of which worker answered which query.
+//
+// Error semantics are all-or-nothing: the first failing query aborts the
+// batch and its Status is returned; partial results are discarded. Batch
+// queries validate exactly like FlosTopK, so a well-formed batch over
+// in-range nodes cannot fail.
+
+#ifndef FLOS_CORE_BATCH_TOPK_H_
+#define FLOS_CORE_BATCH_TOPK_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/flos.h"
+#include "graph/accessor.h"
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace flos {
+
+/// Answers `queries[i]` into result i, preserving input order, using
+/// `num_threads` workers (<= 0 selects the hardware concurrency). The
+/// graph must stay immutable and outlive the call; each worker constructs
+/// its own InMemoryAccessor + FlosEngine over it.
+Result<std::vector<FlosResult>> BatchTopK(const Graph& graph,
+                                          const std::vector<NodeId>& queries,
+                                          int k, const FlosOptions& options,
+                                          int num_threads = 0);
+
+/// Generalization for non-CSR storage (disk graphs, dynamic snapshots):
+/// `make_accessor` is called once per worker thread, from that thread, and
+/// must yield a fresh accessor onto the same underlying storage (e.g.
+/// DiskGraph::Open of the same path). It must be safe to call
+/// concurrently.
+using AccessorFactory =
+    std::function<Result<std::unique_ptr<GraphAccessor>>()>;
+Result<std::vector<FlosResult>> BatchTopK(const AccessorFactory& make_accessor,
+                                          const std::vector<NodeId>& queries,
+                                          int k, const FlosOptions& options,
+                                          int num_threads = 0);
+
+}  // namespace flos
+
+#endif  // FLOS_CORE_BATCH_TOPK_H_

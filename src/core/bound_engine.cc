@@ -9,7 +9,19 @@ namespace flos {
 
 PhpBoundEngine::PhpBoundEngine(LocalGraph* local,
                                const BoundEngineOptions& options)
-    : local_(local), options_(options) {
+    : local_(local) {
+  Reset(options);
+}
+
+void PhpBoundEngine::Reset(const BoundEngineOptions& options) {
+  options_ = options;
+  lower_.clear();
+  upper_.clear();
+  self_coeff_.clear();
+  mesh_dummy_coeff_.clear();
+  plain_dummy_coeff_.clear();
+  dummy_mesh_ = 1.0;
+  dummy_tight_ = 1.0;
   OnGrowth();
 }
 

@@ -55,11 +55,20 @@ struct BoundEngineOptions {
   bool frontier_dummy = false;
 };
 
-/// Bound state for the visited subgraph. One instance per query.
+/// Bound state for the visited subgraph. One instance per query WORKSPACE:
+/// construct it once over a LocalGraph and Reset() it for each query after
+/// the LocalGraph has been Reset+Init'd — buffers are reused across
+/// queries, so steady-state serving allocates nothing.
 class PhpBoundEngine {
  public:
-  /// `local` must outlive the engine and already contain the query node.
+  /// `local` must outlive the engine. The LocalGraph may be empty (not yet
+  /// Init'd) or already hold the query node.
   PhpBoundEngine(LocalGraph* local, const BoundEngineOptions& options);
+
+  /// Returns the engine to its freshly-constructed state for the next
+  /// query, with new options. Call after the LocalGraph was Reset+Init'd;
+  /// keeps every buffer's capacity.
+  void Reset(const BoundEngineOptions& options);
 
   /// Records the current boundary's maximum upper bound as the next dummy
   /// value (Algorithm 5 line 7). Call BEFORE expanding, so the value refers

@@ -1,381 +1,21 @@
 #include "core/flos.h"
 
-#include <algorithm>
-#include <cmath>
-#include <memory>
-#include <string>
-
 #include "core/bound_engine.h"
+#include "core/flos_engine.h"
 #include "core/local_graph.h"
-#include "core/tht_bound_engine.h"
 
 namespace flos {
 
-namespace {
-
-// Internal ranking mode. PHP/EI/DHT rank by the PHP-form value; RWR ranks
-// by w_i * value (Section 5.6); THT ranks by its own value, minimized.
-enum class RankMode { kValue, kDegreeWeighted, kMinimizeValue };
-
-RankMode RankModeFor(Measure m) {
-  switch (m) {
-    case Measure::kRwr:
-      return RankMode::kDegreeWeighted;
-    case Measure::kTht:
-      return RankMode::kMinimizeValue;
-    default:
-      return RankMode::kValue;
-  }
-}
-
-double AlphaFor(const FlosOptions& options) {
-  // PHP uses its decay directly; EI/DHT/RWR reduce to a PHP system with
-  // decay 1 - c (Theorems 2, 6).
-  return options.measure == Measure::kPhp ? options.c : 1.0 - options.c;
-}
-
-// Shared state wrapper so PHP-form and THT engines expose uniform bounds.
-class Bounds {
- public:
-  Bounds(LocalGraph* local, const FlosOptions& options)
-      : is_tht_(options.measure == Measure::kTht) {
-    if (is_tht_) {
-      tht_ = std::make_unique<ThtBoundEngine>(local, options.tht_length);
-    } else {
-      BoundEngineOptions be;
-      be.alpha = AlphaFor(options);
-      be.tolerance = options.tolerance;
-      be.max_inner_iterations = options.max_inner_iterations;
-      be.self_loop_tightening = options.self_loop_tightening;
-      // Degree-weighted searches need the frontier bound for termination
-      // anyway; folding it into the dummy value is then nearly free.
-      be.frontier_dummy = options.measure == Measure::kRwr;
-      php_ = std::make_unique<PhpBoundEngine>(local, be);
-    }
-  }
-
-  void CaptureDummy() {
-    if (php_) php_->CaptureDummyFromBoundary();
-  }
-  void OnGrowth() {
-    if (php_) {
-      php_->OnGrowth();
-    } else {
-      tht_->OnGrowth();
-    }
-  }
-  uint32_t Update() {
-    if (php_) return php_->UpdateBounds();
-    tht_->UpdateBounds();
-    return 1;
-  }
-  uint32_t Finalize(double final_tolerance) {
-    if (php_) return php_->FinalizeExhausted(final_tolerance);
-    tht_->UpdateBounds();  // DP is already exact once S is the component
-    return 1;
-  }
-  double lower(LocalId i) const { return php_ ? php_->lower(i) : tht_->lower(i); }
-  double upper(LocalId i) const { return php_ ? php_->upper(i) : tht_->upper(i); }
-  PhpBoundEngine* php_engine() { return php_.get(); }
-
- private:
-  bool is_tht_;
-  std::unique_ptr<PhpBoundEngine> php_;
-  std::unique_ptr<ThtBoundEngine> tht_;
-};
-
-// Tracks the maximum weighted degree among "unknown" nodes — neither
-// visited nor adjacent to the visited set — using the accessor's
-// descending degree order (Section 5.6). The cursor only advances, which
-// is sound because membership in S and delta-S-bar only grows.
-class UnknownDegreeTracker {
- public:
-  explicit UnknownDegreeTracker(GraphAccessor* accessor)
-      : accessor_(accessor) {}
-
-  double MaxUnknownDegree(const LocalGraph& local) {
-    const auto& order = accessor_->DegreeOrder();
-    while (cursor_ < order.size() &&
-           (local.Contains(order[cursor_]) ||
-            local.IsOutsideAdjacent(order[cursor_]))) {
-      ++cursor_;
-    }
-    if (cursor_ >= order.size()) return 0;
-    return accessor_->WeightedDegree(order[cursor_]);
-  }
-
- private:
-  GraphAccessor* accessor_;
-  size_t cursor_ = 0;
-};
-
-struct Candidate {
-  LocalId local;
-  double rank_lower;
-  double rank_upper;
-};
-
-}  // namespace
+// The search itself lives in FlosEngine (core/flos_engine.h), which keeps
+// a reusable per-worker workspace. These wrappers preserve the original
+// one-shot API by running each call through a throwaway engine; services
+// answering many queries should hold a FlosEngine (or use BatchTopK).
 
 Result<FlosResult> FlosTopKSet(GraphAccessor* accessor,
                                const std::vector<NodeId>& queries, int k,
                                const FlosOptions& options) {
-  if (k < 1) return Status::InvalidArgument("k must be >= 1");
-  if (!(options.c > 0) || !(options.c < 1)) {
-    return Status::InvalidArgument("c must be in (0, 1)");
-  }
-  if (options.measure == Measure::kTht && options.tht_length < 1) {
-    return Status::InvalidArgument("THT length must be >= 1");
-  }
-  if (queries.empty()) {
-    return Status::InvalidArgument("need at least one query node");
-  }
-  if (queries.size() > 1 && (options.measure == Measure::kEi ||
-                             options.measure == Measure::kRwr)) {
-    return Status::InvalidArgument(
-        "multi-source queries support the absorbing-set measures "
-        "(PHP, DHT, THT); EI/RWR are defined per single source (Theorem 6)");
-  }
-  for (const NodeId q : queries) {
-    if (q >= accessor->NumNodes()) {
-      return Status::OutOfRange("query node out of range");
-    }
-  }
-
-  const RankMode mode = RankModeFor(options.measure);
-  const bool minimize = mode == RankMode::kMinimizeValue;
-
-  LocalGraph local(accessor);
-  FLOS_RETURN_IF_ERROR(local.Init(queries));
-  Bounds bounds(&local, options);
-  UnknownDegreeTracker degree_tracker(accessor);
-
-  FlosResult result;
-  FlosStats& stats = result.stats;
-
-  // Rank value of node i given one of its bounds.
-  const auto rank_of = [&](LocalId i, double value) {
-    return mode == RankMode::kDegreeWeighted ? local.WeightedDegree(i) * value
-                                             : value;
-  };
-
-  std::vector<Candidate> selected;  // current certified-or-not top-k
-
-  // Termination check (Algorithm 6 + the RWR extension). Fills `selected`
-  // with the current top-k interior candidates either way.
-  const auto check_termination = [&]() -> bool {
-    std::vector<Candidate> interior;
-    interior.reserve(local.Size());
-    for (LocalId i = 0; i < local.Size(); ++i) {
-      if (local.IsQueryLocal(i) || local.IsBoundary(i)) continue;
-      interior.push_back(
-          {i, rank_of(i, bounds.lower(i)), rank_of(i, bounds.upper(i))});
-    }
-    if (interior.size() < static_cast<size_t>(k)) return false;
-    // For maximize modes, pick k largest guaranteed (lower) rank values;
-    // for minimize (THT), pick k smallest guaranteed (upper) values.
-    const auto better = [&](const Candidate& a, const Candidate& b) {
-      return minimize ? a.rank_upper < b.rank_upper : a.rank_lower > b.rank_lower;
-    };
-    std::nth_element(interior.begin(), interior.begin() + (k - 1),
-                     interior.end(), better);
-    selected.assign(interior.begin(), interior.begin() + k);
-    // Threshold: worst guaranteed value inside K.
-    double threshold = minimize ? -1e300 : 1e300;
-    for (const Candidate& c : selected) {
-      threshold = minimize ? std::max(threshold, c.rank_upper)
-                           : std::min(threshold, c.rank_lower);
-    }
-    // Opponents: every other visited node's optimistic value.
-    double best_other = minimize ? 1e300 : -1e300;
-    for (size_t i = k; i < interior.size(); ++i) {
-      best_other = minimize ? std::min(best_other, interior[i].rank_lower)
-                            : std::max(best_other, interior[i].rank_upper);
-    }
-    for (LocalId i = 0; i < local.Size(); ++i) {
-      if (local.IsQueryLocal(i) || !local.IsBoundary(i)) continue;
-      const double opt = minimize ? rank_of(i, bounds.lower(i))
-                                  : rank_of(i, bounds.upper(i));
-      best_other = minimize ? std::min(best_other, opt)
-                            : std::max(best_other, opt);
-    }
-    bool ok = minimize ? threshold <= best_other : threshold >= best_other;
-#ifdef FLOS_DEBUG_TERMINATION
-    std::fprintf(stderr, "[term] |S|=%u interior=%zu thr=%g other=%g ok=%d\n",
-                 local.Size(), interior.size(), threshold, best_other, ok);
-#endif
-    if (!ok) return false;
-    if (mode == RankMode::kDegreeWeighted) {
-      // Unvisited nodes, refined beyond Section 5.6's w(unvisited) * max
-      // boundary bound. Frontier-adjacent nodes (delta-S-bar) get
-      // per-node certified uppers from the boundary's bounds and their
-      // probed degrees; every deeper node is bounded by alpha * the
-      // frontier maximum (its neighbors are all unvisited), with the
-      // unknown-degree maximum from the global degree order:
-      //
-      //   w_v PHP(v) <= max( max_{v in dSbar} w_v r-bar_v,
-      //                      maxdeg(unknown) * alpha * max_{dSbar} r-bar_v )
-      const double alpha = 1.0 - options.c;
-      const auto out = bounds.php_engine()->ComputeOutsideUppers();
-      if (out.any) {
-        const double w_unknown = degree_tracker.MaxUnknownDegree(local);
-        const double unvisited_bound =
-            std::max(out.max_degree_weighted,
-                     w_unknown * alpha * out.max_value);
-        if (threshold < unvisited_bound) return false;
-      }
-    }
-    return true;
-  };
-
-  // Main loop (Algorithm 2, with optional batched LocalExpansion).
-  bool certified = false;
-  std::vector<std::pair<double, LocalId>> frontier;
-  while (true) {
-    // Rank the boundary by average bound (Algorithm 3); at t=1 the only
-    // boundary node is the query itself.
-    frontier.clear();
-    for (LocalId i = 0; i < local.Size(); ++i) {
-      if (!local.IsBoundary(i)) continue;
-      const double mid = 0.5 * (bounds.lower(i) + bounds.upper(i));
-      frontier.push_back({rank_of(i, mid), i});
-    }
-    if (frontier.empty()) {
-      // Component exhausted: finish with a tight solve.
-      stats.inner_iterations += bounds.Finalize(options.final_tolerance);
-      stats.exhausted_component = true;
-      certified = true;
-      break;
-    }
-    std::sort(frontier.begin(), frontier.end(),
-              [&](const auto& a, const auto& b) {
-                return minimize ? a.first < b.first : a.first > b.first;
-              });
-    // Adaptive mode targets ~12.5% growth of |S| per bound update, so the
-    // number of O(edges(S)) updates stays logarithmic in the visited count
-    // while overshoot past the certification point stays small.
-    const uint64_t grow_target =
-        options.expansion_batch > 0
-            ? 0
-            : local.Size() + std::max<uint64_t>(1, local.Size() / 8);
-
-    bounds.CaptureDummy();  // r_d from delta-S of the previous iteration
-    size_t expanded = 0;
-    for (const auto& [priority, node] : frontier) {
-      (void)priority;
-      FLOS_ASSIGN_OR_RETURN(const uint32_t added, local.Expand(node));
-      (void)added;
-      ++stats.expansions;
-      ++expanded;
-      if (options.expansion_batch > 0) {
-        if (expanded >= options.expansion_batch) break;
-      } else if (local.Size() >= grow_target) {
-        break;
-      }
-      if (options.max_visited > 0 && local.Size() >= options.max_visited) {
-        break;
-      }
-    }
-    bounds.OnGrowth();
-    stats.inner_iterations += bounds.Update();
-
-    if (check_termination()) {
-      certified = true;
-      break;
-    }
-    if (options.max_visited > 0 && local.Size() >= options.max_visited) {
-      break;  // best-effort cutoff
-    }
-  }
-  stats.visited_nodes = local.Size();
-  stats.exact = certified;
-
-  // Assemble the k results. If termination selected candidates, use them;
-  // otherwise (exhausted or cutoff) rank all visited non-query nodes.
-  std::vector<Candidate> pool;
-  if (certified && !stats.exhausted_component && !selected.empty()) {
-    pool = selected;
-  } else {
-    for (LocalId i = 0; i < local.Size(); ++i) {
-      if (local.IsQueryLocal(i)) continue;
-      pool.push_back(
-          {i, rank_of(i, bounds.lower(i)), rank_of(i, bounds.upper(i))});
-    }
-  }
-  const auto mid_rank = [&](const Candidate& c) {
-    return 0.5 * (c.rank_lower + c.rank_upper);
-  };
-  std::sort(pool.begin(), pool.end(), [&](const Candidate& a, const Candidate& b) {
-    const double ma = mid_rank(a);
-    const double mb = mid_rank(b);
-    if (ma != mb) return minimize ? ma < mb : ma > mb;
-    return local.GlobalId(a.local) < local.GlobalId(b.local);
-  });
-  if (pool.size() > static_cast<size_t>(k)) pool.resize(k);
-
-  // Score transform from the internal space to the measure's units. For EI
-  // and RWR the scale K = c / (w_q (1 - (1-c) sum_j p_qj PHP(j))) (Theorem
-  // 6) is increasing in each PHP(j), so plugging the PHP bound endpoints of
-  // q's neighbors (all visited after the first expansion) gives a rigorous
-  // interval [scale_lo, scale_hi] enclosing the true K.
-  double scale_lo = 1.0;
-  double scale_hi = 1.0;
-  if (options.measure == Measure::kEi || options.measure == Measure::kRwr) {
-    const LocalId q_local = 0;  // single-source only (validated above)
-    const double wq = local.WeightedDegree(q_local);
-    double sigma_lo = 0;
-    double sigma_hi = 0;
-    if (wq > 0) {
-      for (const Neighbor& nb : local.Neighbors(q_local)) {
-        const LocalId j = local.LocalIndex(nb.id);
-        // Every neighbor of q joins S at the first expansion, so j is
-        // always valid here; the guard is belt-and-braces.
-        sigma_lo += nb.weight / wq * (j == kInvalidLocal ? 0 : bounds.lower(j));
-        sigma_hi += nb.weight / wq * (j == kInvalidLocal ? 0 : bounds.upper(j));
-      }
-      const double denom_lo = wq * (1.0 - (1.0 - options.c) * sigma_lo);
-      const double denom_hi = wq * (1.0 - (1.0 - options.c) * sigma_hi);
-      if (denom_lo > 0) scale_lo = options.c / denom_lo;
-      scale_hi = denom_hi > 0 ? options.c / denom_hi
-                              : options.c / (wq * options.c);  // <= c/(wq c)
-    }
-  }
-
-  result.topk.reserve(pool.size());
-  for (const Candidate& c : pool) {
-    ScoredNode out;
-    out.node = local.GlobalId(c.local);
-    const double lo = bounds.lower(c.local);
-    const double hi = bounds.upper(c.local);
-    switch (options.measure) {
-      case Measure::kPhp:
-        out.lower = lo;
-        out.upper = hi;
-        break;
-      case Measure::kEi:
-        out.lower = scale_lo * lo;
-        out.upper = scale_hi * hi;
-        break;
-      case Measure::kRwr: {
-        const double w = local.WeightedDegree(c.local);
-        out.lower = scale_lo * w * lo;
-        out.upper = scale_hi * w * hi;
-        break;
-      }
-      case Measure::kDht:
-        // DHT = (1 - PHP)/c, decreasing: bounds swap.
-        out.lower = (1.0 - hi) / options.c;
-        out.upper = (1.0 - lo) / options.c;
-        break;
-      case Measure::kTht:
-        out.lower = lo;
-        out.upper = hi;
-        break;
-    }
-    out.score = 0.5 * (out.lower + out.upper);
-    result.topk.push_back(out);
-  }
-  return result;
+  FlosEngine engine(accessor);
+  return engine.TopKSet(queries, k, options);
 }
 
 Result<FlosResult> FlosTopK(GraphAccessor* accessor, NodeId query, int k,

@@ -86,6 +86,11 @@ struct FlosResult {
 /// Runs FLoS for the top-k proximity query. `k >= 1`. If the query's
 /// connected component holds fewer than k non-query nodes, all of them are
 /// returned (stats.exhausted_component is set).
+///
+/// One-shot convenience: each call builds and tears down the whole query
+/// workspace. Services answering many queries should hold a `FlosEngine`
+/// (core/flos_engine.h), which reuses the workspace across queries, or use
+/// `BatchTopK` (core/batch_topk.h) to fan a query batch across threads.
 Result<FlosResult> FlosTopK(GraphAccessor* accessor, NodeId query, int k,
                             const FlosOptions& options);
 

@@ -1,0 +1,355 @@
+#include "core/flos_engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace flos {
+
+namespace {
+
+// Internal ranking mode. PHP/EI/DHT rank by the PHP-form value; RWR ranks
+// by w_i * value (Section 5.6); THT ranks by its own value, minimized.
+enum class RankMode { kValue, kDegreeWeighted, kMinimizeValue };
+
+RankMode RankModeFor(Measure m) {
+  switch (m) {
+    case Measure::kRwr:
+      return RankMode::kDegreeWeighted;
+    case Measure::kTht:
+      return RankMode::kMinimizeValue;
+    default:
+      return RankMode::kValue;
+  }
+}
+
+double AlphaFor(const FlosOptions& options) {
+  // PHP uses its decay directly; EI/DHT/RWR reduce to a PHP system with
+  // decay 1 - c (Theorems 2, 6).
+  return options.measure == Measure::kPhp ? options.c : 1.0 - options.c;
+}
+
+}  // namespace
+
+FlosEngine::FlosEngine(GraphAccessor* accessor)
+    : accessor_(accessor),
+      local_(accessor),
+      php_(&local_, BoundEngineOptions{}),
+      tht_(&local_, /*length=*/1) {}
+
+void FlosEngine::CaptureDummy() {
+  if (!use_tht_) php_.CaptureDummyFromBoundary();
+}
+
+void FlosEngine::OnGrowth() {
+  if (use_tht_) {
+    tht_.OnGrowth();
+  } else {
+    php_.OnGrowth();
+  }
+}
+
+uint32_t FlosEngine::UpdateBounds() {
+  if (!use_tht_) return php_.UpdateBounds();
+  tht_.UpdateBounds();
+  return 1;
+}
+
+uint32_t FlosEngine::FinalizeBounds(double final_tolerance) {
+  if (!use_tht_) return php_.FinalizeExhausted(final_tolerance);
+  tht_.UpdateBounds();  // DP is already exact once S is the component
+  return 1;
+}
+
+double FlosEngine::MaxUnknownDegree() {
+  const auto& order = accessor_->DegreeOrder();
+  while (degree_cursor_ < order.size() &&
+         (local_.Contains(order[degree_cursor_]) ||
+          local_.IsOutsideAdjacent(order[degree_cursor_]))) {
+    ++degree_cursor_;
+  }
+  if (degree_cursor_ >= order.size()) return 0;
+  return accessor_->WeightedDegree(order[degree_cursor_]);
+}
+
+Result<FlosResult> FlosEngine::TopK(NodeId query, int k,
+                                    const FlosOptions& options) {
+  return TopKSet({query}, k, options);
+}
+
+Result<FlosResult> FlosEngine::TopKSet(const std::vector<NodeId>& queries,
+                                       int k, const FlosOptions& options) {
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (!(options.c > 0) || !(options.c < 1)) {
+    return Status::InvalidArgument("c must be in (0, 1)");
+  }
+  if (options.measure == Measure::kTht && options.tht_length < 1) {
+    return Status::InvalidArgument("THT length must be >= 1");
+  }
+  if (queries.empty()) {
+    return Status::InvalidArgument("need at least one query node");
+  }
+  if (queries.size() > 1 && (options.measure == Measure::kEi ||
+                             options.measure == Measure::kRwr)) {
+    return Status::InvalidArgument(
+        "multi-source queries support the absorbing-set measures "
+        "(PHP, DHT, THT); EI/RWR are defined per single source (Theorem 6)");
+  }
+  for (const NodeId q : queries) {
+    if (q >= accessor_->NumNodes()) {
+      return Status::OutOfRange("query node out of range");
+    }
+  }
+
+  const RankMode mode = RankModeFor(options.measure);
+  const bool minimize = mode == RankMode::kMinimizeValue;
+
+  // Rewind the workspace for this query; an error return leaves it ready
+  // to be rewound again, so failed calls don't poison the engine.
+  local_.Reset();
+  FLOS_RETURN_IF_ERROR(local_.Init(queries));
+  use_tht_ = options.measure == Measure::kTht;
+  if (use_tht_) {
+    tht_.Reset(options.tht_length);
+  } else {
+    BoundEngineOptions be;
+    be.alpha = AlphaFor(options);
+    be.tolerance = options.tolerance;
+    be.max_inner_iterations = options.max_inner_iterations;
+    be.self_loop_tightening = options.self_loop_tightening;
+    // Degree-weighted searches need the frontier bound for termination
+    // anyway; folding it into the dummy value is then nearly free.
+    be.frontier_dummy = options.measure == Measure::kRwr;
+    php_.Reset(be);
+  }
+  degree_cursor_ = 0;
+
+  FlosResult result;
+  FlosStats& stats = result.stats;
+
+  // Rank value of node i given one of its bounds.
+  const auto rank_of = [&](LocalId i, double value) {
+    return mode == RankMode::kDegreeWeighted
+               ? local_.WeightedDegree(i) * value
+               : value;
+  };
+
+  selected_.clear();  // current certified-or-not top-k
+
+  // Termination check (Algorithm 6 + the RWR extension). Fills `selected_`
+  // with the current top-k interior candidates either way.
+  const auto check_termination = [&]() -> bool {
+    interior_.clear();
+    for (LocalId i = 0; i < local_.Size(); ++i) {
+      if (local_.IsQueryLocal(i) || local_.IsBoundary(i)) continue;
+      interior_.push_back(
+          {i, rank_of(i, BoundLower(i)), rank_of(i, BoundUpper(i))});
+    }
+    if (interior_.size() < static_cast<size_t>(k)) return false;
+    // For maximize modes, pick k largest guaranteed (lower) rank values;
+    // for minimize (THT), pick k smallest guaranteed (upper) values.
+    const auto better = [&](const Candidate& a, const Candidate& b) {
+      return minimize ? a.rank_upper < b.rank_upper
+                      : a.rank_lower > b.rank_lower;
+    };
+    std::nth_element(interior_.begin(), interior_.begin() + (k - 1),
+                     interior_.end(), better);
+    selected_.assign(interior_.begin(), interior_.begin() + k);
+    // Threshold: worst guaranteed value inside K.
+    double threshold = minimize ? -1e300 : 1e300;
+    for (const Candidate& c : selected_) {
+      threshold = minimize ? std::max(threshold, c.rank_upper)
+                           : std::min(threshold, c.rank_lower);
+    }
+    // Opponents: every other visited node's optimistic value.
+    double best_other = minimize ? 1e300 : -1e300;
+    for (size_t i = k; i < interior_.size(); ++i) {
+      best_other = minimize ? std::min(best_other, interior_[i].rank_lower)
+                            : std::max(best_other, interior_[i].rank_upper);
+    }
+    for (LocalId i = 0; i < local_.Size(); ++i) {
+      if (local_.IsQueryLocal(i) || !local_.IsBoundary(i)) continue;
+      const double opt =
+          minimize ? rank_of(i, BoundLower(i)) : rank_of(i, BoundUpper(i));
+      best_other = minimize ? std::min(best_other, opt)
+                            : std::max(best_other, opt);
+    }
+    bool ok = minimize ? threshold <= best_other : threshold >= best_other;
+#ifdef FLOS_DEBUG_TERMINATION
+    std::fprintf(stderr, "[term] |S|=%u interior=%zu thr=%g other=%g ok=%d\n",
+                 local_.Size(), interior_.size(), threshold, best_other, ok);
+#endif
+    if (!ok) return false;
+    if (mode == RankMode::kDegreeWeighted) {
+      // Unvisited nodes, refined beyond Section 5.6's w(unvisited) * max
+      // boundary bound. Frontier-adjacent nodes (delta-S-bar) get
+      // per-node certified uppers from the boundary's bounds and their
+      // probed degrees; every deeper node is bounded by alpha * the
+      // frontier maximum (its neighbors are all unvisited), with the
+      // unknown-degree maximum from the global degree order:
+      //
+      //   w_v PHP(v) <= max( max_{v in dSbar} w_v r-bar_v,
+      //                      maxdeg(unknown) * alpha * max_{dSbar} r-bar_v )
+      const double alpha = 1.0 - options.c;
+      const auto out = php_.ComputeOutsideUppers();
+      if (out.any) {
+        const double w_unknown = MaxUnknownDegree();
+        const double unvisited_bound =
+            std::max(out.max_degree_weighted,
+                     w_unknown * alpha * out.max_value);
+        if (threshold < unvisited_bound) return false;
+      }
+    }
+    return true;
+  };
+
+  // Main loop (Algorithm 2, with optional batched LocalExpansion).
+  bool certified = false;
+  while (true) {
+    // Rank the boundary by average bound (Algorithm 3); at t=1 the only
+    // boundary node is the query itself.
+    frontier_.clear();
+    for (LocalId i = 0; i < local_.Size(); ++i) {
+      if (!local_.IsBoundary(i)) continue;
+      const double mid = 0.5 * (BoundLower(i) + BoundUpper(i));
+      frontier_.push_back({rank_of(i, mid), i});
+    }
+    if (frontier_.empty()) {
+      // Component exhausted: finish with a tight solve.
+      stats.inner_iterations += FinalizeBounds(options.final_tolerance);
+      stats.exhausted_component = true;
+      certified = true;
+      break;
+    }
+    std::sort(frontier_.begin(), frontier_.end(),
+              [&](const auto& a, const auto& b) {
+                return minimize ? a.first < b.first : a.first > b.first;
+              });
+    // Adaptive mode targets ~12.5% growth of |S| per bound update, so the
+    // number of O(edges(S)) updates stays logarithmic in the visited count
+    // while overshoot past the certification point stays small.
+    const uint64_t grow_target =
+        options.expansion_batch > 0
+            ? 0
+            : local_.Size() + std::max<uint64_t>(1, local_.Size() / 8);
+
+    CaptureDummy();  // r_d from delta-S of the previous iteration
+    size_t expanded = 0;
+    for (const auto& [priority, node] : frontier_) {
+      (void)priority;
+      FLOS_ASSIGN_OR_RETURN(const uint32_t added, local_.Expand(node));
+      (void)added;
+      ++stats.expansions;
+      ++expanded;
+      if (options.expansion_batch > 0) {
+        if (expanded >= options.expansion_batch) break;
+      } else if (local_.Size() >= grow_target) {
+        break;
+      }
+      if (options.max_visited > 0 && local_.Size() >= options.max_visited) {
+        break;
+      }
+    }
+    OnGrowth();
+    stats.inner_iterations += UpdateBounds();
+
+    if (check_termination()) {
+      certified = true;
+      break;
+    }
+    if (options.max_visited > 0 && local_.Size() >= options.max_visited) {
+      break;  // best-effort cutoff
+    }
+  }
+  stats.visited_nodes = local_.Size();
+  stats.exact = certified;
+
+  // Assemble the k results. If termination selected candidates, use them;
+  // otherwise (exhausted or cutoff) rank all visited non-query nodes.
+  pool_.clear();
+  if (certified && !stats.exhausted_component && !selected_.empty()) {
+    pool_ = selected_;
+  } else {
+    for (LocalId i = 0; i < local_.Size(); ++i) {
+      if (local_.IsQueryLocal(i)) continue;
+      pool_.push_back(
+          {i, rank_of(i, BoundLower(i)), rank_of(i, BoundUpper(i))});
+    }
+  }
+  const auto mid_rank = [&](const Candidate& c) {
+    return 0.5 * (c.rank_lower + c.rank_upper);
+  };
+  std::sort(pool_.begin(), pool_.end(),
+            [&](const Candidate& a, const Candidate& b) {
+              const double ma = mid_rank(a);
+              const double mb = mid_rank(b);
+              if (ma != mb) return minimize ? ma < mb : ma > mb;
+              return local_.GlobalId(a.local) < local_.GlobalId(b.local);
+            });
+  if (pool_.size() > static_cast<size_t>(k)) pool_.resize(k);
+
+  // Score transform from the internal space to the measure's units. For EI
+  // and RWR the scale K = c / (w_q (1 - (1-c) sum_j p_qj PHP(j))) (Theorem
+  // 6) is increasing in each PHP(j), so plugging the PHP bound endpoints of
+  // q's neighbors (all visited after the first expansion) gives a rigorous
+  // interval [scale_lo, scale_hi] enclosing the true K.
+  double scale_lo = 1.0;
+  double scale_hi = 1.0;
+  if (options.measure == Measure::kEi || options.measure == Measure::kRwr) {
+    const LocalId q_local = 0;  // single-source only (validated above)
+    const double wq = local_.WeightedDegree(q_local);
+    double sigma_lo = 0;
+    double sigma_hi = 0;
+    if (wq > 0) {
+      for (const Neighbor& nb : local_.Neighbors(q_local)) {
+        const LocalId j = local_.LocalIndex(nb.id);
+        // Every neighbor of q joins S at the first expansion, so j is
+        // always valid here; the guard is belt-and-braces.
+        sigma_lo += nb.weight / wq * (j == kInvalidLocal ? 0 : BoundLower(j));
+        sigma_hi += nb.weight / wq * (j == kInvalidLocal ? 0 : BoundUpper(j));
+      }
+      const double denom_lo = wq * (1.0 - (1.0 - options.c) * sigma_lo);
+      const double denom_hi = wq * (1.0 - (1.0 - options.c) * sigma_hi);
+      if (denom_lo > 0) scale_lo = options.c / denom_lo;
+      scale_hi = denom_hi > 0 ? options.c / denom_hi
+                              : options.c / (wq * options.c);  // <= c/(wq c)
+    }
+  }
+
+  result.topk.reserve(pool_.size());
+  for (const Candidate& c : pool_) {
+    ScoredNode out;
+    out.node = local_.GlobalId(c.local);
+    const double lo = BoundLower(c.local);
+    const double hi = BoundUpper(c.local);
+    switch (options.measure) {
+      case Measure::kPhp:
+        out.lower = lo;
+        out.upper = hi;
+        break;
+      case Measure::kEi:
+        out.lower = scale_lo * lo;
+        out.upper = scale_hi * hi;
+        break;
+      case Measure::kRwr: {
+        const double w = local_.WeightedDegree(c.local);
+        out.lower = scale_lo * w * lo;
+        out.upper = scale_hi * w * hi;
+        break;
+      }
+      case Measure::kDht:
+        // DHT = (1 - PHP)/c, decreasing: bounds swap.
+        out.lower = (1.0 - hi) / options.c;
+        out.upper = (1.0 - lo) / options.c;
+        break;
+      case Measure::kTht:
+        out.lower = lo;
+        out.upper = hi;
+        break;
+    }
+    out.score = 0.5 * (out.lower + out.upper);
+    result.topk.push_back(out);
+  }
+  return result;
+}
+
+}  // namespace flos

@@ -1,0 +1,103 @@
+// Reusable FLoS query engine: one per worker thread, many queries.
+//
+// `FlosTopK` (core/flos.h) rebuilds the entire per-query state — visited
+// index, neighbor lists, bound vectors — on every call, so sustained
+// throughput is dominated by allocator traffic rather than the algorithm.
+// `FlosEngine` owns that state as a persistent workspace (LocalGraph with
+// epoch-versioned node indexes, both bound engines, frontier/candidate
+// scratch) and resets it in O(|S|) between queries; steady-state queries
+// allocate nothing. `FlosTopK`/`FlosTopKSet` remain as thin wrappers that
+// construct a throwaway engine.
+//
+// Threading: an engine is bound to one GraphAccessor and is
+// thread-compatible, not thread-safe. Concurrent serving uses one engine
+// (with its own accessor) per thread over one shared immutable graph — see
+// the GraphAccessor thread-safety contract (graph/accessor.h) and
+// `BatchTopK` (core/batch_topk.h), which implements exactly that pattern.
+//
+// Determinism: for a given accessor and options, a reused engine returns
+// bit-identical results and statistics to a freshly constructed one
+// (covered by tests/engine_reuse_test.cc).
+
+#ifndef FLOS_CORE_FLOS_ENGINE_H_
+#define FLOS_CORE_FLOS_ENGINE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/bound_engine.h"
+#include "core/flos.h"
+#include "core/local_graph.h"
+#include "core/tht_bound_engine.h"
+#include "graph/accessor.h"
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace flos {
+
+/// Long-lived FLoS query workspace over one accessor. Measures and options
+/// may vary freely from call to call.
+class FlosEngine {
+ public:
+  /// `accessor` must outlive the engine. Allocates the workspace sized to
+  /// the accessor's index hint; no per-query allocation afterwards.
+  explicit FlosEngine(GraphAccessor* accessor);
+
+  FlosEngine(const FlosEngine&) = delete;
+  FlosEngine& operator=(const FlosEngine&) = delete;
+
+  /// Single-source exact top-k query; semantics identical to FlosTopK.
+  Result<FlosResult> TopK(NodeId query, int k, const FlosOptions& options);
+
+  /// Multi-source (absorbing-set) variant; semantics identical to
+  /// FlosTopKSet.
+  Result<FlosResult> TopKSet(const std::vector<NodeId>& queries, int k,
+                             const FlosOptions& options);
+
+  GraphAccessor* accessor() const { return accessor_; }
+
+ private:
+  /// A visited node with its certified rank-value interval.
+  struct Candidate {
+    LocalId local;
+    double rank_lower;
+    double rank_upper;
+  };
+
+  // Measure-uniform views over whichever bound engine the current query
+  // uses (PHP-form for PHP/EI/DHT/RWR, finite-horizon DP for THT).
+  double BoundLower(LocalId i) const {
+    return use_tht_ ? tht_.lower(i) : php_.lower(i);
+  }
+  double BoundUpper(LocalId i) const {
+    return use_tht_ ? tht_.upper(i) : php_.upper(i);
+  }
+  void CaptureDummy();
+  void OnGrowth();
+  uint32_t UpdateBounds();
+  uint32_t FinalizeBounds(double final_tolerance);
+
+  /// Maximum weighted degree among nodes neither visited nor adjacent to
+  /// the visited set, via the accessor's descending degree order (Section
+  /// 5.6). The cursor only advances within a query (membership only
+  /// grows) and rewinds to 0 between queries.
+  double MaxUnknownDegree();
+
+  GraphAccessor* accessor_;
+  LocalGraph local_;
+  PhpBoundEngine php_;
+  ThtBoundEngine tht_;
+  bool use_tht_ = false;
+  size_t degree_cursor_ = 0;
+
+  // Per-query scratch, reused across calls.
+  std::vector<Candidate> interior_;
+  std::vector<Candidate> selected_;
+  std::vector<Candidate> pool_;
+  std::vector<std::pair<double, LocalId>> frontier_;
+};
+
+}  // namespace flos
+
+#endif  // FLOS_CORE_FLOS_ENGINE_H_

@@ -1,7 +1,6 @@
 #include "core/local_graph.h"
 
 #include <algorithm>
-#include <deque>
 #include <limits>
 #include <string>
 
@@ -11,13 +10,41 @@ namespace {
 constexpr uint32_t kUnreachable = std::numeric_limits<uint32_t>::max() - 1;
 }  // namespace
 
+LocalGraph::LocalGraph(GraphAccessor* accessor) : accessor_(accessor) {
+  const bool dense = accessor->DenseIndexHint();
+  const uint64_t n = accessor->NumNodes();
+  global_to_local_.Configure(n, dense);
+  degree_cache_.Configure(n, dense);
+  ever_adjacent_.Configure(n, dense);
+}
+
+void LocalGraph::Reset() {
+  query_ = kInvalidNode;
+  query_count_ = 0;
+  global_to_local_.Reset();
+  degree_cache_.Reset();
+  ever_adjacent_.Reset();
+  local_to_global_.clear();
+  weighted_degree_.clear();
+  outside_count_.clear();
+  dirty_.clear();
+  dirty_out_.clear();
+  in_dirty_.clear();
+  hop_dist_.clear();
+  outside_degree_heap_.clear();
+  heap_compact_size_ = 0;
+  // neighbors_ and rows_ keep their high-water slots (and the slots their
+  // buffers); Size() gates which entries are live.
+}
+
 Status LocalGraph::Init(NodeId query) {
   return Init(std::vector<NodeId>{query});
 }
 
 Status LocalGraph::Init(const std::vector<NodeId>& queries) {
   if (query_ != kInvalidNode) {
-    return Status::FailedPrecondition("LocalGraph already initialized");
+    return Status::FailedPrecondition(
+        "LocalGraph already initialized (call Reset between queries)");
   }
   if (queries.empty()) {
     return Status::InvalidArgument("need at least one query node");
@@ -34,12 +61,13 @@ Status LocalGraph::Init(const std::vector<NodeId>& queries) {
     FLOS_RETURN_IF_ERROR(Add(q));
   }
   query_ = queries.front();
+  heap_compact_size_ = Size();
   return Status::OK();
 }
 
 Status LocalGraph::Add(NodeId global) {
   const auto local = static_cast<LocalId>(local_to_global_.size());
-  global_to_local_.emplace(global, local);
+  global_to_local_.Insert(global, local);
   local_to_global_.push_back(global);
   in_dirty_.push_back(true);
   dirty_.push_back(local);
@@ -48,18 +76,29 @@ Status LocalGraph::Add(NodeId global) {
   double wi = 0;
   for (const Neighbor& nb : scratch_) wi += nb.weight;
   weighted_degree_.push_back(wi);
-  degree_cache_[global] = wi;
+  degree_cache_.Insert(global, wi);
+
+  // Reuse the slot (and its buffers) past a Reset; only grow the spines at
+  // the high-water mark.
+  if (local >= rows_.size()) {
+    rows_.emplace_back();
+    neighbors_.emplace_back();
+  }
+  std::vector<std::pair<LocalId, double>>& row = rows_[local];
+  row.clear();
 
   // Build this node's within-S row and patch existing rows/boundary counts.
-  std::vector<std::pair<LocalId, double>> row;
+  // Each neighbor's visited status is resolved with ONE index probe and
+  // remembered in scratch_local_ for the delta-S-bar pass below.
   uint32_t outside = 0;
+  scratch_local_.clear();
   for (const Neighbor& nb : scratch_) {
-    const auto it = global_to_local_.find(nb.id);
-    if (it == global_to_local_.end()) {
+    const LocalId j = LocalIndex(nb.id);
+    scratch_local_.push_back(j);
+    if (j == kInvalidLocal) {
       ++outside;
       continue;
     }
-    const LocalId j = it->second;
     if (wi > 0) row.emplace_back(j, nb.weight / wi);
     // Reverse direction: j gains an in-S neighbor.
     if (weighted_degree_[j] > 0) {
@@ -71,42 +110,44 @@ Status LocalGraph::Add(NodeId global) {
       dirty_.push_back(j);
     }
   }
-  rows_.push_back(std::move(row));
   outside_count_.push_back(outside);
 
   // Maintain delta-S-bar (unvisited nodes adjacent to S) with probed
-  // degrees, feeding MaxOutsideAdjacentDegree.
-  outside_adjacent_.erase(global);
-  for (const Neighbor& nb : neighbors_.emplace_back(std::move(scratch_))) {
-    if (global_to_local_.count(nb.id)) continue;
-    if (outside_adjacent_.insert(nb.id).second) {
-      outside_degree_heap_.emplace_back(ProbeDegree(nb.id), nb.id);
+  // degrees, feeding MaxOutsideAdjacentDegree. The neighbor list lands in
+  // its slot by swap, leaving the slot's previous buffer as the next fetch
+  // scratch.
+  std::vector<Neighbor>& nbrs = neighbors_[local];
+  nbrs.swap(scratch_);
+  scratch_.clear();
+  for (size_t i = 0; i < nbrs.size(); ++i) {
+    if (scratch_local_[i] != kInvalidLocal) continue;
+    if (ever_adjacent_.Insert(nbrs[i].id, 1)) {
+      outside_degree_heap_.emplace_back(ProbeDegree(nbrs[i].id), nbrs[i].id);
       std::push_heap(outside_degree_heap_.begin(),
                      outside_degree_heap_.end());
     }
   }
-  scratch_ = {};
 
   // Within-S hop distances: initialize from visited neighbors, then relax
   // decreases through existing rows (new edges can create shortcuts).
   // Query (source) nodes are distance 0.
   uint32_t d = local < query_count_ ? 0 : kUnreachable;
-  for (const auto& [j, p] : rows_[local]) {
+  for (const auto& [j, p] : row) {
     (void)p;
     d = std::min(d, hop_dist_[j] == kUnreachable ? kUnreachable
                                                  : hop_dist_[j] + 1);
   }
   hop_dist_.push_back(d);
-  std::deque<LocalId> relax = {local};
-  while (!relax.empty()) {
-    const LocalId u = relax.front();
-    relax.pop_front();
+  relax_scratch_.clear();
+  relax_scratch_.push_back(local);
+  for (size_t head = 0; head < relax_scratch_.size(); ++head) {
+    const LocalId u = relax_scratch_[head];
     if (hop_dist_[u] == kUnreachable) continue;
     for (const auto& [j, p] : rows_[u]) {
       (void)p;
       if (hop_dist_[u] + 1 < hop_dist_[j]) {
         hop_dist_[j] = hop_dist_[u] + 1;
-        relax.push_back(j);
+        relax_scratch_.push_back(j);
       }
     }
   }
@@ -114,9 +155,20 @@ Status LocalGraph::Add(NodeId global) {
 }
 
 double LocalGraph::MaxOutsideAdjacentDegree() {
+  // Amortized wholesale drain: once the visited set has doubled since the
+  // last compaction, filter out every entry whose node has been visited.
+  // Each visit is charged O(1), so long (e.g. multi-source) queries don't
+  // retain stale entries indefinitely.
+  if (outside_degree_heap_.size() > 64 && Size() >= 2 * heap_compact_size_) {
+    std::erase_if(outside_degree_heap_,
+                  [&](const std::pair<double, NodeId>& e) {
+                    return Contains(e.second);
+                  });
+    std::make_heap(outside_degree_heap_.begin(), outside_degree_heap_.end());
+    heap_compact_size_ = Size();
+  }
   while (!outside_degree_heap_.empty()) {
-    const NodeId top = outside_degree_heap_.front().second;
-    if (!global_to_local_.count(top)) {
+    if (!Contains(outside_degree_heap_.front().second)) {
       return outside_degree_heap_.front().first;
     }
     std::pop_heap(outside_degree_heap_.begin(), outside_degree_heap_.end());
@@ -137,41 +189,38 @@ Result<uint32_t> LocalGraph::Expand(LocalId u) {
   if (u >= Size()) {
     return Status::OutOfRange("local id out of range in Expand");
   }
-  uint32_t added = 0;
-  // Iterate by index: Add() grows neighbors_, but u's own list is stable
-  // because vectors of vectors only reallocate the outer spine; take a copy
-  // of the ids to be safe against outer reallocation.
-  std::vector<NodeId> to_add;
+  // Snapshot the unvisited neighbor ids first: Add() grows neighbors_, so
+  // iterating the list while adding would be unsafe. Accessor neighbor
+  // lists are sorted and duplicate-free, and Add(v) adds exactly v, so no
+  // re-check is needed in the second loop — one index probe per neighbor.
+  expand_scratch_.clear();
   for (const Neighbor& nb : neighbors_[u]) {
-    if (!Contains(nb.id)) to_add.push_back(nb.id);
+    if (LocalIndex(nb.id) == kInvalidLocal) expand_scratch_.push_back(nb.id);
   }
-  for (const NodeId v : to_add) {
-    if (Contains(v)) continue;  // may have been added via an earlier sibling
+  for (const NodeId v : expand_scratch_) {
     FLOS_RETURN_IF_ERROR(Add(v));
-    ++added;
   }
-  return added;
+  return static_cast<uint32_t>(expand_scratch_.size());
 }
 
 bool LocalGraph::Exhausted() const {
-  for (const uint32_t c : outside_count_) {
-    if (c > 0) return false;
+  for (LocalId i = 0; i < Size(); ++i) {
+    if (outside_count_[i] > 0) return false;
   }
   return true;
 }
 
-std::vector<LocalId> LocalGraph::TakeDirtyNodes() {
-  std::vector<LocalId> out;
-  out.swap(dirty_);
-  for (const LocalId i : out) in_dirty_[i] = false;
-  return out;
+const std::vector<LocalId>& LocalGraph::TakeDirtyNodes() {
+  dirty_out_.swap(dirty_);
+  dirty_.clear();
+  for (const LocalId i : dirty_out_) in_dirty_[i] = false;
+  return dirty_out_;
 }
 
 double LocalGraph::ProbeDegree(NodeId global) {
-  const auto it = degree_cache_.find(global);
-  if (it != degree_cache_.end()) return it->second;
+  if (const double* cached = degree_cache_.Find(global)) return *cached;
   const double w = accessor_->WeightedDegree(global);
-  degree_cache_.emplace(global, w);
+  degree_cache_.Insert(global, w);
   return w;
 }
 

@@ -9,16 +9,21 @@
 // A node "joins S" when its neighbor list is fetched through the
 // GraphAccessor; the number of fetches equals |S|, matching the paper's
 // "number of visited nodes".
+//
+// Reuse: a LocalGraph is a per-worker workspace, not a per-query object.
+// Reset() returns it to the pre-Init state in O(|S|) without releasing any
+// storage — the node-keyed indexes are epoch-versioned (core/node_index.h),
+// so steady-state queries perform no allocation and no hashing on the hot
+// membership checks when the accessor advertises DenseIndexHint().
 
 #ifndef FLOS_CORE_LOCAL_GRAPH_H_
 #define FLOS_CORE_LOCAL_GRAPH_H_
 
 #include <cstdint>
-#include <unordered_map>
-#include <unordered_set>
 #include <utility>
 #include <vector>
 
+#include "core/node_index.h"
 #include "graph/accessor.h"
 #include "graph/graph.h"
 #include "util/status.h"
@@ -33,19 +38,26 @@ inline constexpr LocalId kInvalidLocal = static_cast<LocalId>(-1);
 /// The visited subgraph S with its boundary bookkeeping.
 class LocalGraph {
  public:
-  /// `accessor` must outlive the LocalGraph.
-  explicit LocalGraph(GraphAccessor* accessor) : accessor_(accessor) {}
+  /// `accessor` must outlive the LocalGraph. Allocates the visited-set
+  /// index sized to the accessor's hint (dense stamp arrays for in-memory
+  /// graphs, open-addressing hashing for disk graphs).
+  explicit LocalGraph(GraphAccessor* accessor);
 
   LocalGraph(const LocalGraph&) = delete;
   LocalGraph& operator=(const LocalGraph&) = delete;
 
-  /// Adds the query node as local id 0. Must be called exactly once.
+  /// Adds the query node as local id 0. Must be called exactly once per
+  /// query (after construction or Reset()).
   Status Init(NodeId query);
 
   /// Multi-source variant: the queries become local ids 0..queries.size()-1
   /// and act as one absorbing set (walks stop at ANY of them). Queries must
-  /// be distinct and in range. Must be called exactly once.
+  /// be distinct and in range. Must be called exactly once per query.
   Status Init(const std::vector<NodeId>& queries);
+
+  /// Returns to the pre-Init state so the workspace can serve the next
+  /// query. Keeps every buffer's capacity; O(|S|).
+  void Reset();
 
   /// Expands node `u` (must be visited): every unvisited neighbor of `u`
   /// joins S. Returns the number of nodes added.
@@ -56,13 +68,14 @@ class LocalGraph {
 
   /// True iff `global` is visited.
   bool Contains(NodeId global) const {
-    return global_to_local_.count(global) > 0;
+    return global_to_local_.Contains(global);
   }
 
-  /// Local id of a visited node, or kInvalidLocal.
+  /// Local id of a visited node, or kInvalidLocal. Single index probe;
+  /// prefer one LocalIndex call over Contains-then-LocalIndex pairs.
   LocalId LocalIndex(NodeId global) const {
-    const auto it = global_to_local_.find(global);
-    return it == global_to_local_.end() ? kInvalidLocal : it->second;
+    const LocalId* local = global_to_local_.Find(global);
+    return local == nullptr ? kInvalidLocal : *local;
   }
 
   NodeId GlobalId(LocalId local) const { return local_to_global_[local]; }
@@ -99,8 +112,9 @@ class LocalGraph {
   /// Nodes whose outside-neighbor set changed since the last call (newly
   /// added nodes and their visited neighbors), deduplicated. The bound
   /// engine uses this to refresh boundary coefficients incrementally.
-  /// Calling this clears the set.
-  std::vector<LocalId> TakeDirtyNodes();
+  /// Calling this clears the set. The returned reference is valid until
+  /// the next TakeDirtyNodes or Expand call.
+  const std::vector<LocalId>& TakeDirtyNodes();
 
   /// Hop distance from the query to `local` along paths WITHIN S
   /// (maintained incrementally with decrease-relaxation, so it equals the
@@ -115,7 +129,7 @@ class LocalGraph {
 
   /// True iff `global` is unvisited but adjacent to S (in delta-S-bar).
   bool IsOutsideAdjacent(NodeId global) const {
-    return outside_adjacent_.count(global) > 0;
+    return ever_adjacent_.Contains(global) && !Contains(global);
   }
 
   /// Largest weighted degree among the unvisited nodes adjacent to S
@@ -141,21 +155,31 @@ class LocalGraph {
   GraphAccessor* accessor_;
   NodeId query_ = kInvalidNode;
   uint32_t query_count_ = 0;
-  std::unordered_map<NodeId, LocalId> global_to_local_;
+  NodeMap<LocalId> global_to_local_;
   std::vector<NodeId> local_to_global_;
   std::vector<double> weighted_degree_;
   std::vector<uint32_t> outside_count_;
   std::vector<std::vector<Neighbor>> neighbors_;
   std::vector<std::vector<std::pair<LocalId, double>>> rows_;
-  std::unordered_map<NodeId, double> degree_cache_;
+  NodeMap<double> degree_cache_;
   std::vector<Neighbor> scratch_;
+  std::vector<LocalId> scratch_local_;   // visited-status cache in Add
+  std::vector<NodeId> expand_scratch_;   // unvisited neighbors in Expand
+  std::vector<LocalId> relax_scratch_;   // hop-distance relaxation queue
   std::vector<LocalId> dirty_;
+  std::vector<LocalId> dirty_out_;
   std::vector<bool> in_dirty_;
   std::vector<uint32_t> hop_dist_;
-  std::unordered_set<NodeId> outside_adjacent_;  // delta-S-bar
+  /// Nodes that were EVER adjacent to S this query (a superset of
+  /// delta-S-bar: epoch maps do not erase, so membership in the current
+  /// delta-S-bar additionally requires being unvisited — see
+  /// IsOutsideAdjacent).
+  NodeMap<uint8_t> ever_adjacent_;
   /// Lazy max-heap over delta-S-bar degrees; entries whose node has since
-  /// been visited are skipped on pop.
+  /// been visited are skipped on pop and drained wholesale once the
+  /// visited set doubles, so long queries don't accumulate stale entries.
   std::vector<std::pair<double, NodeId>> outside_degree_heap_;
+  uint32_t heap_compact_size_ = 0;  ///< |S| at the last heap compaction
 };
 
 }  // namespace flos

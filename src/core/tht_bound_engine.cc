@@ -5,7 +5,14 @@
 namespace flos {
 
 ThtBoundEngine::ThtBoundEngine(LocalGraph* local, int length)
-    : local_(local), length_(length) {
+    : local_(local) {
+  Reset(length);
+}
+
+void ThtBoundEngine::Reset(int length) {
+  length_ = length;
+  lower_.clear();
+  upper_.clear();
   OnGrowth();
 }
 

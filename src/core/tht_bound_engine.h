@@ -33,6 +33,11 @@ class ThtBoundEngine {
   /// `local` must outlive the engine. `length` is the truncation L >= 1.
   ThtBoundEngine(LocalGraph* local, int length);
 
+  /// Returns the engine to its freshly-constructed state for the next
+  /// query (after the LocalGraph was Reset+Init'd), with a new truncation
+  /// length. Keeps every buffer's capacity.
+  void Reset(int length);
+
   /// Resizes state after LocalGraph growth (new nodes: lower 0, upper L).
   void OnGrowth();
 

@@ -38,7 +38,15 @@ struct AccessStats {
 
 /// Read-only neighbor-query interface shared by in-memory and disk graphs.
 ///
-/// Implementations are thread-compatible (no internal synchronization).
+/// Thread-safety contract (serving pattern): the underlying graph storage
+/// is immutable after construction and may be shared by any number of
+/// threads, but a GraphAccessor instance is thread-COMPATIBLE, not
+/// thread-safe — it carries mutable per-client state (access counters
+/// here; block caches and file handles in DiskGraph). Concurrent queries
+/// must therefore use one accessor instance per thread, all backed by the
+/// same shared graph: construct one `InMemoryAccessor` per thread over one
+/// `const Graph`, or `DiskGraph::Open` the same file once per thread.
+/// `BatchTopK` (core/batch_topk.h) follows exactly this pattern.
 class GraphAccessor {
  public:
   virtual ~GraphAccessor() = default;
@@ -50,17 +58,26 @@ class GraphAccessor {
   virtual uint64_t NumEdges() const = 0;
 
   /// Weighted degree w_u. Cheap (index lookup; no adjacency read on disk).
+  /// Non-const: implementations count probes and may touch caches.
   virtual double WeightedDegree(NodeId u) = 0;
 
   /// Appends nothing and overwrites `*out` with u's neighbors (sorted by id).
+  /// Non-const: implementations count fetches and may touch caches.
   virtual Status CopyNeighbors(NodeId u, std::vector<Neighbor>* out) = 0;
 
   /// Node ids sorted by descending weighted degree. Used by FLoS_RWR to
   /// bound the maximum degree among unvisited nodes.
-  virtual const std::vector<NodeId>& DegreeOrder() = 0;
+  virtual const std::vector<NodeId>& DegreeOrder() const = 0;
 
   /// Largest weighted degree in the graph.
-  virtual double MaxWeightedDegree() = 0;
+  virtual double MaxWeightedDegree() const = 0;
+
+  /// True when per-query workspaces over this accessor should index visited
+  /// nodes with O(NumNodes())-memory dense stamp arrays (fastest lookups;
+  /// right for in-memory CSR graphs). False steers them to hashing with
+  /// memory proportional to the visited set (right for disk-resident
+  /// graphs, whose node count may dwarf what each worker should pin).
+  virtual bool DenseIndexHint() const { return false; }
 
   /// Access counters accumulated since construction or ResetStats.
   const AccessStats& stats() const { return stats_; }
@@ -83,10 +100,13 @@ class InMemoryAccessor final : public GraphAccessor {
     return graph_->WeightedDegree(u);
   }
   Status CopyNeighbors(NodeId u, std::vector<Neighbor>* out) override;
-  const std::vector<NodeId>& DegreeOrder() override {
+  const std::vector<NodeId>& DegreeOrder() const override {
     return graph_->DegreeOrder();
   }
-  double MaxWeightedDegree() override { return graph_->MaxWeightedDegree(); }
+  double MaxWeightedDegree() const override {
+    return graph_->MaxWeightedDegree();
+  }
+  bool DenseIndexHint() const override { return true; }
 
   const Graph& graph() const { return *graph_; }
 

@@ -109,7 +109,7 @@ Status DynamicGraph::CopyNeighbors(NodeId u, std::vector<Neighbor>* out) {
   return Status::OK();
 }
 
-const std::vector<NodeId>& DynamicGraph::DegreeOrder() {
+const std::vector<NodeId>& DynamicGraph::DegreeOrder() const {
   if (degree_order_dirty_) {
     degree_order_.resize(num_nodes_);
     std::iota(degree_order_.begin(), degree_order_.end(), NodeId{0});
@@ -124,8 +124,6 @@ const std::vector<NodeId>& DynamicGraph::DegreeOrder() {
   }
   return degree_order_;
 }
-
-double DynamicGraph::MaxWeightedDegree() { return max_weighted_degree_; }
 
 Result<Graph> DynamicGraph::Snapshot() const {
   GraphBuilder::Options options;

@@ -56,8 +56,8 @@ class DynamicGraph final : public GraphAccessor {
   uint64_t NumEdges() const override;
   double WeightedDegree(NodeId u) override;
   Status CopyNeighbors(NodeId u, std::vector<Neighbor>* out) override;
-  const std::vector<NodeId>& DegreeOrder() override;
-  double MaxWeightedDegree() override;
+  const std::vector<NodeId>& DegreeOrder() const override;
+  double MaxWeightedDegree() const override { return max_weighted_degree_; }
 
  private:
   /// Returns the delta adjacency row of `u` (sorted by neighbor id).
@@ -69,9 +69,10 @@ class DynamicGraph final : public GraphAccessor {
   std::vector<std::vector<Neighbor>> delta_;   // sorted per node
   std::vector<double> weighted_degree_;        // merged, maintained online
   double max_weighted_degree_ = 0;
-  /// Degree order is recomputed lazily after updates.
-  bool degree_order_dirty_ = true;
-  std::vector<NodeId> degree_order_;
+  /// Degree order is a lazily recomputed cache (mutable so the logically
+  /// const DegreeOrder() accessor can refresh it after updates).
+  mutable bool degree_order_dirty_ = true;
+  mutable std::vector<NodeId> degree_order_;
 };
 
 }  // namespace flos

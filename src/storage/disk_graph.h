@@ -29,8 +29,12 @@ struct DiskGraphOptions {
   uint64_t block_bytes = 8 << 10;
 };
 
-/// Read-only disk graph. Open once, query concurrently-never (the class is
-/// not thread-safe, matching the single-threaded experiments).
+/// Read-only disk graph. The instance is thread-compatible, not
+/// thread-safe (it owns a file handle, a block cache, and scratch
+/// buffers); the FILE ITSELF is immutable and may be shared. For
+/// concurrent queries, Open the same path once per worker thread — each
+/// accessor then has its own handle and cache, per the GraphAccessor
+/// thread-safety contract.
 class DiskGraph final : public GraphAccessor {
  public:
   static Result<std::unique_ptr<DiskGraph>> Open(const std::string& path,
@@ -44,8 +48,10 @@ class DiskGraph final : public GraphAccessor {
   uint64_t NumEdges() const override { return num_directed_edges_ / 2; }
   double WeightedDegree(NodeId u) override;
   Status CopyNeighbors(NodeId u, std::vector<Neighbor>* out) override;
-  const std::vector<NodeId>& DegreeOrder() override { return degree_order_; }
-  double MaxWeightedDegree() override { return max_weighted_degree_; }
+  const std::vector<NodeId>& DegreeOrder() const override {
+    return degree_order_;
+  }
+  double MaxWeightedDegree() const override { return max_weighted_degree_; }
 
  private:
   DiskGraph(const DiskGraphOptions& options)

@@ -1,0 +1,63 @@
+// Fixed-size thread pool for fan-out query serving.
+//
+// Deliberately minimal: N long-lived workers draining one mutex-protected
+// FIFO queue. No work stealing, no priorities, no futures — batch top-k
+// serving submits coarse per-thread loops (each worker pulls query indices
+// from a shared atomic counter), so a simple queue is never the
+// bottleneck. Tasks must not throw; the library is exception-free
+// (Status/Result), and a throwing task would terminate.
+
+#ifndef FLOS_UTIL_THREAD_POOL_H_
+#define FLOS_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace flos {
+
+/// Fixed pool of worker threads consuming submitted tasks FIFO.
+/// Submit/Wait may be called from any single controlling thread; tasks
+/// themselves must not Submit or Wait (no nested scheduling).
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+
+  /// Drains outstanding tasks (as if by Wait) and joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Never blocks (unbounded queue).
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished running.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Hardware concurrency, with a floor of 1 (hardware_concurrency may
+  /// report 0). The default worker count for batch serving.
+  static int DefaultNumThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_ready_;   // queue non-empty or shutdown
+  std::condition_variable all_idle_;     // pending_ reached zero
+  std::deque<std::function<void()>> queue_;
+  uint64_t pending_ = 0;  // queued + running tasks
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace flos
+
+#endif  // FLOS_UTIL_THREAD_POOL_H_

@@ -1,0 +1,165 @@
+// ThreadPool unit tests and BatchTopK behavior: input-order preservation,
+// agreement with serial FlosTopK, error propagation, and edge cases.
+
+#include "core/batch_topk.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "core/flos.h"
+#include "graph/accessor.h"
+#include "measures/measure.h"
+#include "tests/test_util.h"
+#include "util/thread_pool.h"
+
+namespace flos {
+namespace {
+
+using testing::RandomConnectedGraph;
+using testing::ValueOrDie;
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitThenSubmitMoreWorks) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1);
+  for (int i = 0; i < 10; ++i) pool.Submit([&count] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 11);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 20; ++i) pool.Submit([&count] { count.fetch_add(1); });
+    // No Wait(): the destructor must still run every queued task.
+  }
+  EXPECT_EQ(count.load(), 20);
+}
+
+TEST(ThreadPoolTest, ClampsNonPositiveThreadCounts) {
+  ThreadPool pool(0);  // must not deadlock or crash
+  std::atomic<int> count{0};
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1);
+  EXPECT_GE(ThreadPool::DefaultNumThreads(), 1);
+}
+
+FlosOptions DefaultOptions() {
+  FlosOptions options;
+  options.measure = Measure::kPhp;
+  options.c = 0.5;
+  return options;
+}
+
+void ExpectSameResult(const FlosResult& a, const FlosResult& b) {
+  ASSERT_EQ(a.topk.size(), b.topk.size());
+  for (size_t i = 0; i < a.topk.size(); ++i) {
+    EXPECT_EQ(a.topk[i].node, b.topk[i].node);
+    EXPECT_EQ(a.topk[i].score, b.topk[i].score);
+  }
+  EXPECT_EQ(a.stats.exact, b.stats.exact);
+}
+
+TEST(BatchTopKTest, PreservesInputOrderAndMatchesSerial) {
+  const Graph g = RandomConnectedGraph(300, 900, 11);
+  const FlosOptions options = DefaultOptions();
+  std::vector<NodeId> queries;
+  for (NodeId q = 0; q < 40; ++q) queries.push_back((q * 37) % g.NumNodes());
+
+  std::vector<FlosResult> serial;
+  for (const NodeId q : queries) {
+    serial.push_back(ValueOrDie(FlosTopK(g, q, 10, options)));
+  }
+  for (const int threads : {1, 2, 4}) {
+    const std::vector<FlosResult> batch =
+        ValueOrDie(BatchTopK(g, queries, 10, options, threads));
+    ASSERT_EQ(batch.size(), queries.size()) << threads << " threads";
+    for (size_t i = 0; i < queries.size(); ++i) {
+      ExpectSameResult(batch[i], serial[i]);
+    }
+  }
+}
+
+TEST(BatchTopKTest, RepeatedQueriesEachGetTheSameAnswer) {
+  const Graph g = RandomConnectedGraph(200, 600, 13);
+  const std::vector<NodeId> queries(16, NodeId{5});  // all identical
+  const std::vector<FlosResult> batch =
+      ValueOrDie(BatchTopK(g, queries, 5, DefaultOptions(), 4));
+  ASSERT_EQ(batch.size(), queries.size());
+  for (size_t i = 1; i < batch.size(); ++i) {
+    ExpectSameResult(batch[i], batch[0]);
+  }
+}
+
+TEST(BatchTopKTest, EmptyBatchReturnsEmptyResults) {
+  const Graph g = RandomConnectedGraph(50, 150, 3);
+  const std::vector<FlosResult> batch =
+      ValueOrDie(BatchTopK(g, {}, 5, DefaultOptions(), 4));
+  EXPECT_TRUE(batch.empty());
+}
+
+TEST(BatchTopKTest, MoreThreadsThanQueriesWorks) {
+  const Graph g = RandomConnectedGraph(100, 300, 7);
+  const std::vector<NodeId> queries = {1, 2};
+  const std::vector<FlosResult> batch =
+      ValueOrDie(BatchTopK(g, queries, 5, DefaultOptions(), 16));
+  ASSERT_EQ(batch.size(), 2u);
+}
+
+TEST(BatchTopKTest, AnyInvalidQueryFailsTheWholeBatch) {
+  const Graph g = RandomConnectedGraph(100, 300, 7);
+  std::vector<NodeId> queries;
+  for (NodeId q = 0; q < 20; ++q) queries.push_back(q);
+  queries.push_back(g.NumNodes());  // out of range
+  const auto result = BatchTopK(g, queries, 5, DefaultOptions(), 4);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(BatchTopKTest, AccessorFactoryErrorPropagates) {
+  const std::vector<NodeId> queries = {0, 1, 2};
+  const auto result = BatchTopK(
+      []() -> Result<std::unique_ptr<GraphAccessor>> {
+        return Status::InvalidArgument("no accessor for you");
+      },
+      queries, 5, DefaultOptions(), 2);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("no accessor"), std::string::npos);
+}
+
+TEST(BatchTopKTest, FactoryOverloadMatchesGraphOverload) {
+  const Graph g = RandomConnectedGraph(150, 450, 19);
+  std::vector<NodeId> queries = {0, 10, 20, 30, 149};
+  const FlosOptions options = DefaultOptions();
+  const std::vector<FlosResult> via_graph =
+      ValueOrDie(BatchTopK(g, queries, 8, options, 2));
+  const std::vector<FlosResult> via_factory = ValueOrDie(BatchTopK(
+      [&g]() -> Result<std::unique_ptr<GraphAccessor>> {
+        return std::unique_ptr<GraphAccessor>(
+            std::make_unique<InMemoryAccessor>(&g));
+      },
+      queries, 8, options, 2));
+  ASSERT_EQ(via_graph.size(), via_factory.size());
+  for (size_t i = 0; i < via_graph.size(); ++i) {
+    ExpectSameResult(via_graph[i], via_factory[i]);
+  }
+}
+
+}  // namespace
+}  // namespace flos

@@ -39,10 +39,12 @@ class FaultyAccessor final : public GraphAccessor {
     }
     return inner_.CopyNeighbors(u, out);
   }
-  const std::vector<NodeId>& DegreeOrder() override {
+  const std::vector<NodeId>& DegreeOrder() const override {
     return inner_.DegreeOrder();
   }
-  double MaxWeightedDegree() override { return inner_.MaxWeightedDegree(); }
+  double MaxWeightedDegree() const override {
+    return inner_.MaxWeightedDegree();
+  }
 
  private:
   InMemoryAccessor inner_;
