@@ -1,21 +1,38 @@
 // Google-benchmark microbenchmarks for the kernels the figure-level
 // results are built from: CSR neighbor scans, one global-iteration sweep,
-// a FLoS expansion + bound update step, the push kernel, and disk reads.
+// the bound-sweep kernel in both layouts (legacy AoS rows with separate
+// Jacobi lower/upper passes vs. the flat SoA local CSR with one fused
+// Gauss–Seidel pass), a FLoS expansion + bound update step, full queries,
+// and disk reads.
+//
+// After the google-benchmark run, the binary self-times the bound-sweep
+// comparison and full-query throughput at k=20 on the RAND and R-MAT
+// presets and writes `BENCH_kernels.json` (ns/row-sweep,
+// iterations-to-converge, QPS) so future PRs have a perf trajectory to
+// compare against. Pass --no-kernel-json to skip the JSON pass.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "core/bound_engine.h"
 #include "core/flos.h"
+#include "core/flos_engine.h"
 #include "core/local_graph.h"
+#include "core/sweep_kernel.h"
 #include "graph/accessor.h"
 #include "graph/generators.h"
 #include "measures/exact.h"
 #include "storage/disk_builder.h"
 #include "storage/disk_graph.h"
 #include "util/rng.h"
+#include "util/timer.h"
 
 namespace flos {
 namespace {
@@ -34,6 +51,162 @@ const Graph& TestGraph() {
     return new Graph(std::move(result).value());
   }();
   return *kGraph;
+}
+
+const Graph& RandGraph() {
+  static const Graph* const kGraph = [] {
+    GeneratorOptions options;
+    options.num_nodes = 1 << 16;
+    options.num_edges = 10 * (1 << 16);
+    options.seed = 11;
+    auto result = GenerateErdosRenyi(options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "graph generation failed\n");
+      std::abort();
+    }
+    return new Graph(std::move(result).value());
+  }();
+  return *kGraph;
+}
+
+// ---------------------------------------------------------------------------
+// Bound-sweep kernel fixture: a frozen visited subgraph S with the PHP-form
+// boundary coefficients, materialized BOTH ways — the flat SoA local CSR
+// (live in the LocalGraph) and a copy in the pre-refactor layout (one
+// heap-allocated AoS pair-vector per row) — so the two sweep kernels run
+// over identical data.
+struct SweepFixture {
+  explicit SweepFixture(uint32_t target_nodes, uint64_t seed) {
+    accessor = std::make_unique<InMemoryAccessor>(&TestGraph());
+    local = std::make_unique<LocalGraph>(accessor.get());
+    Rng rng(seed);
+    NodeId q;
+    do {
+      q = static_cast<NodeId>(rng.NextBounded(TestGraph().NumNodes()));
+    } while (TestGraph().Degree(q) == 0);
+    if (!local->Init(q).ok()) std::abort();
+    while (local->Size() < target_nodes && !local->Exhausted()) {
+      for (LocalId i = 0; i < local->Size(); ++i) {
+        if (local->IsBoundary(i)) {
+          if (!local->Expand(i).ok()) std::abort();
+          break;
+        }
+      }
+    }
+    const uint32_t n = local->Size();
+    lower.assign(n, 0.0);
+    upper.assign(n, 1.0);
+    lower[0] = 1.0;
+    self_coeff.assign(n, 0.0);
+    mesh_dummy_coeff.assign(n, 0.0);
+    plain_dummy_coeff.assign(n, 0.0);
+    legacy_rows.resize(n);
+    row_entries = 0;
+    for (LocalId i = 0; i < n; ++i) {
+      const LocalRow row = local->Row(i);
+      row_entries += row.len;
+      legacy_rows[i].clear();
+      for (uint32_t e = 0; e < row.len; ++e) {
+        legacy_rows[i].emplace_back(row.idx[e], row.weight[e]);
+      }
+      if (local->IsQueryLocal(i) || !local->IsBoundary(i)) continue;
+      const double wi = local->WeightedDegree(i);
+      if (wi <= 0) continue;
+      double out_mass = 0;
+      double loop_mass = 0;
+      for (const Neighbor& nb : local->Neighbors(i)) {
+        if (local->Contains(nb.id)) continue;
+        const double p_iv = nb.weight / wi;
+        out_mass += p_iv;
+        const double wv = local->ProbeDegree(nb.id);
+        if (wv > 0) loop_mass += p_iv * (nb.weight / wv);
+      }
+      plain_dummy_coeff[i] = kAlpha * out_mass;
+      self_coeff[i] = kAlpha * kAlpha * loop_mass;
+      mesh_dummy_coeff[i] = kAlpha * kAlpha * (out_mass - loop_mass);
+    }
+    scratch.resize(n);
+  }
+
+  void ResetBounds() {
+    std::fill(lower.begin(), lower.end(), 0.0);
+    std::fill(upper.begin(), upper.end(), 1.0);
+    lower[0] = 1.0;
+  }
+
+  // One legacy bound update: separate lower and upper Jacobi passes over
+  // the AoS rows, each through a double buffer (the pre-refactor kernel).
+  double LegacyJacobiSweep() {
+    const uint32_t n = static_cast<uint32_t>(lower.size());
+    double delta = 0;
+    for (LocalId i = 0; i < n; ++i) {
+      if (i == 0) {
+        scratch[i] = 1.0;
+        continue;
+      }
+      double sum = 0;
+      for (const auto& [j, p] : legacy_rows[i]) sum += p * lower[j];
+      const double v = std::max(kAlpha * sum + self_coeff[i] * lower[i],
+                                lower[i]);
+      delta = std::max(delta, v - lower[i]);
+      scratch[i] = v;
+    }
+    lower.swap(scratch);
+    for (LocalId i = 0; i < n; ++i) {
+      if (i == 0) {
+        scratch[i] = 1.0;
+        continue;
+      }
+      double sum = 0;
+      for (const auto& [j, p] : legacy_rows[i]) sum += p * upper[j];
+      double v = kAlpha * sum + plain_dummy_coeff[i] * 1.0;
+      v = std::min(v, kAlpha * sum + self_coeff[i] * upper[i] +
+                          mesh_dummy_coeff[i] * 1.0);
+      v = std::min(v, upper[i]);
+      delta = std::max(delta, upper[i] - v);
+      scratch[i] = v;
+    }
+    upper.swap(scratch);
+    return delta;
+  }
+
+  // One fused bound update: a single scan of the flat SoA CSR computes
+  // both dot products and updates both bounds in place (Gauss–Seidel).
+  double FusedGsSweep() {
+    double delta = 0;
+    double* const lo = lower.data();
+    double* const hi = upper.data();
+    FusedRowSweep(*local, lo, hi, [&](LocalId i, double s_lo, double s_hi) {
+      if (i == 0) return;
+      const double vl = std::max(kAlpha * s_lo + self_coeff[i] * lo[i], lo[i]);
+      double vu = kAlpha * s_hi + plain_dummy_coeff[i] * 1.0;
+      vu = std::min(vu, kAlpha * s_hi + self_coeff[i] * hi[i] +
+                            mesh_dummy_coeff[i] * 1.0);
+      vu = std::min(vu, hi[i]);
+      delta = std::max(delta, std::max(vl - lo[i], hi[i] - vu));
+      lo[i] = vl;
+      hi[i] = vu;
+    });
+    return delta;
+  }
+
+  static constexpr double kAlpha = 0.5;
+
+  std::unique_ptr<InMemoryAccessor> accessor;
+  std::unique_ptr<LocalGraph> local;
+  std::vector<std::vector<std::pair<LocalId, double>>> legacy_rows;
+  std::vector<double> lower;
+  std::vector<double> upper;
+  std::vector<double> scratch;
+  std::vector<double> self_coeff;
+  std::vector<double> mesh_dummy_coeff;
+  std::vector<double> plain_dummy_coeff;
+  uint64_t row_entries = 0;
+};
+
+SweepFixture& SharedFixture() {
+  static SweepFixture* const kFixture = new SweepFixture(4000, 3);
+  return *kFixture;
 }
 
 void BM_CsrNeighborScan(benchmark::State& state) {
@@ -71,6 +244,32 @@ void BM_GlobalIterationSweep(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * g.NumDirectedEdges());
 }
 BENCHMARK(BM_GlobalIterationSweep);
+
+void BM_BoundSweepLegacyAoSJacobi(benchmark::State& state) {
+  // The pre-refactor inner kernel: per-row heap vectors of AoS pairs,
+  // lower and upper solved by separate double-buffered Jacobi passes.
+  SweepFixture& f = SharedFixture();
+  f.ResetBounds();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.LegacyJacobiSweep());
+  }
+  state.SetItemsProcessed(state.iterations() * f.row_entries);
+  state.counters["visited"] = static_cast<double>(f.lower.size());
+}
+BENCHMARK(BM_BoundSweepLegacyAoSJacobi);
+
+void BM_BoundSweepFlatSoAFusedGS(benchmark::State& state) {
+  // The current kernel: one scan of the flat SoA local CSR per iteration
+  // computes both bounds and updates them in place (Gauss–Seidel).
+  SweepFixture& f = SharedFixture();
+  f.ResetBounds();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.FusedGsSweep());
+  }
+  state.SetItemsProcessed(state.iterations() * f.row_entries);
+  state.counters["visited"] = static_cast<double>(f.lower.size());
+}
+BENCHMARK(BM_BoundSweepFlatSoAFusedGS);
 
 void BM_FlosExpansionStep(benchmark::State& state) {
   // One LocalExpansion + bound update, amortized over a fresh query each
@@ -117,13 +316,15 @@ BENCHMARK(BM_FlosExpansionStep);
 
 void BM_FlosFullQuery(benchmark::State& state) {
   const Graph& g = TestGraph();
+  InMemoryAccessor accessor(&g);
+  FlosEngine engine(&accessor);
   Rng rng(4);
   FlosOptions options;
   options.measure = Measure::kPhp;
   for (auto _ : state) {
     const auto q = static_cast<NodeId>(rng.NextBounded(g.NumNodes()));
     if (g.Degree(q) == 0) continue;
-    const auto r = FlosTopK(g, q, static_cast<int>(state.range(0)), options);
+    const auto r = engine.TopK(q, static_cast<int>(state.range(0)), options);
     if (!r.ok()) std::abort();
     benchmark::DoNotOptimize(r.value().topk.data());
   }
@@ -152,7 +353,136 @@ void BM_DiskNeighborFetch(benchmark::State& state) {
 }
 BENCHMARK(BM_DiskNeighborFetch);
 
+// ---------------------------------------------------------------------------
+// BENCH_kernels.json: a machine-readable perf baseline for the bound-sweep
+// kernel and end-to-end queries, emitted after the google-benchmark run.
+
+double TimeSweeps(SweepFixture* f, bool fused, int sweeps) {
+  f->ResetBounds();
+  WallTimer timer;
+  double sink = 0;
+  for (int s = 0; s < sweeps; ++s) {
+    sink += fused ? f->FusedGsSweep() : f->LegacyJacobiSweep();
+  }
+  const double ns = timer.ElapsedSeconds() * 1e9 / sweeps;
+  benchmark::DoNotOptimize(sink);
+  return ns;
+}
+
+uint32_t SweepsToConverge(SweepFixture* f, bool fused, double tolerance) {
+  f->ResetBounds();
+  uint32_t sweeps = 0;
+  while (sweeps < 10000) {
+    const double delta = fused ? f->FusedGsSweep() : f->LegacyJacobiSweep();
+    ++sweeps;
+    if (delta < tolerance) break;
+  }
+  return sweeps;
+}
+
+struct QueryPoint {
+  std::string graph;
+  double qps = 0;
+  double avg_ms = 0;
+  double avg_visited = 0;
+};
+
+QueryPoint TimeQueries(const Graph& g, const std::string& name, int k,
+                       int num_queries) {
+  InMemoryAccessor accessor(&g);
+  FlosEngine engine(&accessor);
+  FlosOptions options;
+  options.measure = Measure::kPhp;
+  Rng rng(21);
+  std::vector<NodeId> queries;
+  while (queries.size() < static_cast<size_t>(num_queries)) {
+    const auto q = static_cast<NodeId>(rng.NextBounded(g.NumNodes()));
+    if (g.Degree(q) > 0) queries.push_back(q);
+  }
+  uint64_t visited = 0;
+  WallTimer timer;
+  for (const NodeId q : queries) {
+    const auto r = engine.TopK(q, k, options);
+    if (!r.ok()) std::abort();
+    visited += r.value().stats.visited_nodes;
+  }
+  const double secs = timer.ElapsedSeconds();
+  QueryPoint point;
+  point.graph = name;
+  point.qps = num_queries / secs;
+  point.avg_ms = secs * 1e3 / num_queries;
+  point.avg_visited = static_cast<double>(visited) / num_queries;
+  return point;
+}
+
+void EmitKernelBaseline(const char* path) {
+  SweepFixture& f = SharedFixture();
+  // Warm the caches, then time each kernel over enough sweeps to settle.
+  TimeSweeps(&f, /*fused=*/true, 50);
+  const double legacy_ns = TimeSweeps(&f, /*fused=*/false, 400);
+  const double fused_ns = TimeSweeps(&f, /*fused=*/true, 400);
+  const double tol = 1e-8;
+  const uint32_t jacobi_iters = SweepsToConverge(&f, /*fused=*/false, tol);
+  const uint32_t gs_iters = SweepsToConverge(&f, /*fused=*/true, tol);
+  const QueryPoint rand_point = TimeQueries(RandGraph(), "RAND", 20, 200);
+  const QueryPoint rmat_point = TimeQueries(TestGraph(), "RMAT", 20, 200);
+
+  FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"bound_sweep\": {\n");
+  std::fprintf(out, "    \"visited_nodes\": %zu,\n", f.lower.size());
+  std::fprintf(out, "    \"row_entries\": %llu,\n",
+               static_cast<unsigned long long>(f.row_entries));
+  std::fprintf(out, "    \"legacy_aos_jacobi_ns_per_sweep\": %.1f,\n",
+               legacy_ns);
+  std::fprintf(out, "    \"flat_soa_fused_gs_ns_per_sweep\": %.1f,\n",
+               fused_ns);
+  std::fprintf(out, "    \"speedup\": %.3f\n", legacy_ns / fused_ns);
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"iterations_to_converge\": {\n");
+  std::fprintf(out, "    \"tolerance\": %g,\n", tol);
+  std::fprintf(out, "    \"jacobi\": %u,\n", jacobi_iters);
+  std::fprintf(out, "    \"gauss_seidel\": %u\n", gs_iters);
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"full_query_k20_php\": [\n");
+  const QueryPoint* points[] = {&rand_point, &rmat_point};
+  for (int i = 0; i < 2; ++i) {
+    std::fprintf(out,
+                 "    {\"graph\": \"%s\", \"qps\": %.1f, \"avg_ms\": %.4f, "
+                 "\"avg_visited\": %.1f}%s\n",
+                 points[i]->graph.c_str(), points[i]->qps, points[i]->avg_ms,
+                 points[i]->avg_visited, i == 0 ? "," : "");
+  }
+  std::fprintf(out, "  ]\n");
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("kernel baseline written to %s (sweep speedup %.2fx, "
+              "iters %u -> %u, RAND %.0f qps, RMAT %.0f qps)\n",
+              path, legacy_ns / fused_ns, jacobi_iters, gs_iters,
+              rand_point.qps, rmat_point.qps);
+}
+
 }  // namespace
 }  // namespace flos
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool emit_json = true;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--no-kernel-json") == 0) {
+      emit_json = false;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (emit_json) flos::EmitKernelBaseline("BENCH_kernels.json");
+  return 0;
+}

@@ -5,6 +5,8 @@
 #include <unordered_map>
 #include <utility>
 
+#include "core/sweep_kernel.h"
+
 namespace flos {
 
 PhpBoundEngine::PhpBoundEngine(LocalGraph* local,
@@ -145,87 +147,66 @@ void PhpBoundEngine::RefreshBoundaryCoefficients() {
   }
 }
 
-uint32_t PhpBoundEngine::SolveLower() {
-  const uint32_t n = local_->Size();
+uint32_t PhpBoundEngine::FusedSolve(double tolerance, bool lower_only) {
   const double alpha = options_.alpha;
-  scratch_.resize(n);
+  const bool self_loop = options_.self_loop_tightening;
+  double* const lo = lower_.data();
+  double* const hi = upper_.data();
   uint32_t iters = 0;
-  for (; iters < options_.max_inner_iterations; ++iters) {
+  while (iters < options_.max_inner_iterations) {
+    // Amortized convergence checks: warm-started solves converge within a
+    // sweep or two, so check every sweep early; long cold solves check
+    // every fourth sweep (the delta bookkeeping is skipped in between).
+    const bool check = iters < 4 || (iters & 3) == 3 ||
+                       iters + 1 == options_.max_inner_iterations;
     double delta = 0;
-    for (LocalId i = 0; i < n; ++i) {
-      if (local_->IsQueryLocal(i)) {
-        scratch_[i] = 1.0;
-        continue;
-      }
-      double sum = 0;
-      for (const auto& [j, p] : local_->Row(i)) sum += p * lower_[j];
-      double v = alpha * sum + self_coeff_[i] * lower_[i];
-      // Monotone clamp: any previous value is still a valid lower bound.
-      v = std::max(v, lower_[i]);
-      delta = std::max(delta, v - lower_[i]);
-      scratch_[i] = v;
+    if (lower_only) {
+      RowSweep(*local_, lo, [&](LocalId i, double s) {
+        if (local_->IsQueryLocal(i)) return;  // pinned at 1
+        // Monotone clamp: any previous value is still a valid lower bound.
+        const double v = std::max(alpha * s + self_coeff_[i] * lo[i], lo[i]);
+        if (check) delta = std::max(delta, v - lo[i]);
+        lo[i] = v;  // in place: Gauss–Seidel
+      });
+    } else {
+      FusedRowSweep(*local_, lo, hi, [&](LocalId i, double s_lo, double s_hi) {
+        if (local_->IsQueryLocal(i)) return;  // pinned at 1
+        const double vl =
+            std::max(alpha * s_lo + self_coeff_[i] * lo[i], lo[i]);
+        // Both upper constructions are monotone; keep the smaller, then
+        // clamp against the previous (still valid) value.
+        double vu = alpha * s_hi + plain_dummy_coeff_[i] * dummy_tight_;
+        if (self_loop) {
+          vu = std::min(vu, alpha * s_hi + self_coeff_[i] * hi[i] +
+                                mesh_dummy_coeff_[i] * dummy_mesh_);
+        }
+        vu = std::min(vu, hi[i]);
+        if (check) delta = std::max(delta, std::max(vl - lo[i], hi[i] - vu));
+        lo[i] = vl;  // in place: Gauss–Seidel
+        hi[i] = vu;
+      });
     }
-    lower_.swap(scratch_);
-    if (delta < options_.tolerance) {
-      ++iters;
-      break;
-    }
-  }
-  return iters;
-}
-
-uint32_t PhpBoundEngine::SolveUpper() {
-  const uint32_t n = local_->Size();
-  const double alpha = options_.alpha;
-  scratch_.resize(n);
-  uint32_t iters = 0;
-  for (; iters < options_.max_inner_iterations; ++iters) {
-    double delta = 0;
-    for (LocalId i = 0; i < n; ++i) {
-      if (local_->IsQueryLocal(i)) {
-        scratch_[i] = 1.0;
-        continue;
-      }
-      double sum = 0;
-      for (const auto& [j, p] : local_->Row(i)) sum += p * upper_[j];
-      // Both constructions are monotone upper operators; keep the smaller.
-      double v = alpha * sum + plain_dummy_coeff_[i] * dummy_tight_;
-      if (options_.self_loop_tightening) {
-        v = std::min(v, alpha * sum + self_coeff_[i] * upper_[i] +
-                            mesh_dummy_coeff_[i] * dummy_mesh_);
-      }
-      // Monotone clamp: any previous value is still a valid upper bound.
-      v = std::min(v, upper_[i]);
-      delta = std::max(delta, upper_[i] - v);
-      scratch_[i] = v;
-    }
-    upper_.swap(scratch_);
-    if (delta < options_.tolerance) {
-      ++iters;
-      break;
-    }
+    ++iters;
+    if (check && delta < tolerance) break;
   }
   return iters;
 }
 
 uint32_t PhpBoundEngine::UpdateBounds() {
   RefreshBoundaryCoefficients();
-  return SolveLower() + SolveUpper();
+  return FusedSolve(options_.tolerance, /*lower_only=*/false);
 }
 
 uint32_t PhpBoundEngine::UpdateLowerOnly() {
   RefreshBoundaryCoefficients();
-  return SolveLower();
+  return FusedSolve(options_.tolerance, /*lower_only=*/true);
 }
 
 uint32_t PhpBoundEngine::FinalizeExhausted(double final_tolerance) {
   // With S exhausted there is no boundary: the deleted-transition system is
   // the exact system. Solve it tightly and collapse the interval.
   RefreshBoundaryCoefficients();
-  const double saved = options_.tolerance;
-  options_.tolerance = final_tolerance;
-  const uint32_t iters = SolveLower();
-  options_.tolerance = saved;
+  const uint32_t iters = FusedSolve(final_tolerance, /*lower_only=*/true);
   upper_ = lower_;
   return iters;
 }

@@ -15,12 +15,23 @@
 // constant value r_d >= every unvisited proximity (Theorem 5); the self-loop
 // variant additionally splits the dummy mass per Lemma 4.
 //
-// Validity under inexact inner solves: every Jacobi iterate started from a
-// valid bound vector remains a valid bound, because the true proximity
-// vector is a supersolution of the lower system and a subsolution of the
-// upper system (monotone fixed-point operators). Bounds are additionally
-// clamped elementwise against their previous values, which keeps them
-// monotone across outer iterations (Section 5.2) even in floating point.
+// Inner solve: ONE fused sweep per iteration computes both bounds — the
+// lower and upper systems share the identical sum_j p_ij * x_j row
+// structure, so each row of the flat local CSR (core/local_graph.h) is
+// scanned once for both — and updates them IN PLACE in visit order
+// (Gauss–Seidel) rather than into a Jacobi double buffer.
+//
+// Validity under inexact, in-place solves: the true proximity vector is a
+// supersolution of the lower system and a subsolution of the upper system,
+// and both operators are monotone. Hence applying a row update to ANY
+// mixture of previous-sweep and already-updated-this-sweep values — all of
+// which are certified bounds — yields a certified bound again, so the
+// Gauss–Seidel iterate is valid after every partial sweep, and (since
+// newer values are tighter and the operators are monotone) is elementwise
+// at least as tight as the Jacobi iterate after the same number of sweeps.
+// Bounds are additionally clamped elementwise against their previous
+// values, which keeps them monotone across outer iterations (Section 5.2)
+// even in floating point.
 
 #ifndef FLOS_CORE_BOUND_ENGINE_H_
 #define FLOS_CORE_BOUND_ENGINE_H_
@@ -80,8 +91,9 @@ class PhpBoundEngine {
   void OnGrowth();
 
   /// Recomputes boundary coefficients (dummy mass, self-loops), then runs
-  /// the warm-started inner iterations for both bounds. Returns the number
-  /// of inner iterations spent (lower + upper).
+  /// the warm-started fused Gauss–Seidel iterations for both bounds.
+  /// Returns the number of inner sweeps spent (each sweep updates BOTH
+  /// bounds).
   uint32_t UpdateBounds();
 
   /// Refreshes coefficients and runs only the lower system. Used by
@@ -104,9 +116,9 @@ class PhpBoundEngine {
   /// (alpha factor, hop cap, frontier uppers). Valid for the plain
   /// redirect-everything-to-dummy construction, but NOT for the
   /// star-to-mesh one, whose redirected mesh edges also land on visited
-  /// boundary nodes; SolveUpper therefore evaluates both constructions per
-  /// node and keeps the smaller — both are monotone upper operators, so
-  /// the pointwise minimum is too.
+  /// boundary nodes; the fused sweep therefore evaluates both
+  /// constructions per node and keeps the smaller — both are monotone
+  /// upper operators, so the pointwise minimum is too.
   double tight_dummy_value() const { return dummy_tight_; }
 
   /// Certified upper bounds over the unvisited frontier delta-S-bar,
@@ -125,14 +137,18 @@ class PhpBoundEngine {
 
  private:
   void RefreshBoundaryCoefficients();
-  uint32_t SolveLower();
-  uint32_t SolveUpper();
+
+  /// The fused Gauss–Seidel solve: one row scan per sweep updates both
+  /// bounds (or only the lower when `lower_only`), in place, stopping once
+  /// the largest elementwise movement of a checked sweep drops below
+  /// `tolerance`. Convergence checks are amortized: every sweep for the
+  /// first few (warm starts converge immediately), then every fourth.
+  uint32_t FusedSolve(double tolerance, bool lower_only);
 
   LocalGraph* local_;
   BoundEngineOptions options_;
   std::vector<double> lower_;
   std::vector<double> upper_;
-  std::vector<double> scratch_;
   /// Coefficient of r_i itself (self-loop) in the mesh construction.
   std::vector<double> self_coeff_;
   /// Coefficient of r_d in the mesh construction (alpha^2 (out - loop)).

@@ -8,6 +8,10 @@ namespace flos {
 
 namespace {
 constexpr uint32_t kUnreachable = std::numeric_limits<uint32_t>::max() - 1;
+/// Smallest row slab (entries). Rows double from here, so a row of final
+/// length L occupies at most 2L arena entries and is copied O(L) times
+/// total across all growths.
+constexpr uint32_t kMinSlab = 4;
 }  // namespace
 
 LocalGraph::LocalGraph(GraphAccessor* accessor) : accessor_(accessor) {
@@ -27,14 +31,20 @@ void LocalGraph::Reset() {
   local_to_global_.clear();
   weighted_degree_.clear();
   outside_count_.clear();
+  boundary_count_ = 0;
+  arena_used_ = 0;  // rewind the bump pointer; arena capacity is kept
+  row_start_.clear();
+  row_len_.clear();
+  row_cap_.clear();
+  row_in_mass_.clear();
   dirty_.clear();
   dirty_out_.clear();
   in_dirty_.clear();
   hop_dist_.clear();
   outside_degree_heap_.clear();
   heap_compact_size_ = 0;
-  // neighbors_ and rows_ keep their high-water slots (and the slots their
-  // buffers); Size() gates which entries are live.
+  // neighbors_ keeps its high-water slots (and the slots their buffers);
+  // Size() gates which entries are live.
 }
 
 Status LocalGraph::Init(NodeId query) {
@@ -65,6 +75,35 @@ Status LocalGraph::Init(const std::vector<NodeId>& queries) {
   return Status::OK();
 }
 
+void LocalGraph::GrowRow(LocalId i, uint32_t min_cap) {
+  uint32_t cap = std::max(kMinSlab, row_cap_[i] * 2);
+  while (cap < min_cap) cap *= 2;
+  const uint32_t start = arena_used_;
+  arena_used_ += cap;
+  if (arena_idx_.size() < arena_used_) {
+    arena_idx_.resize(arena_used_);
+    arena_weight_.resize(arena_used_);
+  }
+  const uint32_t old_start = row_start_[i];
+  const uint32_t len = row_len_[i];
+  // The old slab becomes garbage until the next Reset; doubling bounds the
+  // total abandoned space by the live space.
+  std::copy_n(arena_idx_.begin() + old_start, len, arena_idx_.begin() + start);
+  std::copy_n(arena_weight_.begin() + old_start, len,
+              arena_weight_.begin() + start);
+  row_start_[i] = start;
+  row_cap_[i] = cap;
+}
+
+void LocalGraph::RowAppend(LocalId i, LocalId j, double p) {
+  if (row_len_[i] == row_cap_[i]) GrowRow(i, row_len_[i] + 1);
+  const uint32_t at = row_start_[i] + row_len_[i];
+  arena_idx_[at] = j;
+  arena_weight_[at] = p;
+  ++row_len_[i];
+  row_in_mass_[i] += p;
+}
+
 Status LocalGraph::Add(NodeId global) {
   const auto local = static_cast<LocalId>(local_to_global_.size());
   global_to_local_.Insert(global, local);
@@ -78,14 +117,15 @@ Status LocalGraph::Add(NodeId global) {
   weighted_degree_.push_back(wi);
   degree_cache_.Insert(global, wi);
 
-  // Reuse the slot (and its buffers) past a Reset; only grow the spines at
-  // the high-water mark.
-  if (local >= rows_.size()) {
-    rows_.emplace_back();
-    neighbors_.emplace_back();
-  }
-  std::vector<std::pair<LocalId, double>>& row = rows_[local];
-  row.clear();
+  // New empty row; its first append carves a slab off the arena tail.
+  row_start_.push_back(arena_used_);
+  row_len_.push_back(0);
+  row_cap_.push_back(0);
+  row_in_mass_.push_back(0.0);
+
+  // Reuse the neighbor slot (and its buffer) past a Reset; only grow the
+  // spine at the high-water mark.
+  if (local >= neighbors_.size()) neighbors_.emplace_back();
 
   // Build this node's within-S row and patch existing rows/boundary counts.
   // Each neighbor's visited status is resolved with ONE index probe and
@@ -99,18 +139,19 @@ Status LocalGraph::Add(NodeId global) {
       ++outside;
       continue;
     }
-    if (wi > 0) row.emplace_back(j, nb.weight / wi);
+    if (wi > 0) RowAppend(local, j, nb.weight / wi);
     // Reverse direction: j gains an in-S neighbor.
     if (weighted_degree_[j] > 0) {
-      rows_[j].emplace_back(local, nb.weight / weighted_degree_[j]);
+      RowAppend(j, local, nb.weight / weighted_degree_[j]);
     }
-    --outside_count_[j];
+    if (--outside_count_[j] == 0) --boundary_count_;
     if (!in_dirty_[j]) {
       in_dirty_[j] = true;
       dirty_.push_back(j);
     }
   }
   outside_count_.push_back(outside);
+  if (outside > 0) ++boundary_count_;
 
   // Maintain delta-S-bar (unvisited nodes adjacent to S) with probed
   // degrees, feeding MaxOutsideAdjacentDegree. The neighbor list lands in
@@ -132,10 +173,12 @@ Status LocalGraph::Add(NodeId global) {
   // decreases through existing rows (new edges can create shortcuts).
   // Query (source) nodes are distance 0.
   uint32_t d = local < query_count_ ? 0 : kUnreachable;
-  for (const auto& [j, p] : row) {
-    (void)p;
-    d = std::min(d, hop_dist_[j] == kUnreachable ? kUnreachable
-                                                 : hop_dist_[j] + 1);
+  {
+    const LocalRow row = Row(local);
+    for (uint32_t e = 0; e < row.len; ++e) {
+      const uint32_t dj = hop_dist_[row.idx[e]];
+      d = std::min(d, dj == kUnreachable ? kUnreachable : dj + 1);
+    }
   }
   hop_dist_.push_back(d);
   relax_scratch_.clear();
@@ -143,8 +186,9 @@ Status LocalGraph::Add(NodeId global) {
   for (size_t head = 0; head < relax_scratch_.size(); ++head) {
     const LocalId u = relax_scratch_[head];
     if (hop_dist_[u] == kUnreachable) continue;
-    for (const auto& [j, p] : rows_[u]) {
-      (void)p;
+    const LocalRow row = Row(u);
+    for (uint32_t e = 0; e < row.len; ++e) {
+      const LocalId j = row.idx[e];
       if (hop_dist_[u] + 1 < hop_dist_[j]) {
         hop_dist_[j] = hop_dist_[u] + 1;
         relax_scratch_.push_back(j);
@@ -201,13 +245,6 @@ Result<uint32_t> LocalGraph::Expand(LocalId u) {
     FLOS_RETURN_IF_ERROR(Add(v));
   }
   return static_cast<uint32_t>(expand_scratch_.size());
-}
-
-bool LocalGraph::Exhausted() const {
-  for (LocalId i = 0; i < Size(); ++i) {
-    if (outside_count_[i] > 0) return false;
-  }
-  return true;
 }
 
 const std::vector<LocalId>& LocalGraph::TakeDirtyNodes() {

@@ -10,10 +10,21 @@
 // GraphAccessor; the number of fetches equals |S|, matching the paper's
 // "number of visited nodes".
 //
+// Within-S rows live in a FLAT LOCAL CSR in structure-of-arrays form: one
+// arena of `LocalId` column indices and one parallel arena of `double`
+// transition weights, with per-row (start, length, capacity) spines. Rows
+// grow in place through power-of-two slabs carved off the arena tail: a row
+// that outgrows its slab moves once to a slab of twice the size, so the
+// total copy work per row is O(final row length) and a full bound sweep
+// touches two dense arrays instead of one heap-allocated AoS vector per
+// node. The bound kernels (core/sweep_kernel.h) stream these arrays
+// directly.
+//
 // Reuse: a LocalGraph is a per-worker workspace, not a per-query object.
 // Reset() returns it to the pre-Init state in O(|S|) without releasing any
-// storage — the node-keyed indexes are epoch-versioned (core/node_index.h),
-// so steady-state queries perform no allocation and no hashing on the hot
+// storage — the node-keyed indexes are epoch-versioned (core/node_index.h)
+// and the row arena keeps its capacity with the bump pointer rewound — so
+// steady-state queries perform no allocation and no hashing on the hot
 // membership checks when the accessor advertises DenseIndexHint().
 
 #ifndef FLOS_CORE_LOCAL_GRAPH_H_
@@ -34,6 +45,17 @@ namespace flos {
 using LocalId = uint32_t;
 
 inline constexpr LocalId kInvalidLocal = static_cast<LocalId>(-1);
+
+/// Zero-copy view of one within-S transition row: parallel index/weight
+/// arrays of length `len` (structure-of-arrays). Valid until the next
+/// Expand/Init/Reset call on the owning LocalGraph.
+struct LocalRow {
+  const LocalId* idx;
+  const double* weight;
+  uint32_t len;
+
+  uint32_t size() const { return len; }
+};
 
 /// The visited subgraph S with its boundary bookkeeping.
 class LocalGraph {
@@ -89,15 +111,36 @@ class LocalGraph {
   /// True iff i is in the boundary delta-S.
   bool IsBoundary(LocalId local) const { return outside_count_[local] > 0; }
 
-  /// True iff no visited node has an unvisited neighbor (the query's whole
-  /// component has been visited).
-  bool Exhausted() const;
+  /// Number of boundary nodes |delta-S| (maintained, O(1)).
+  uint32_t BoundaryCount() const { return boundary_count_; }
 
-  /// Within-S transition row of node i: pairs (local j, p_ij) for visited
-  /// neighbors j. p_ij = w_ij / w_i uses the FULL weighted degree.
-  const std::vector<std::pair<LocalId, double>>& Row(LocalId local) const {
-    return rows_[local];
+  /// True iff no visited node has an unvisited neighbor (the query's whole
+  /// component has been visited). O(1): the boundary-node count is
+  /// maintained where outside counts change.
+  bool Exhausted() const { return boundary_count_ == 0; }
+
+  /// Within-S transition row of node i: visited neighbors j with
+  /// p_ij = w_ij / w_i (FULL weighted degree), as an SoA view into the
+  /// flat local CSR.
+  LocalRow Row(LocalId local) const {
+    const uint32_t start = row_start_[local];
+    return {arena_idx_.data() + start, arena_weight_.data() + start,
+            row_len_[local]};
   }
+
+  /// Issues software prefetches for row i's index and weight slabs. The
+  /// bound sweeps call this one row ahead so the slab is in cache by the
+  /// time the scan reaches it.
+  void PrefetchRow(LocalId local) const {
+    const uint32_t start = row_start_[local];
+    __builtin_prefetch(arena_idx_.data() + start, 0, 1);
+    __builtin_prefetch(arena_weight_.data() + start, 0, 1);
+  }
+
+  /// Sum of row i's transition probabilities (the in-S mass
+  /// sum_{j in S} p_ij), maintained incrementally as entries are appended.
+  /// Bitwise equal to summing Row(i) in order.
+  double RowInMass(LocalId local) const { return row_in_mass_[local]; }
 
   /// Full neighbor list of visited node i (global ids), as fetched.
   const std::vector<Neighbor>& Neighbors(LocalId local) const {
@@ -152,6 +195,13 @@ class LocalGraph {
  private:
   Status Add(NodeId global);
 
+  /// Appends entry (j, p) to row i, growing its slab if full.
+  void RowAppend(LocalId i, LocalId j, double p);
+
+  /// Moves row i to a fresh power-of-two slab of at least `min_cap`
+  /// entries at the arena tail, copying its current entries.
+  void GrowRow(LocalId i, uint32_t min_cap);
+
   GraphAccessor* accessor_;
   NodeId query_ = kInvalidNode;
   uint32_t query_count_ = 0;
@@ -159,8 +209,20 @@ class LocalGraph {
   std::vector<NodeId> local_to_global_;
   std::vector<double> weighted_degree_;
   std::vector<uint32_t> outside_count_;
+  uint32_t boundary_count_ = 0;  ///< # nodes with outside_count_ > 0
   std::vector<std::vector<Neighbor>> neighbors_;
-  std::vector<std::vector<std::pair<LocalId, double>>> rows_;
+
+  // Flat local CSR (SoA): per-row slabs inside two parallel arenas. The
+  // arena vectors only ever grow; `arena_used_` is the bump pointer, and
+  // Reset() rewinds it without releasing capacity.
+  std::vector<LocalId> arena_idx_;
+  std::vector<double> arena_weight_;
+  uint32_t arena_used_ = 0;
+  std::vector<uint32_t> row_start_;
+  std::vector<uint32_t> row_len_;
+  std::vector<uint32_t> row_cap_;
+  std::vector<double> row_in_mass_;
+
   NodeMap<double> degree_cache_;
   std::vector<Neighbor> scratch_;
   std::vector<LocalId> scratch_local_;   // visited-status cache in Add

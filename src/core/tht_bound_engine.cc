@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/sweep_kernel.h"
+
 namespace flos {
 
 ThtBoundEngine::ThtBoundEngine(LocalGraph* local, int length)
@@ -33,18 +35,6 @@ void ThtBoundEngine::UpdateBounds() {
   next_lo_.assign(n, 0.0);
   next_hi_.assign(n, 0.0);
 
-  // Residual out-of-S transition mass per node (1 - in-S mass), except for
-  // degree-0 nodes which keep the saturated value L.
-  std::vector<double> out_mass(n, 0.0);
-  for (LocalId i = 0; i < n; ++i) {
-    double in = 0;
-    for (const auto& [j, p] : local_->Row(i)) {
-      (void)j;
-      in += p;
-    }
-    out_mass[i] = std::max(0.0, 1.0 - in);
-  }
-
   // Escaped-mass continuations. Upper: an escaped walker can take at most
   // the full remaining horizon. Lower: an escaped walker sits on an
   // unvisited node, whose hop distance to q is at least
@@ -54,30 +44,32 @@ void ThtBoundEngine::UpdateBounds() {
   const double unvisited_hops =
       std::min<double>(length_, local_->UnvisitedHopLowerBound());
 
+  // The horizon recursion needs the step-(t-1) values on the right-hand
+  // side, so the DP stays a Jacobi double buffer — but each step is ONE
+  // fused scan of the local CSR computing both bound dot products, and the
+  // out-of-S transition mass comes from the maintained row in-mass (no
+  // per-update O(edges) rescans). Degree-0 nodes can never hit q; their
+  // value saturates at L.
   for (int t = 1; t <= length_; ++t) {
     const double horizon = t - 1;  // max THT value at horizon t-1 (<= L)
     const double escaped_lo = std::min(horizon, unvisited_hops);
-    for (LocalId i = 0; i < n; ++i) {
-      if (local_->IsQueryLocal(i)) {
-        next_lo_[i] = 0;
-        next_hi_[i] = 0;
-        continue;
-      }
-      if (local_->WeightedDegree(i) <= 0) {
-        // Isolated node: can never hit q; value saturates at L.
-        next_lo_[i] = length_;
-        next_hi_[i] = length_;
-        continue;
-      }
-      double lo = 0;
-      double hi = 0;
-      for (const auto& [j, p] : local_->Row(i)) {
-        lo += p * work_lo_[j];
-        hi += p * work_hi_[j];
-      }
-      next_lo_[i] = 1.0 + lo + out_mass[i] * escaped_lo;
-      next_hi_[i] = 1.0 + hi + out_mass[i] * horizon;
-    }
+    FusedRowSweep(*local_, work_lo_.data(), work_hi_.data(),
+                  [&](LocalId i, double s_lo, double s_hi) {
+                    if (local_->IsQueryLocal(i)) {
+                      next_lo_[i] = 0;
+                      next_hi_[i] = 0;
+                      return;
+                    }
+                    if (local_->WeightedDegree(i) <= 0) {
+                      next_lo_[i] = length_;
+                      next_hi_[i] = length_;
+                      return;
+                    }
+                    const double out =
+                        std::max(0.0, 1.0 - local_->RowInMass(i));
+                    next_lo_[i] = 1.0 + s_lo + out * escaped_lo;
+                    next_hi_[i] = 1.0 + s_hi + out * horizon;
+                  });
     work_lo_.swap(next_lo_);
     work_hi_.swap(next_hi_);
   }

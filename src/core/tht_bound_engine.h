@@ -16,6 +16,13 @@
 // Because the DP is exact (no iterative tolerance), no certificates are
 // needed. Bounds tighten monotonically as S grows and coincide with the
 // exact THT once the L-hop ball around the query is inside S.
+//
+// Each DP step is one fused scan of the flat local CSR
+// (core/sweep_kernel.h) computing both bounds' dot products together; the
+// step-(t-1) values appear on the right-hand side, so the horizon
+// recursion keeps its Jacobi double buffer (in-place Gauss–Seidel would
+// mix horizons and is NOT valid here, unlike the monotone fixed-point
+// systems in core/bound_engine.h).
 
 #ifndef FLOS_CORE_THT_BOUND_ENGINE_H_
 #define FLOS_CORE_THT_BOUND_ENGINE_H_

@@ -1,0 +1,358 @@
+// Property tests for the fused Gauss–Seidel bound kernels
+// (core/bound_engine.cc, core/tht_bound_engine.cc over
+// core/sweep_kernel.h):
+//
+//  (a) the fused sweeps still produce CERTIFIED bounds
+//      (lower <= exact <= upper against measures/exact);
+//  (b) after the same sweep budget, the Gauss–Seidel bounds are
+//      elementwise at least as tight as the pre-fusion Jacobi
+//      double-buffer baseline (reimplemented here on the same LocalGraph
+//      state) — monotone operators applied to already-updated values can
+//      only tighten;
+//  (c) the THT fused DP is bit-identical to the reference horizon
+//      recursion (it stays Jacobi by necessity; only the row scan fused).
+//
+// Parameterized across generator seeds and the no-local-optimum measures:
+// PHP (alpha = c) and EI/DHT (alpha = 1 - c) share the PHP-form system,
+// THT has its own finite-horizon engine.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/bound_engine.h"
+#include "core/local_graph.h"
+#include "core/tht_bound_engine.h"
+#include "graph/accessor.h"
+#include "measures/exact.h"
+#include "tests/test_util.h"
+
+namespace flos {
+namespace {
+
+using testing::RandomConnectedGraph;
+using testing::ValueOrDie;
+
+// Grows S to roughly half the graph by repeatedly expanding the first
+// boundary node, WITHOUT any engine attached — the dirty-node list stays
+// intact, so a PhpBoundEngine constructed afterwards sees every node as
+// dirty and computes fresh coefficients for the whole subgraph.
+void GrowHalf(LocalGraph* local, uint32_t target) {
+  while (local->Size() < target && !local->Exhausted()) {
+    for (LocalId i = 0; i < local->Size(); ++i) {
+      if (local->IsBoundary(i)) {
+        ASSERT_TRUE(local->Expand(i).ok());
+        break;
+      }
+    }
+  }
+}
+
+// The pre-fusion kernel, verbatim: per-node boundary coefficients
+// recomputed from the neighbor lists, then separate lower and upper
+// Jacobi double-buffer sweeps with the monotone clamps. Dummy values stay
+// at their initial 1.0, matching a PhpBoundEngine that never captured a
+// boundary dummy.
+struct JacobiBaseline {
+  std::vector<double> lower;
+  std::vector<double> upper;
+  std::vector<double> self_coeff;
+  std::vector<double> mesh_dummy_coeff;
+  std::vector<double> plain_dummy_coeff;
+  std::vector<double> scratch;
+  double alpha = 0.5;
+  bool self_loop = true;
+
+  void Init(LocalGraph* local, double alpha_in, bool self_loop_in) {
+    alpha = alpha_in;
+    self_loop = self_loop_in;
+    const uint32_t n = local->Size();
+    lower.assign(n, 0.0);
+    upper.assign(n, 1.0);
+    for (LocalId q = 0; q < local->query_count(); ++q) {
+      lower[q] = 1.0;
+      upper[q] = 1.0;
+    }
+    self_coeff.assign(n, 0.0);
+    mesh_dummy_coeff.assign(n, 0.0);
+    plain_dummy_coeff.assign(n, 0.0);
+    for (LocalId i = 0; i < n; ++i) {
+      if (local->IsQueryLocal(i) || !local->IsBoundary(i)) continue;
+      const double wi = local->WeightedDegree(i);
+      if (wi <= 0) continue;
+      double out_mass = 0;
+      double loop_mass = 0;
+      for (const Neighbor& nb : local->Neighbors(i)) {
+        if (local->Contains(nb.id)) continue;
+        const double p_iv = nb.weight / wi;
+        out_mass += p_iv;
+        if (self_loop) {
+          const double wv = local->ProbeDegree(nb.id);
+          if (wv > 0) loop_mass += p_iv * (nb.weight / wv);
+        }
+      }
+      plain_dummy_coeff[i] = alpha * out_mass;
+      if (self_loop) {
+        self_coeff[i] = alpha * alpha * loop_mass;
+        mesh_dummy_coeff[i] = alpha * alpha * (out_mass - loop_mass);
+      }
+    }
+  }
+
+  void SweepLower(const LocalGraph& local) {
+    const uint32_t n = local.Size();
+    scratch.resize(n);
+    for (LocalId i = 0; i < n; ++i) {
+      if (local.IsQueryLocal(i)) {
+        scratch[i] = 1.0;
+        continue;
+      }
+      const LocalRow row = local.Row(i);
+      double sum = 0;
+      for (uint32_t e = 0; e < row.len; ++e) {
+        sum += row.weight[e] * lower[row.idx[e]];
+      }
+      scratch[i] = std::max(alpha * sum + self_coeff[i] * lower[i], lower[i]);
+    }
+    lower.swap(scratch);
+  }
+
+  void SweepUpper(const LocalGraph& local) {
+    const uint32_t n = local.Size();
+    scratch.resize(n);
+    for (LocalId i = 0; i < n; ++i) {
+      if (local.IsQueryLocal(i)) {
+        scratch[i] = 1.0;
+        continue;
+      }
+      const LocalRow row = local.Row(i);
+      double sum = 0;
+      for (uint32_t e = 0; e < row.len; ++e) {
+        sum += row.weight[e] * upper[row.idx[e]];
+      }
+      double v = alpha * sum + plain_dummy_coeff[i] * /*dummy_tight=*/1.0;
+      if (self_loop) {
+        v = std::min(v, alpha * sum + self_coeff[i] * upper[i] +
+                            mesh_dummy_coeff[i] * /*dummy_mesh=*/1.0);
+      }
+      scratch[i] = std::min(v, upper[i]);
+    }
+    upper.swap(scratch);
+  }
+};
+
+struct KernelCase {
+  Measure measure;
+  double c;
+  uint64_t seed;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<KernelCase>& info) {
+  return std::string(MeasureName(info.param.measure)) + "_c" +
+         std::to_string(static_cast<int>(info.param.c * 100)) + "_s" +
+         std::to_string(info.param.seed);
+}
+
+class FusedKernelTest : public ::testing::TestWithParam<KernelCase> {};
+
+TEST_P(FusedKernelTest, GaussSeidelIsCertifiedAndNoLooserThanJacobi) {
+  const KernelCase kase = GetParam();
+  // PHP uses its decay directly; EI and DHT reduce to the PHP-form system
+  // with alpha = 1 - c (Theorem 2), so their kernels are exercised by the
+  // same engine at the reduced alpha.
+  const double alpha =
+      kase.measure == Measure::kPhp ? kase.c : 1.0 - kase.c;
+  const Graph g = RandomConnectedGraph(160, 480, kase.seed);
+  const NodeId q = static_cast<NodeId>(kase.seed % g.NumNodes());
+  ExactSolveOptions tight;
+  tight.tolerance = 1e-13;
+  const std::vector<double> exact = ValueOrDie(ExactPhp(g, q, alpha, tight));
+
+  InMemoryAccessor accessor(&g);
+  LocalGraph local(&accessor);
+  FLOS_ASSERT_OK(local.Init(q));
+  GrowHalf(&local, static_cast<uint32_t>(g.NumNodes() / 2));
+
+  for (const bool self_loop : {false, true}) {
+    constexpr uint32_t kBudget = 5;  // sweeps for both solvers
+    BoundEngineOptions be;
+    be.alpha = alpha;
+    be.self_loop_tightening = self_loop;
+    be.tolerance = 0;  // never converge early: run exactly kBudget sweeps
+    be.max_inner_iterations = kBudget;
+    PhpBoundEngine engine(&local, be);
+    // The engine consumes the dirty list; reuse requires regrowing, so the
+    // second self_loop pass re-marks everything dirty via a fresh harness
+    // below instead. First pass: dirty list is full.
+    engine.OnGrowth();
+    EXPECT_EQ(engine.UpdateBounds(), kBudget);
+
+    JacobiBaseline jacobi;
+    jacobi.Init(&local, alpha, self_loop);
+    for (uint32_t t = 0; t < kBudget; ++t) {
+      jacobi.SweepLower(local);
+      jacobi.SweepUpper(local);
+    }
+
+    for (LocalId i = 0; i < local.Size(); ++i) {
+      const double truth = exact[local.GlobalId(i)];
+      // (a) certified on both sides.
+      ASSERT_LE(engine.lower(i), truth + 1e-9)
+          << "GS lower crossed exact at " << local.GlobalId(i);
+      ASSERT_GE(engine.upper(i), truth - 1e-9)
+          << "GS upper crossed exact at " << local.GlobalId(i);
+      ASSERT_LE(jacobi.lower[i], truth + 1e-9);
+      ASSERT_GE(jacobi.upper[i], truth - 1e-9);
+      // (b) elementwise no looser than Jacobi after the same budget.
+      ASSERT_GE(engine.lower(i), jacobi.lower[i] - 1e-12)
+          << "GS lower looser than Jacobi at " << local.GlobalId(i)
+          << " (self_loop=" << self_loop << ")";
+      ASSERT_LE(engine.upper(i), jacobi.upper[i] + 1e-12)
+          << "GS upper looser than Jacobi at " << local.GlobalId(i)
+          << " (self_loop=" << self_loop << ")";
+    }
+
+    // A second engine needs a fresh dirty list: rebuild the subgraph.
+    if (!self_loop) {
+      local.Reset();
+      FLOS_ASSERT_OK(local.Init(q));
+      GrowHalf(&local, static_cast<uint32_t>(g.NumNodes() / 2));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MeasuresAndSeeds, FusedKernelTest,
+    ::testing::Values(KernelCase{Measure::kPhp, 0.5, 1},
+                      KernelCase{Measure::kPhp, 0.8, 2},
+                      KernelCase{Measure::kPhp, 0.5, 3},
+                      KernelCase{Measure::kEi, 0.3, 1},
+                      KernelCase{Measure::kEi, 0.5, 4},
+                      KernelCase{Measure::kDht, 0.4, 2},
+                      KernelCase{Measure::kDht, 0.6, 5}),
+    CaseName);
+
+class ThtKernelTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ThtKernelTest, FusedDpMatchesReferenceAndStaysCertified) {
+  const uint64_t seed = GetParam();
+  const Graph g = RandomConnectedGraph(130, 390, seed);
+  const NodeId q = static_cast<NodeId>(seed % g.NumNodes());
+  const int length = 8;
+  const std::vector<double> exact = ValueOrDie(ExactTht(g, q, length));
+
+  InMemoryAccessor accessor(&g);
+  LocalGraph local(&accessor);
+  FLOS_ASSERT_OK(local.Init(q));
+  GrowHalf(&local, static_cast<uint32_t>(g.NumNodes() / 2));
+
+  ThtBoundEngine engine(&local, length);
+  engine.UpdateBounds();
+
+  // Reference horizon recursion: the pre-fusion DP with explicit per-node
+  // out-of-S mass recomputed by scanning each row.
+  const uint32_t n = local.Size();
+  std::vector<double> out_mass(n, 0.0);
+  for (LocalId i = 0; i < n; ++i) {
+    const LocalRow row = local.Row(i);
+    double in = 0;
+    for (uint32_t e = 0; e < row.len; ++e) in += row.weight[e];
+    out_mass[i] = std::max(0.0, 1.0 - in);
+  }
+  const double unvisited_hops =
+      std::min<double>(length, local.UnvisitedHopLowerBound());
+  std::vector<double> work_lo(n, 0.0);
+  std::vector<double> work_hi(n, 0.0);
+  std::vector<double> next_lo(n, 0.0);
+  std::vector<double> next_hi(n, 0.0);
+  for (int t = 1; t <= length; ++t) {
+    const double horizon = t - 1;
+    const double escaped_lo = std::min(horizon, unvisited_hops);
+    for (LocalId i = 0; i < n; ++i) {
+      if (local.IsQueryLocal(i)) {
+        next_lo[i] = 0;
+        next_hi[i] = 0;
+        continue;
+      }
+      if (local.WeightedDegree(i) <= 0) {
+        next_lo[i] = length;
+        next_hi[i] = length;
+        continue;
+      }
+      const LocalRow row = local.Row(i);
+      double lo = 0;
+      double hi = 0;
+      for (uint32_t e = 0; e < row.len; ++e) {
+        lo += row.weight[e] * work_lo[row.idx[e]];
+        hi += row.weight[e] * work_hi[row.idx[e]];
+      }
+      next_lo[i] = 1.0 + lo + out_mass[i] * escaped_lo;
+      next_hi[i] = 1.0 + hi + out_mass[i] * horizon;
+    }
+    work_lo.swap(next_lo);
+    work_hi.swap(next_hi);
+  }
+
+  for (LocalId i = 0; i < n; ++i) {
+    const double ref_lo =
+        std::max(0.0, work_lo[i]);  // engine clamps vs initial bounds
+    const double ref_hi = std::min(static_cast<double>(length), work_hi[i]);
+    EXPECT_DOUBLE_EQ(engine.lower(i), ref_lo)
+        << "fused DP lower diverged at " << local.GlobalId(i);
+    EXPECT_DOUBLE_EQ(engine.upper(i), ref_hi)
+        << "fused DP upper diverged at " << local.GlobalId(i);
+    const double truth = exact[local.GlobalId(i)];
+    ASSERT_LE(engine.lower(i), truth + 1e-9);
+    ASSERT_GE(engine.upper(i), truth - 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ThtKernelTest,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+TEST(FusedKernelConvergenceTest, GaussSeidelConvergesInNoMoreSweeps) {
+  // With a real tolerance, the fused GS solve must spend no more sweeps
+  // than the Jacobi baseline needs, and land on bounds bracketing exact.
+  const Graph g = RandomConnectedGraph(200, 600, 17);
+  const NodeId q = 7;
+  const double alpha = 0.5;
+  const double tol = 1e-8;
+  InMemoryAccessor accessor(&g);
+  LocalGraph local(&accessor);
+  FLOS_ASSERT_OK(local.Init(q));
+  GrowHalf(&local, 100);
+
+  BoundEngineOptions be;
+  be.alpha = alpha;
+  be.tolerance = tol;
+  PhpBoundEngine engine(&local, be);
+  engine.OnGrowth();
+  const uint32_t gs_sweeps = engine.UpdateBounds();
+
+  JacobiBaseline jacobi;
+  jacobi.Init(&local, alpha, /*self_loop=*/true);
+  uint32_t jacobi_sweeps = 0;
+  for (; jacobi_sweeps < 10000; ++jacobi_sweeps) {
+    const std::vector<double> prev_lo = jacobi.lower;
+    const std::vector<double> prev_hi = jacobi.upper;
+    jacobi.SweepLower(local);
+    jacobi.SweepUpper(local);
+    double delta = 0;
+    for (LocalId i = 0; i < local.Size(); ++i) {
+      delta = std::max(delta, jacobi.lower[i] - prev_lo[i]);
+      delta = std::max(delta, prev_hi[i] - jacobi.upper[i]);
+    }
+    if (delta < tol) {
+      ++jacobi_sweeps;
+      break;
+    }
+  }
+  EXPECT_LE(gs_sweeps, jacobi_sweeps + 3)
+      << "fused GS should converge in no more sweeps than Jacobi (+ the "
+         "amortized-check stride slack)";
+  EXPECT_GT(gs_sweeps, 0u);
+}
+
+}  // namespace
+}  // namespace flos

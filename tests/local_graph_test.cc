@@ -6,11 +6,13 @@
 
 #include "graph/accessor.h"
 #include "tests/test_util.h"
+#include "util/rng.h"
 
 namespace flos {
 namespace {
 
 using testing::PaperExampleGraph;
+using testing::RandomConnectedGraph;
 using testing::ValueOrDie;
 
 TEST(LocalGraphTest, InitAddsQueryOnly) {
@@ -43,10 +45,10 @@ TEST(LocalGraphTest, ExpandTracksBoundaryAndRows) {
   const LocalId l2 = local.LocalIndex(1);
   EXPECT_EQ(local.OutsideCount(l2), 1u);
   // Row of node 2 contains only the visited neighbor q with p = 1/2.
-  const auto& row = local.Row(l2);
+  const LocalRow row = local.Row(l2);
   ASSERT_EQ(row.size(), 1u);
-  EXPECT_EQ(row[0].first, local.LocalIndex(0));
-  EXPECT_DOUBLE_EQ(row[0].second, 0.5);
+  EXPECT_EQ(row.idx[0], local.LocalIndex(0));
+  EXPECT_DOUBLE_EQ(row.weight[0], 0.5);
   EXPECT_FALSE(local.Exhausted());
 }
 
@@ -61,14 +63,13 @@ TEST(LocalGraphTest, ReverseRowsArePatchedOnJoin) {
   FLOS_ASSERT_OK(local.Expand(l3).status());
   EXPECT_EQ(local.Size(), 5u);
   // Node 2's row must now also contain node 4 (p = 1/2).
-  const auto& row2 = local.Row(local.LocalIndex(1));
+  const LocalRow row2 = local.Row(local.LocalIndex(1));
   EXPECT_EQ(row2.size(), 2u);
   // Node 4's row has visited neighbors {2,3} with p = 1/4 each.
-  const auto& row4 = local.Row(local.LocalIndex(3));
+  const LocalRow row4 = local.Row(local.LocalIndex(3));
   EXPECT_EQ(row4.size(), 2u);
-  for (const auto& [j, p] : row4) {
-    (void)j;
-    EXPECT_DOUBLE_EQ(p, 0.25);
+  for (uint32_t e = 0; e < row4.len; ++e) {
+    EXPECT_DOUBLE_EQ(row4.weight[e], 0.25);
   }
 }
 
@@ -89,12 +90,101 @@ TEST(LocalGraphTest, ExhaustionOnFullVisit) {
     FLOS_ASSERT_OK(local.Expand(pick).status());
   }
   EXPECT_TRUE(local.Exhausted());
+  EXPECT_EQ(local.BoundaryCount(), 0u);
   EXPECT_EQ(local.Size(), g.NumNodes());
   for (LocalId i = 0; i < local.Size(); ++i) {
     EXPECT_EQ(local.OutsideCount(i), 0u);
   }
   // Visited count equals accessor fetches.
   EXPECT_EQ(accessor.stats().neighbor_fetches, g.NumNodes());
+}
+
+TEST(LocalGraphTest, MaintainedBoundaryCountMatchesScan) {
+  // The O(1) Exhausted()/BoundaryCount() must agree with a full scan of
+  // the outside counts after EVERY expansion, across random graphs.
+  for (const uint64_t seed : {11u, 12u, 13u}) {
+    const Graph g = RandomConnectedGraph(120, 360, seed);
+    InMemoryAccessor accessor(&g);
+    LocalGraph local(&accessor);
+    FLOS_ASSERT_OK(local.Init(static_cast<NodeId>(seed % g.NumNodes())));
+    Rng rng(seed);
+    while (!local.Exhausted()) {
+      uint32_t scanned = 0;
+      for (LocalId i = 0; i < local.Size(); ++i) {
+        if (local.OutsideCount(i) > 0) ++scanned;
+      }
+      ASSERT_EQ(local.BoundaryCount(), scanned);
+      ASSERT_EQ(local.Exhausted(), scanned == 0);
+      // Expand a random boundary node.
+      std::vector<LocalId> boundary;
+      for (LocalId i = 0; i < local.Size(); ++i) {
+        if (local.IsBoundary(i)) boundary.push_back(i);
+      }
+      ASSERT_FALSE(boundary.empty());
+      const LocalId pick =
+          boundary[rng.NextBounded(static_cast<uint64_t>(boundary.size()))];
+      FLOS_ASSERT_OK(local.Expand(pick).status());
+    }
+    uint32_t scanned = 0;
+    for (LocalId i = 0; i < local.Size(); ++i) {
+      if (local.OutsideCount(i) > 0) ++scanned;
+    }
+    EXPECT_EQ(scanned, 0u);
+    EXPECT_EQ(local.BoundaryCount(), 0u);
+  }
+}
+
+TEST(LocalGraphTest, RowInMassMatchesRowScan) {
+  const Graph g = RandomConnectedGraph(100, 300, 5);
+  InMemoryAccessor accessor(&g);
+  LocalGraph local(&accessor);
+  FLOS_ASSERT_OK(local.Init(3));
+  for (int step = 0; step < 12 && !local.Exhausted(); ++step) {
+    for (LocalId i = 0; i < local.Size(); ++i) {
+      if (local.IsBoundary(i)) {
+        FLOS_ASSERT_OK(local.Expand(i).status());
+        break;
+      }
+    }
+    for (LocalId i = 0; i < local.Size(); ++i) {
+      const LocalRow row = local.Row(i);
+      double sum = 0;
+      for (uint32_t e = 0; e < row.len; ++e) sum += row.weight[e];
+      ASSERT_DOUBLE_EQ(local.RowInMass(i), sum)
+          << "maintained in-mass diverged from the row at node " << i;
+    }
+  }
+}
+
+TEST(LocalGraphTest, RowsSurviveSlabGrowthAndReset) {
+  // A star center's row grows far past the minimum slab; every entry must
+  // survive the copies, and a Reset+reinit must rebuild cleanly on the
+  // kept arena.
+  GraphBuilder builder;
+  const int kLeaves = 70;
+  for (int i = 1; i <= kLeaves; ++i) {
+    builder.AddEdge(0, static_cast<NodeId>(i), 1.0);
+  }
+  const Graph g = ValueOrDie(std::move(builder).Build());
+  InMemoryAccessor accessor(&g);
+  LocalGraph local(&accessor);
+  for (int round = 0; round < 3; ++round) {
+    FLOS_ASSERT_OK(local.Init(1));  // a leaf: center joins, then leaves
+    FLOS_ASSERT_OK(local.Expand(0).status());
+    const LocalId center = local.LocalIndex(0);
+    FLOS_ASSERT_OK(local.Expand(center).status());
+    ASSERT_EQ(local.Size(), static_cast<uint32_t>(kLeaves + 1));
+    const LocalRow row = local.Row(center);
+    ASSERT_EQ(row.size(), static_cast<uint32_t>(kLeaves));
+    double sum = 0;
+    for (uint32_t e = 0; e < row.len; ++e) {
+      EXPECT_DOUBLE_EQ(row.weight[e], 1.0 / kLeaves);
+      sum += row.weight[e];
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+    EXPECT_TRUE(local.Exhausted());
+    local.Reset();
+  }
 }
 
 TEST(LocalGraphTest, ProbeDegreeCaches) {
