@@ -6,7 +6,7 @@
 //   2. Thread scaling: BatchTopK aggregate QPS over a list of worker
 //      counts (one engine per worker over the shared graph).
 //
-//   ./bench/bench_batch_throughput --nodes=65536 --queries=2000 \
+//   ./bench/bench_batch_throughput --nodes=65536 --queries=2000
 //       --threads=1,2,4,8 --k=10 [--csv]
 
 #include <cstdio>
@@ -72,7 +72,7 @@ int Run(int argc, char** argv) {
     for (const NodeId q : queries) {
       bench::CheckOk(FlosTopK(graph, q, kk, options).status());
     }
-    fresh_qps = 1000.0 * queries.size() / timer.ElapsedMillis();
+    fresh_qps = 1000.0 * static_cast<double>(queries.size()) / timer.ElapsedMillis();
   }
 
   // --- 2. One reused engine (steady-state allocations: none). ---
@@ -88,7 +88,7 @@ int Run(int argc, char** argv) {
     for (const NodeId q : queries) {
       bench::CheckOk(engine.TopK(q, kk, options).status());
     }
-    reused_qps = 1000.0 * queries.size() / timer.ElapsedMillis();
+    reused_qps = 1000.0 * static_cast<double>(queries.size()) / timer.ElapsedMillis();
   }
 
   if (csv) {
@@ -106,7 +106,7 @@ int Run(int argc, char** argv) {
   for (const int threads : bench::ParseIntList(threads_csv)) {
     WallTimer timer;
     bench::CheckOk(BatchTopK(graph, queries, kk, options, threads).status());
-    const double qps = 1000.0 * queries.size() / timer.ElapsedMillis();
+    const double qps = 1000.0 * static_cast<double>(queries.size()) / timer.ElapsedMillis();
     if (base_qps == 0) base_qps = qps;
     if (csv) {
       std::printf("batch,%d,%.1f,%.2f\n", threads, qps, qps / base_qps);

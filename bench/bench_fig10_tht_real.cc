@@ -74,11 +74,12 @@ int Main(int argc, char** argv) {
       const GraphPreset preset = bench::CheckOk(FindPreset(name));
       GeneratorOptions go;
       go.num_nodes = std::max<uint64_t>(
-          64, static_cast<uint64_t>(preset.paper_nodes * common.scale));
+          64, static_cast<uint64_t>(static_cast<double>(preset.paper_nodes) *
+                                    common.scale));
       go.seed = common.seed;
       // Lattice degree: the original dataset's density rounded to even.
-      const double density =
-          2.0 * preset.paper_edges / static_cast<double>(preset.paper_nodes);
+      const double density = 2.0 * static_cast<double>(preset.paper_edges) /
+                             static_cast<double>(preset.paper_nodes);
       const auto lattice_degree = static_cast<uint32_t>(
           std::max(2.0, 2.0 * std::round(density / 2.0)));
       g = bench::CheckOk(
@@ -125,7 +126,7 @@ int Main(int argc, char** argv) {
         table.AddRow({name, std::to_string(k), "LS_THT",
                       TablePrinter::FormatDouble(t.avg_ms),
                       std::to_string(visited / queries.size()),
-                      TablePrinter::FormatDouble(recall / queries.size(), 3)});
+                      TablePrinter::FormatDouble(recall / static_cast<double>(queries.size()), 3)});
       }
       {
         GiOptions options;

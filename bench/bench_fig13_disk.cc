@@ -66,8 +66,9 @@ int Main(int argc, char** argv) {
     const std::vector<NodeId> queries = bench::SampleQueries(
         g, static_cast<int>(common.queries), common.seed + 1);
     const double file_mb =
-        (64.0 + (spec.nodes + 1) * 8.0 + spec.nodes * 12.0 +
-         g.NumDirectedEdges() * 12.0) /
+        (64.0 + static_cast<double>(spec.nodes + 1) * 8.0 +
+         static_cast<double>(spec.nodes) * 12.0 +
+         static_cast<double>(g.NumDirectedEdges()) * 12.0) /
         (1024 * 1024);
 
     for (const Measure m : {Measure::kPhp, Measure::kRwr}) {
@@ -95,9 +96,11 @@ int Main(int argc, char** argv) {
            TablePrinter::FormatDouble(t.avg_ms),
            TablePrinter::FormatDouble(
                static_cast<double>(visited) /
-                   (static_cast<double>(queries.size()) * spec.nodes),
+                   (static_cast<double>(queries.size()) *
+                    static_cast<double>(spec.nodes)),
                3),
-           TablePrinter::FormatDouble(st.bytes_read / (1024.0 * 1024.0), 4),
+           TablePrinter::FormatDouble(
+               static_cast<double>(st.bytes_read) / (1024.0 * 1024.0), 4),
            TablePrinter::FormatDouble(hit_rate, 3),
            TablePrinter::FormatDouble(file_mb, 4)});
     }

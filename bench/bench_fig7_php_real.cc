@@ -132,7 +132,7 @@ int Main(int argc, char** argv) {
         table.AddRow({name, std::to_string(k), "DNE",
                       TablePrinter::FormatDouble(t.avg_ms),
                       std::to_string(options.node_budget),
-                      TablePrinter::FormatDouble(recall / queries.size(), 3)});
+                      TablePrinter::FormatDouble(recall / static_cast<double>(queries.size()), 3)});
       }
       {
         NnEiOptions options;
@@ -163,7 +163,7 @@ int Main(int argc, char** argv) {
         table.AddRow({name, std::to_string(k), "LS_EI",
                       TablePrinter::FormatDouble(t.avg_ms),
                       std::to_string(ls_options.cluster_size),
-                      TablePrinter::FormatDouble(recall / queries.size(), 3)});
+                      TablePrinter::FormatDouble(recall / static_cast<double>(queries.size()), 3)});
       }
     }
   }

@@ -192,7 +192,7 @@ int Main(int argc, char** argv) {
         });
         table.AddRow({name, std::to_string(k), "LS_RWR",
                       TablePrinter::FormatDouble(t.avg_ms),
-                      TablePrinter::FormatDouble(recall / queries.size(), 3),
+                      TablePrinter::FormatDouble(recall / static_cast<double>(queries.size()), 3),
                       "approx"});
       }
       if (kdash != nullptr) {
@@ -218,7 +218,7 @@ int Main(int argc, char** argv) {
         });
         table.AddRow({name, std::to_string(k), "GE_RWR",
                       TablePrinter::FormatDouble(t.avg_ms),
-                      TablePrinter::FormatDouble(recall / queries.size(), 3),
+                      TablePrinter::FormatDouble(recall / static_cast<double>(queries.size()), 3),
                       "approx, heavy precompute"});
       }
     }

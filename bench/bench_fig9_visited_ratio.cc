@@ -82,7 +82,7 @@ int Main(int argc, char** argv) {
         table.AddRow({name, std::to_string(k),
                       m == Measure::kPhp ? "FLoS_PHP" : "FLoS_RWR",
                       TablePrinter::FormatDouble(min_ratio, 3),
-                      TablePrinter::FormatDouble(sum / queries.size(), 3),
+                      TablePrinter::FormatDouble(sum / static_cast<double>(queries.size()), 3),
                       TablePrinter::FormatDouble(max_ratio, 3)});
       }
     }

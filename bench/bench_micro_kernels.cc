@@ -31,6 +31,7 @@
 #include "measures/exact.h"
 #include "storage/disk_builder.h"
 #include "storage/disk_graph.h"
+#include "util/check.h"
 #include "util/rng.h"
 #include "util/timer.h"
 
@@ -190,6 +191,54 @@ struct SweepFixture {
     return delta;
   }
 
+  // The fused kernel with the audit-tier checks forced on (plain
+  // FLOS_CHECK where the production code has compiled-out FLOS_AUDIT):
+  // the entry/exit sandwich scans, cross-sweep monotonicity against a
+  // snapshot, and the per-entry CSR validity checks, mirroring what
+  // bound_engine.cc + sweep_kernel.h run under -DFLOS_ENABLE_AUDIT=ON.
+  // Prices the audit tier on this kernel; the plain Release kernel above
+  // must not regress, since there the same sites compile to nothing.
+  double AuditedFusedGsSweep() {
+    const uint32_t n = static_cast<uint32_t>(lower.size());
+    double* const lo = lower.data();
+    double* const hi = upper.data();
+    for (LocalId i = 0; i < n; ++i) {
+      FLOS_CHECK_LE(lo[i], hi[i] + 1e-12, "sandwich violated on entry");
+    }
+    audit_prev_lo = lower;
+    audit_prev_hi = upper;
+    double delta = 0;
+    for (LocalId i = 0; i < n; ++i) {
+      if (i + 1 < n) local->PrefetchRow(i + 1);
+      const LocalRow row = local->Row(i);
+      double s_lo = 0;
+      double s_hi = 0;
+      for (uint32_t e = 0; e < row.len; ++e) {
+        const double p = row.weight[e];
+        const LocalId j = row.idx[e];
+        FLOS_CHECK(j < n, "local CSR column index out of range");
+        FLOS_CHECK(p >= 0.0, "negative transition probability in local CSR");
+        s_lo += p * lo[j];
+        s_hi += p * hi[j];
+      }
+      if (i == 0) continue;
+      const double vl = std::max(kAlpha * s_lo + self_coeff[i] * lo[i], lo[i]);
+      double vu = kAlpha * s_hi + plain_dummy_coeff[i] * 1.0;
+      vu = std::min(vu, kAlpha * s_hi + self_coeff[i] * hi[i] +
+                            mesh_dummy_coeff[i] * 1.0);
+      vu = std::min(vu, hi[i]);
+      delta = std::max(delta, std::max(vl - lo[i], hi[i] - vu));
+      lo[i] = vl;
+      hi[i] = vu;
+    }
+    for (LocalId i = 0; i < n; ++i) {
+      FLOS_CHECK_GE(lo[i], audit_prev_lo[i], "lower bound loosened");
+      FLOS_CHECK_LE(hi[i], audit_prev_hi[i], "upper bound loosened");
+      FLOS_CHECK_LE(lo[i], hi[i] + 1e-12, "sandwich violated after sweep");
+    }
+    return delta;
+  }
+
   static constexpr double kAlpha = 0.5;
 
   std::unique_ptr<InMemoryAccessor> accessor;
@@ -201,6 +250,8 @@ struct SweepFixture {
   std::vector<double> self_coeff;
   std::vector<double> mesh_dummy_coeff;
   std::vector<double> plain_dummy_coeff;
+  std::vector<double> audit_prev_lo;
+  std::vector<double> audit_prev_hi;
   uint64_t row_entries = 0;
 };
 
@@ -270,6 +321,19 @@ void BM_BoundSweepFlatSoAFusedGS(benchmark::State& state) {
   state.counters["visited"] = static_cast<double>(f.lower.size());
 }
 BENCHMARK(BM_BoundSweepFlatSoAFusedGS);
+
+void BM_BoundSweepFusedGSAudited(benchmark::State& state) {
+  // The same fused kernel with the audit-tier invariant checks forced on:
+  // what every sweep costs under the `audit` preset.
+  SweepFixture& f = SharedFixture();
+  f.ResetBounds();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.AuditedFusedGsSweep());
+  }
+  state.SetItemsProcessed(state.iterations() * f.row_entries);
+  state.counters["visited"] = static_cast<double>(f.lower.size());
+}
+BENCHMARK(BM_BoundSweepFusedGSAudited);
 
 void BM_FlosExpansionStep(benchmark::State& state) {
   // One LocalExpansion + bound update, amortized over a fresh query each
@@ -357,12 +421,24 @@ BENCHMARK(BM_DiskNeighborFetch);
 // BENCH_kernels.json: a machine-readable perf baseline for the bound-sweep
 // kernel and end-to-end queries, emitted after the google-benchmark run.
 
-double TimeSweeps(SweepFixture* f, bool fused, int sweeps) {
+enum class SweepKind { kLegacyJacobi, kFusedGs, kFusedGsAudited };
+
+double TimeSweeps(SweepFixture* f, SweepKind kind, int sweeps) {
   f->ResetBounds();
   WallTimer timer;
   double sink = 0;
   for (int s = 0; s < sweeps; ++s) {
-    sink += fused ? f->FusedGsSweep() : f->LegacyJacobiSweep();
+    switch (kind) {
+      case SweepKind::kLegacyJacobi:
+        sink += f->LegacyJacobiSweep();
+        break;
+      case SweepKind::kFusedGs:
+        sink += f->FusedGsSweep();
+        break;
+      case SweepKind::kFusedGsAudited:
+        sink += f->AuditedFusedGsSweep();
+        break;
+    }
   }
   const double ns = timer.ElapsedSeconds() * 1e9 / sweeps;
   benchmark::DoNotOptimize(sink);
@@ -418,9 +494,10 @@ QueryPoint TimeQueries(const Graph& g, const std::string& name, int k,
 void EmitKernelBaseline(const char* path) {
   SweepFixture& f = SharedFixture();
   // Warm the caches, then time each kernel over enough sweeps to settle.
-  TimeSweeps(&f, /*fused=*/true, 50);
-  const double legacy_ns = TimeSweeps(&f, /*fused=*/false, 400);
-  const double fused_ns = TimeSweeps(&f, /*fused=*/true, 400);
+  TimeSweeps(&f, SweepKind::kFusedGs, 50);
+  const double legacy_ns = TimeSweeps(&f, SweepKind::kLegacyJacobi, 400);
+  const double fused_ns = TimeSweeps(&f, SweepKind::kFusedGs, 400);
+  const double audited_ns = TimeSweeps(&f, SweepKind::kFusedGsAudited, 400);
   const double tol = 1e-8;
   const uint32_t jacobi_iters = SweepsToConverge(&f, /*fused=*/false, tol);
   const uint32_t gs_iters = SweepsToConverge(&f, /*fused=*/true, tol);
@@ -441,6 +518,10 @@ void EmitKernelBaseline(const char* path) {
                legacy_ns);
   std::fprintf(out, "    \"flat_soa_fused_gs_ns_per_sweep\": %.1f,\n",
                fused_ns);
+  std::fprintf(out, "    \"fused_gs_audited_ns_per_sweep\": %.1f,\n",
+               audited_ns);
+  std::fprintf(out, "    \"audit_overhead_ratio\": %.3f,\n",
+               audited_ns / fused_ns);
   std::fprintf(out, "    \"speedup\": %.3f\n", legacy_ns / fused_ns);
   std::fprintf(out, "  },\n");
   std::fprintf(out, "  \"iterations_to_converge\": {\n");
@@ -461,9 +542,10 @@ void EmitKernelBaseline(const char* path) {
   std::fprintf(out, "}\n");
   std::fclose(out);
   std::printf("kernel baseline written to %s (sweep speedup %.2fx, "
-              "iters %u -> %u, RAND %.0f qps, RMAT %.0f qps)\n",
-              path, legacy_ns / fused_ns, jacobi_iters, gs_iters,
-              rand_point.qps, rmat_point.qps);
+              "audit overhead %.2fx, iters %u -> %u, RAND %.0f qps, "
+              "RMAT %.0f qps)\n",
+              path, legacy_ns / fused_ns, audited_ns / fused_ns,
+              jacobi_iters, gs_iters, rand_point.qps, rmat_point.qps);
 }
 
 }  // namespace

@@ -88,7 +88,7 @@ double Recall(const std::vector<NodeId>& got,
       }
     }
   }
-  return static_cast<double>(hits) / truth.size();
+  return static_cast<double>(hits) / static_cast<double>(truth.size());
 }
 
 void PrintGraphLine(const std::string& name, const Graph& graph) {
@@ -102,7 +102,8 @@ std::vector<SynthSpec> SizeSweep(uint64_t base_nodes, double density,
   for (const uint64_t mult : {1, 2, 4, 8}) {
     SynthSpec s;
     s.nodes = base_nodes * mult;
-    s.edges = static_cast<uint64_t>(s.nodes * density / 2.0);
+    s.edges =
+        static_cast<uint64_t>(static_cast<double>(s.nodes) * density / 2.0);
     s.rmat = rmat;
     s.label = std::string(rmat ? "R-MAT" : "RAND") +
               " n=" + std::to_string(s.nodes);
@@ -118,7 +119,7 @@ std::vector<SynthSpec> DensitySweep(uint64_t nodes,
   for (const double d : densities) {
     SynthSpec s;
     s.nodes = nodes;
-    s.edges = static_cast<uint64_t>(nodes * d / 2.0);
+    s.edges = static_cast<uint64_t>(static_cast<double>(nodes) * d / 2.0);
     s.rmat = rmat;
     char label[64];
     std::snprintf(label, sizeof(label), "%s d=%.1f", rmat ? "R-MAT" : "RAND",

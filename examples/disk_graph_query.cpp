@@ -79,9 +79,10 @@ int Run(int argc, char** argv) {
         "from disk, cache hit rate %.0f%%\n",
         query, static_cast<long long>(k), timer.ElapsedMillis(),
         static_cast<unsigned long long>(result->stats.visited_nodes),
-        io.bytes_read / 1024.0,
-        100.0 * io.cache_hits /
-            std::max<uint64_t>(1, io.cache_hits + io.cache_misses));
+        static_cast<double>(io.bytes_read) / 1024.0,
+        100.0 * static_cast<double>(io.cache_hits) /
+            static_cast<double>(
+                std::max<uint64_t>(1, io.cache_hits + io.cache_misses)));
     std::printf("  nearest:");
     for (const flos::ScoredNode& s : result->topk) {
       std::printf(" %u", s.node);

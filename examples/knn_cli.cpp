@@ -150,7 +150,8 @@ int Run(int argc, char** argv) {
     const double ms = timer.ElapsedMillis();
     std::printf("batch of %zu queries (%s, k=%lld): %.2f ms total, %.1f qps\n",
                 queries.size(), flos::MeasureName(*measure).c_str(),
-                static_cast<long long>(k), ms, 1000.0 * queries.size() / ms);
+                static_cast<long long>(k), ms,
+                1000.0 * static_cast<double>(queries.size()) / ms);
     for (size_t i = 0; i < queries.size(); ++i) {
       const flos::FlosResult& r = (*results)[i];
       std::printf("query %u: visited %llu, %s\n", queries[i],

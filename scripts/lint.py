@@ -1,0 +1,225 @@
+#!/usr/bin/env python3
+"""Repo policy lint: rules clang-tidy cannot express.
+
+Run from anywhere; exits non-zero iff a violation is found:
+
+    python3 scripts/lint.py [--root <repo>]
+
+Enforced policy (see DESIGN.md "Correctness tooling & invariant policy"):
+
+  no-exceptions   `throw` / `try` are banned in src/: every fallible
+                  operation returns Status/Result (util/status.h), and the
+                  build never relies on stack unwinding.
+  no-naked-new    `new` / `malloc`-family calls are banned in src/ outside
+                  the slab-arena machinery; ownership goes through
+                  containers and std::make_unique. A deliberate exception
+                  carries `// lint:allow(no-naked-new) <reason>`.
+  no-ad-hoc-rng   `rand()` / `std::random_device` are banned everywhere
+                  outside util/rng: benchmarks and tests must be
+                  reproducible from a seed, and the library's generators
+                  are deterministic by contract.
+  no-cout         `std::cout` / `std::cerr` are banned in src/ library
+                  code; the library reports through Status and leaves I/O
+                  to callers (bench/, examples/, tests/ may print).
+  header-guards   every header uses a classic include guard named
+                  FLOS_<PATH>_H_ (no #pragma once), matching its path so
+                  moved files cannot silently collide.
+
+Suppression: append `// lint:allow(<rule>)` to the offending line with a
+reason. Suppressions are themselves counted and printed so they stay rare.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+LIBRARY_DIRS = ("src",)
+ALL_DIRS = ("src", "bench", "tests", "examples")
+HEADER_DIRS = ("src", "bench", "tests", "examples")
+
+ALLOW_RE = re.compile(r"//\s*lint:allow\(([a-z0-9-]+)\)")
+
+# Rules as (name, regex, message). Regexes run on comment/string-stripped
+# lines, so identifiers inside docs or log text never trip them.
+TOKEN_RULES_LIBRARY = [
+    (
+        "no-exceptions",
+        re.compile(r"(^|[^\w])(throw|try)\s*[\s({;]"),
+        "exceptions are banned in src/; return Status/Result instead",
+    ),
+    (
+        "no-naked-new",
+        re.compile(r"(^|[^\w.:])new\s+[\w:<(]|(^|[^\w])(malloc|calloc|realloc|free)\s*\("),
+        "naked allocation in src/; use containers/std::make_unique (or "
+        "annotate a deliberate arena/singleton with lint:allow)",
+    ),
+    (
+        "no-cout",
+        re.compile(r"std::(cout|cerr)\b"),
+        "library code must not print; return Status or take a sink",
+    ),
+]
+
+TOKEN_RULES_EVERYWHERE = [
+    (
+        "no-ad-hoc-rng",
+        re.compile(r"(^|[^\w])s?rand\s*\(|std::random_device\b"),
+        "ad-hoc randomness; use util/rng (seeded, reproducible)",
+    ),
+]
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks out comments and string/char literals, preserving line
+    structure so reported line numbers stay correct. Suppression comments
+    are honored BEFORE stripping (see lint_file)."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+            out.append("\n" if c == "\n" else " ")
+        i += 1
+    return "".join(out)
+
+
+def expected_guard(path: pathlib.Path, root: pathlib.Path) -> str:
+    rel = path.relative_to(root)
+    parts = list(rel.parts)
+    if parts[0] == "src":
+        parts = parts[1:]
+    stem = "_".join(parts)
+    return "FLOS_" + re.sub(r"[^A-Za-z0-9]", "_", stem).upper() + "_"
+
+
+def check_header_guard(path, root, text, findings):
+    if "#pragma once" in text:
+        findings.append((path, text[: text.index("#pragma once")].count("\n") + 1,
+                         "header-guards",
+                         "#pragma once is banned; use a FLOS_*_H_ guard"))
+    guard = expected_guard(path, root)
+    ifndef = re.search(r"^#ifndef\s+(\S+)\s*$", text, re.MULTILINE)
+    if ifndef is None:
+        findings.append((path, 1, "header-guards", f"missing include guard {guard}"))
+        return
+    line = text[: ifndef.start()].count("\n") + 1
+    if ifndef.group(1) != guard:
+        findings.append((path, line, "header-guards",
+                         f"guard {ifndef.group(1)} should be {guard}"))
+        return
+    if not re.search(r"^#define\s+" + re.escape(guard) + r"\s*$", text, re.MULTILINE):
+        findings.append((path, line, "header-guards",
+                         f"#ifndef {guard} without matching #define"))
+    if not re.search(r"#endif\s*//\s*" + re.escape(guard), text):
+        findings.append((path, len(text.splitlines()), "header-guards",
+                         f"closing #endif should carry `// {guard}`"))
+
+
+def lint_file(path, root, findings, suppressions):
+    text = path.read_text(encoding="utf-8")
+    raw_lines = text.splitlines()
+    allow = {}  # line number -> set of rule names
+    for ln, raw in enumerate(raw_lines, 1):
+        for m in ALLOW_RE.finditer(raw):
+            allow.setdefault(ln, set()).add(m.group(1))
+
+    rel_root = path.relative_to(root).parts[0]
+    in_library = rel_root in LIBRARY_DIRS and "util/rng" not in path.as_posix()
+
+    rules = []
+    if rel_root in LIBRARY_DIRS:
+        rules += TOKEN_RULES_LIBRARY
+    if "util/rng" not in path.as_posix():
+        rules += TOKEN_RULES_EVERYWHERE
+
+    stripped = strip_comments_and_strings(text).splitlines()
+    for ln, line in enumerate(stripped, 1):
+        for name, rx, msg in rules:
+            if not rx.search(line):
+                continue
+            if name in allow.get(ln, ()):
+                suppressions.append((path, ln, name))
+                continue
+            findings.append((path, ln, name, msg))
+
+    if path.suffix == ".h" and rel_root in HEADER_DIRS:
+        check_header_guard(path, root, text, findings)
+    return in_library
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: parent of this script)")
+    args = parser.parse_args()
+    root = pathlib.Path(args.root) if args.root else pathlib.Path(
+        __file__).resolve().parent.parent
+
+    files = []
+    for top in ALL_DIRS:
+        base = root / top
+        if base.is_dir():
+            files += sorted(p for p in base.rglob("*")
+                            if p.suffix in (".h", ".cc", ".cpp") and p.is_file())
+
+    findings, suppressions = [], []
+    for path in files:
+        lint_file(path, root, findings, suppressions)
+
+    for path, ln, name, msg in findings:
+        print(f"{path.relative_to(root)}:{ln}: [{name}] {msg}")
+    if suppressions:
+        print(f"-- {len(suppressions)} suppression(s) in effect:")
+        for path, ln, name in suppressions:
+            print(f"   {path.relative_to(root)}:{ln}: lint:allow({name})")
+    print(f"lint: {len(files)} files, {len(findings)} violation(s)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,8 +6,18 @@
 #include <utility>
 
 #include "core/sweep_kernel.h"
+#include "util/check.h"
 
 namespace flos {
+
+namespace {
+// Slack for the audited sandwich invariant. The lower and upper systems
+// are evaluated in one fused fp pass over certified inputs, so the exact
+// relation lower <= upper can be violated only by accumulated rounding
+// (~1e-16 per row term on values in [0, 1]); anything past this slack is
+// a logic bug, not noise.
+constexpr double kSandwichSlack = 1e-12;
+}  // namespace
 
 PhpBoundEngine::PhpBoundEngine(LocalGraph* local,
                                const BoundEngineOptions& options)
@@ -65,6 +75,16 @@ void PhpBoundEngine::CaptureDummyFromBoundary() {
     }
   }
   dummy_tight_ = std::min({dummy_tight_, dummy_mesh_, candidate});
+  // The tight dummy bounds a subset of what the mesh dummy bounds, so it
+  // can never exceed it; both are clamped non-increasing above.
+  FLOS_DCHECK_LE(dummy_tight_, dummy_mesh_,
+                 "tight dummy must not exceed mesh dummy");
+}
+
+void PhpBoundEngine::AuditBoundSandwich(const char* where) const {
+  for (size_t i = 0; i < lower_.size(); ++i) {
+    FLOS_CHECK_LE(lower_[i], upper_[i] + kSandwichSlack, where);
+  }
 }
 
 PhpBoundEngine::OutsideUppers PhpBoundEngine::ComputeOutsideUppers() {
@@ -153,6 +173,16 @@ uint32_t PhpBoundEngine::FusedSolve(double tolerance, bool lower_only) {
   double* const lo = lower_.data();
   double* const hi = upper_.data();
   uint32_t iters = 0;
+  // Audit tier: snapshot the incoming bounds so every sweep can be checked
+  // against them. The entry sandwich check catches state that was already
+  // uncertified before this solve (e.g. injected corruption).
+  std::vector<double> audit_prev_lo;
+  std::vector<double> audit_prev_hi;
+  FLOS_AUDIT_SCOPE {
+    AuditBoundSandwich("sandwich violated on entry to FusedSolve");
+    audit_prev_lo = lower_;
+    audit_prev_hi = upper_;
+  }
   while (iters < options_.max_inner_iterations) {
     // Amortized convergence checks: warm-started solves converge within a
     // sweep or two, so check every sweep early; long cold solves check
@@ -187,6 +217,23 @@ uint32_t PhpBoundEngine::FusedSolve(double tolerance, bool lower_only) {
       });
     }
     ++iters;
+    FLOS_AUDIT_SCOPE {
+      // Certified bounds only ever tighten: the in-place updates clamp
+      // against the previous value with std::max/std::min, so monotonicity
+      // must hold EXACTLY, sweep by sweep — any loosening means a value
+      // escaped the clamp and is no longer certified.
+      for (size_t i = 0; i < lower_.size(); ++i) {
+        FLOS_CHECK_GE(lower_[i], audit_prev_lo[i],
+                      "lower bound loosened across a sweep");
+        if (!lower_only) {
+          FLOS_CHECK_LE(upper_[i], audit_prev_hi[i],
+                        "upper bound loosened across a sweep");
+        }
+      }
+      AuditBoundSandwich("sandwich violated after a fused sweep");
+      audit_prev_lo = lower_;
+      if (!lower_only) audit_prev_hi = upper_;
+    }
     if (check && delta < tolerance) break;
   }
   return iters;

@@ -135,7 +135,21 @@ class PhpBoundEngine {
   };
   OutsideUppers ComputeOutsideUppers();
 
+  /// Test-only: overwrites node i's stored bounds, bypassing every
+  /// certification rule. Exists so tests/check_test.cc can prove the
+  /// FLOS_AUDIT sandwich/monotonicity checks actually fire on corrupted
+  /// state; never call it from library or application code.
+  void InjectBoundsForTest(LocalId i, double lower_value, double upper_value) {
+    lower_[i] = lower_value;
+    upper_[i] = upper_value;
+  }
+
  private:
+  /// Audit tier: aborts unless lower <= upper elementwise (within a
+  /// one-ulp-scale slack for the fused fp evaluation). `where` names the
+  /// call site in the failure message.
+  void AuditBoundSandwich(const char* where) const;
+
   void RefreshBoundaryCoefficients();
 
   /// The fused Gauss–Seidel solve: one row scan per sweep updates both

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/check.h"
+
 namespace flos {
 
 namespace {
@@ -197,6 +199,38 @@ Result<FlosResult> FlosEngine::TopKSet(const std::vector<NodeId>& queries,
             std::max(out.max_degree_weighted,
                      w_unknown * alpha * out.max_value);
         if (threshold < unvisited_bound) return false;
+      }
+    }
+    FLOS_AUDIT_SCOPE {
+      // Certified-termination ground truth, recomputed without the
+      // nth_element bookkeeping above: the worst guaranteed rank inside
+      // the selected top-k must genuinely clear the optimistic rank of
+      // EVERY other visited non-query node. Same fp values as the fast
+      // path, so the comparisons are exact.
+      double audit_threshold = minimize ? -1e300 : 1e300;
+      for (const Candidate& c : selected_) {
+        audit_threshold = minimize ? std::max(audit_threshold, c.rank_upper)
+                                   : std::min(audit_threshold, c.rank_lower);
+      }
+      const auto is_selected = [&](LocalId i) {
+        for (const Candidate& c : selected_) {
+          if (c.local == i) return true;
+        }
+        return false;
+      };
+      for (LocalId i = 0; i < local_.Size(); ++i) {
+        if (local_.IsQueryLocal(i) || is_selected(i)) continue;
+        const double opt =
+            minimize ? rank_of(i, BoundLower(i)) : rank_of(i, BoundUpper(i));
+        if (minimize) {
+          FLOS_CHECK_LE(audit_threshold, opt,
+                        "top-k termination fired before the k-th upper "
+                        "cleared a competing lower");
+        } else {
+          FLOS_CHECK_GE(audit_threshold, opt,
+                        "top-k termination fired before the k-th lower "
+                        "cleared a competing upper");
+        }
       }
     }
     return true;

@@ -72,7 +72,44 @@ Status LocalGraph::Init(const std::vector<NodeId>& queries) {
   }
   query_ = queries.front();
   heap_compact_size_ = Size();
+  FLOS_AUDIT_SCOPE { AuditBookkeeping(); }
   return Status::OK();
+}
+
+void LocalGraph::AuditBookkeeping() const {
+  const uint32_t n = Size();
+  uint32_t boundary = 0;
+  for (LocalId i = 0; i < n; ++i) {
+    // Ground-truth outside count: re-resolve every stored neighbor's
+    // visited status against the index.
+    uint32_t outside = 0;
+    for (const Neighbor& nb : neighbors_[i]) {
+      if (!Contains(nb.id)) ++outside;
+    }
+    FLOS_CHECK_EQ(outside_count_[i], outside,
+                  "maintained outside count diverged from neighbor lists");
+    if (outside > 0) ++boundary;
+
+    // Row spine sanity: the slab must lie inside the arena's used prefix.
+    FLOS_CHECK_LE(row_len_[i], row_cap_[i], "row length exceeds slab");
+    FLOS_CHECK_LE(static_cast<uint64_t>(row_start_[i]) + row_cap_[i],
+                  static_cast<uint64_t>(arena_used_),
+                  "row slab extends past the arena bump pointer");
+
+    // RowInMass is documented bitwise-equal to summing the row in append
+    // order (GrowRow preserves entry order), so compare EXACTLY: any
+    // difference means an append bypassed the incremental accumulator.
+    const LocalRow row = Row(i);
+    double mass = 0;
+    for (uint32_t e = 0; e < row.len; ++e) {
+      FLOS_CHECK(row.idx[e] < n, "row entry references an unvisited node");
+      mass += row.weight[e];
+    }
+    FLOS_CHECK_EQ(RowInMass(i), mass,
+                  "maintained row in-mass diverged from the stored row");
+  }
+  FLOS_CHECK_EQ(BoundaryCount(), boundary,
+                "maintained boundary count diverged from ground truth");
 }
 
 void LocalGraph::GrowRow(LocalId i, uint32_t min_cap) {
@@ -96,7 +133,9 @@ void LocalGraph::GrowRow(LocalId i, uint32_t min_cap) {
 }
 
 void LocalGraph::RowAppend(LocalId i, LocalId j, double p) {
+  FLOS_DCHECK(p >= 0.0, "transition probabilities are non-negative");
   if (row_len_[i] == row_cap_[i]) GrowRow(i, row_len_[i] + 1);
+  FLOS_DCHECK(row_len_[i] < row_cap_[i], "GrowRow left the row full");
   const uint32_t at = row_start_[i] + row_len_[i];
   arena_idx_[at] = j;
   arena_weight_[at] = p;
@@ -243,6 +282,9 @@ Result<uint32_t> LocalGraph::Expand(LocalId u) {
   }
   for (const NodeId v : expand_scratch_) {
     FLOS_RETURN_IF_ERROR(Add(v));
+  }
+  FLOS_AUDIT_SCOPE {
+    if (!expand_scratch_.empty()) AuditBookkeeping();
   }
   return static_cast<uint32_t>(expand_scratch_.size());
 }

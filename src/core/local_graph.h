@@ -37,6 +37,7 @@
 #include "core/node_index.h"
 #include "graph/accessor.h"
 #include "graph/graph.h"
+#include "util/check.h"
 #include "util/status.h"
 
 namespace flos {
@@ -123,6 +124,7 @@ class LocalGraph {
   /// p_ij = w_ij / w_i (FULL weighted degree), as an SoA view into the
   /// flat local CSR.
   LocalRow Row(LocalId local) const {
+    FLOS_DCHECK(local < Size(), "Row: local id out of range");
     const uint32_t start = row_start_[local];
     return {arena_idx_.data() + start, arena_weight_.data() + start,
             row_len_[local]};
@@ -194,6 +196,13 @@ class LocalGraph {
 
  private:
   Status Add(NodeId global);
+
+  /// Audit tier: recomputes the maintained bookkeeping — per-node outside
+  /// counts and the boundary count from the stored neighbor lists, and
+  /// each row's in-S mass by re-summing the row in append order — and
+  /// aborts on any mismatch with the incrementally maintained values.
+  /// O(edges(S)); called from Init/Expand under FLOS_AUDIT_SCOPE only.
+  void AuditBookkeeping() const;
 
   /// Appends entry (j, p) to row i, growing its slab if full.
   void RowAppend(LocalId i, LocalId j, double p);

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "util/check.h"
 
 namespace flos {
 
@@ -72,6 +73,20 @@ class NodeMap {
         for (Slot& s : slots_) s.stamp = 0;
       }
     }
+    FLOS_AUDIT_SCOPE {
+      // Epoch-aliasing ground truth: after a Reset no stored stamp may
+      // equal (or exceed) the new epoch, otherwise a dead entry from an
+      // earlier query would resurrect as live. O(capacity), audit only.
+      if (dense_) {
+        for (const uint32_t stamp : dense_stamp_) {
+          FLOS_CHECK_LT(stamp, epoch_, "stale stamp aliases the new epoch");
+        }
+      } else {
+        for (const Slot& s : slots_) {
+          FLOS_CHECK_LT(s.stamp, epoch_, "stale stamp aliases the new epoch");
+        }
+      }
+    }
   }
 
   /// Number of live entries.
@@ -81,10 +96,16 @@ class NodeMap {
   /// invalidated by the next Insert (sparse backend may rehash).
   V* Find(NodeId key) {
     if (dense_) {
+      FLOS_DCHECK(key < dense_stamp_.size(), "NodeMap key out of range");
+      // A stamp from the future would alias as "present" after the next
+      // Reset; the wrap handling in Reset() must make this impossible.
+      FLOS_DCHECK_LE(dense_stamp_[key], epoch_,
+                     "NodeMap stamp ahead of current epoch");
       return dense_stamp_[key] == epoch_ ? &dense_value_[key] : nullptr;
     }
     for (uint64_t i = Hash(key);; ++i) {
       Slot& s = slots_[i & (slots_.size() - 1)];
+      FLOS_DCHECK_LE(s.stamp, epoch_, "NodeMap stamp ahead of current epoch");
       if (s.stamp != epoch_) return nullptr;
       if (s.key == key) return &s.value;
     }
@@ -101,6 +122,9 @@ class NodeMap {
   /// if the key was already present (existing value untouched).
   bool Insert(NodeId key, const V& value) {
     if (dense_) {
+      FLOS_DCHECK(key < dense_stamp_.size(), "NodeMap key out of range");
+      FLOS_DCHECK_LE(dense_stamp_[key], epoch_,
+                     "NodeMap stamp ahead of current epoch");
       if (dense_stamp_[key] == epoch_) return false;
       dense_stamp_[key] = epoch_;
       dense_value_[key] = value;

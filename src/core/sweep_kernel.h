@@ -25,6 +25,7 @@
 #include <cstdint>
 
 #include "core/local_graph.h"
+#include "util/check.h"
 
 namespace flos {
 
@@ -43,6 +44,11 @@ inline void FusedRowSweep(const LocalGraph& local, const double* lo,
     for (uint32_t e = 0; e < row.len; ++e) {
       const double p = row.weight[e];
       const LocalId j = row.idx[e];
+      // Audit tier only: a column index past |S| or a negative transition
+      // probability means the local CSR itself is corrupt, and every bound
+      // computed from it is uncertified.
+      FLOS_AUDIT(j < n, "local CSR column index out of range");
+      FLOS_AUDIT(p >= 0.0, "negative transition probability in local CSR");
       s_lo += p * lo[j];
       s_hi += p * hi[j];
     }
@@ -59,7 +65,10 @@ inline void RowSweep(const LocalGraph& local, const double* x, Body&& body) {
     if (i + 1 < n) local.PrefetchRow(i + 1);
     const LocalRow row = local.Row(i);
     double s = 0;
-    for (uint32_t e = 0; e < row.len; ++e) s += row.weight[e] * x[row.idx[e]];
+    for (uint32_t e = 0; e < row.len; ++e) {
+      FLOS_AUDIT(row.idx[e] < n, "local CSR column index out of range");
+      s += row.weight[e] * x[row.idx[e]];
+    }
     body(i, s);
   }
 }

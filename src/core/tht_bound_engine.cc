@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/sweep_kernel.h"
+#include "util/check.h"
 
 namespace flos {
 
@@ -72,12 +73,32 @@ void ThtBoundEngine::UpdateBounds() {
                   });
     work_lo_.swap(next_lo_);
     work_hi_.swap(next_hi_);
+    FLOS_AUDIT_SCOPE {
+      // Every DP step must preserve the sandwich: the escaped-mass
+      // continuations satisfy escaped_lo <= horizon and the fused dot
+      // products are computed over lo <= hi inputs with non-negative
+      // weights, so work_lo <= work_hi holds exactly, step by step.
+      for (LocalId i = 0; i < n; ++i) {
+        FLOS_CHECK_LE(work_lo_[i], work_hi_[i],
+                      "THT DP step broke the sandwich");
+      }
+    }
   }
 
   // Monotone clamps: previous bounds stay valid as S only grows.
   for (LocalId i = 0; i < n; ++i) {
+    const double prev_lo = lower_[i];
+    const double prev_hi = upper_[i];
     lower_[i] = std::max(lower_[i], work_lo_[i]);
     upper_[i] = std::min(upper_[i], work_hi_[i]);
+    // The clamps make cross-update monotonicity exact. The clamped
+    // interval intersects two independently-rounded certified intervals,
+    // so the non-emptiness check allows rounding-scale slack (values are
+    // O(length_), per-step errors are O(1e-15)).
+    FLOS_AUDIT_GE(lower_[i], prev_lo, "THT lower bound loosened");
+    FLOS_AUDIT_LE(upper_[i], prev_hi, "THT upper bound loosened");
+    FLOS_AUDIT_LE(lower_[i], upper_[i] + 1e-9 * length_,
+                  "THT bounds crossed after clamp");
   }
 }
 

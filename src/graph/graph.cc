@@ -67,7 +67,7 @@ Result<Graph> GraphFromCsrParts(std::vector<uint64_t> offsets,
   g.FinalizeDerived();
   // Symmetry check: every half-edge must have its reverse.
   for (uint64_t u = 0; u < n; ++u) {
-    for (const NodeId v : g.NeighborIds(u)) {
+    for (const NodeId v : g.NeighborIds(static_cast<NodeId>(u))) {
       if (g.EdgeWeight(v, static_cast<NodeId>(u)) !=
           g.EdgeWeight(static_cast<NodeId>(u), v)) {
         return Status::Corruption("graph is not symmetric");

@@ -8,7 +8,9 @@ namespace flos {
 
 const std::vector<GraphPreset>& RealGraphPresets() {
   static const std::vector<GraphPreset>* const kPresets =
-      new std::vector<GraphPreset>{
+      // Intentionally leaked function-local singleton: avoids a static
+      // destructor racing exit-time readers.
+      new std::vector<GraphPreset>{  // lint:allow(no-naked-new)
           // name, stands_for, paper |V|, paper |E|, R-MAT 'a'
           {"az", "Amazon (SNAP com-amazon)", 334863, 925872, 0.45},
           {"dp", "DBLP (SNAP com-dblp)", 317080, 1049866, 0.45},
@@ -32,10 +34,11 @@ Result<Graph> BuildPresetGraph(const GraphPreset& preset, double scale,
   }
   GeneratorOptions options;
   options.num_nodes = std::max<uint64_t>(
-      64, static_cast<uint64_t>(preset.paper_nodes * scale));
+      64, static_cast<uint64_t>(static_cast<double>(preset.paper_nodes) *
+                                scale));
   options.num_edges = std::max<uint64_t>(
       options.num_nodes,
-      static_cast<uint64_t>(preset.paper_edges * scale));
+      static_cast<uint64_t>(static_cast<double>(preset.paper_edges) * scale));
   options.seed = seed;
   RmatParams params;
   params.a = preset.rmat_a;

@@ -26,7 +26,9 @@ Result<std::unique_ptr<DiskGraph>> DiskGraph::Open(
     const std::string& path, const DiskGraphOptions& options) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return Status::IoError("cannot open " + path);
-  std::unique_ptr<DiskGraph> g(new DiskGraph(options));
+  // make_unique cannot reach the private constructor; ownership is taken
+  // on the same line.
+  std::unique_ptr<DiskGraph> g(new DiskGraph(options));  // lint:allow(no-naked-new)
   g->file_ = f;
 
   DiskHeader header{};

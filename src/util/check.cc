@@ -1,0 +1,62 @@
+#include "util/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace flos {
+namespace internal {
+
+namespace {
+
+[[noreturn]] void AbortWithMessage(const char* file, int line,
+                                   const char* condition,
+                                   const char* detail,
+                                   const char* message) {
+  std::fprintf(stderr, "FLOS_CHECK failed at %s:%d: %s%s%s%s%s\n", file, line,
+               condition, detail[0] != '\0' ? " " : "", detail,
+               message != nullptr ? ": " : "",
+               message != nullptr ? message : "");
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace
+
+void CheckFailed(const char* file, int line, const char* condition,
+                 const char* message) {
+  AbortWithMessage(file, line, condition, "", message);
+}
+
+void CheckOpFailed(const char* file, int line, const char* expression,
+                   const std::string& a, const std::string& b,
+                   const char* message) {
+  const std::string detail = "(" + a + " vs " + b + ")";
+  AbortWithMessage(file, line, expression, detail.c_str(), message);
+}
+
+std::string CheckValueString(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string CheckValueString(long double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.21Lg", v);
+  return buf;
+}
+
+std::string CheckValueString(unsigned long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", v);
+  return buf;
+}
+
+std::string CheckValueString(long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", v);
+  return buf;
+}
+
+}  // namespace internal
+}  // namespace flos

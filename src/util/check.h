@@ -1,0 +1,179 @@
+// Invariant checking for the exactness-critical paths.
+//
+// FLoS's correctness guarantee rests on every stored value being a
+// *certified* lower/upper bound (SIGMOD'14 Theorems 2-5); a single
+// uncertified value silently poisons every result derived from it. This
+// header provides three tiers of runtime checks so the certification
+// chain can be audited without taxing production builds:
+//
+//   FLOS_CHECK   — always on, in every build type. For cheap conditions
+//                  whose violation means memory corruption or a broken
+//                  API contract. Aborts with file:line and the condition.
+//   FLOS_DCHECK  — on in Debug builds (and whenever the audit layer is
+//                  enabled); compiled to nothing in Release. For cheap
+//                  per-operation sanity conditions on hot paths (index
+//                  bounds, epoch-stamp sanity).
+//   FLOS_AUDIT   — on only when the build defines FLOS_ENABLE_AUDIT
+//                  (the `audit` CMake preset). For expensive invariant
+//                  recomputation: bound sandwich after every sweep,
+//                  monotone tightening across sweeps, boundary-count and
+//                  RowInMass ground-truth comparison, certified top-k
+//                  termination.
+//
+// Disabled tiers expand to an expression that TYPE-CHECKS its operands
+// but never evaluates them (`true ? void() : void(cond)`), so a stale
+// condition still fails to compile yet costs zero cycles and zero code in
+// Release — tests/check_test.cc proves the zero-evaluation property, and
+// bench_micro_kernels records that a Release sweep with the audit sites
+// compiled in is indistinguishable from one without.
+//
+// `FLOS_AUDIT_SCOPE { ... }` guards multi-statement recomputation (scratch
+// vectors, ground-truth loops); the block always compiles but is dead
+// code unless auditing is enabled.
+//
+// This layer is for programming errors: conditions that can only be false
+// if the code itself is wrong. Fallible operations on user input keep
+// returning Status/Result (util/status.h) — never CHECK on bad input.
+
+#ifndef FLOS_UTIL_CHECK_H_
+#define FLOS_UTIL_CHECK_H_
+
+#include <string>
+
+namespace flos {
+
+#ifdef FLOS_ENABLE_AUDIT
+#define FLOS_AUDIT_ENABLED 1
+#else
+#define FLOS_AUDIT_ENABLED 0
+#endif
+
+#if !defined(NDEBUG) || FLOS_AUDIT_ENABLED
+#define FLOS_DCHECK_ENABLED 1
+#else
+#define FLOS_DCHECK_ENABLED 0
+#endif
+
+/// True iff the FLOS_AUDIT tier is compiled in (the `audit` preset).
+inline constexpr bool kAuditEnabled = FLOS_AUDIT_ENABLED != 0;
+
+/// True iff the FLOS_DCHECK tier is compiled in.
+inline constexpr bool kDcheckEnabled = FLOS_DCHECK_ENABLED != 0;
+
+namespace internal {
+
+/// Prints "FLOS_CHECK failed at <file>:<line>: <condition>[: <message>]"
+/// to stderr and aborts. Never returns.
+[[noreturn]] void CheckFailed(const char* file, int line,
+                              const char* condition,
+                              const char* message = nullptr);
+
+/// Binary-comparison failure: additionally prints the two operand values.
+[[noreturn]] void CheckOpFailed(const char* file, int line,
+                                const char* expression, const std::string& a,
+                                const std::string& b,
+                                const char* message = nullptr);
+
+/// Renders a checked operand for the failure message. Floating-point
+/// values keep full precision so off-by-one-ulp violations are visible.
+std::string CheckValueString(double v);
+std::string CheckValueString(long double v);
+std::string CheckValueString(unsigned long long v);
+std::string CheckValueString(long long v);
+inline std::string CheckValueString(float v) {
+  return CheckValueString(static_cast<double>(v));
+}
+inline std::string CheckValueString(unsigned long v) {
+  return CheckValueString(static_cast<unsigned long long>(v));
+}
+inline std::string CheckValueString(unsigned int v) {
+  return CheckValueString(static_cast<unsigned long long>(v));
+}
+inline std::string CheckValueString(long v) {
+  return CheckValueString(static_cast<long long>(v));
+}
+inline std::string CheckValueString(int v) {
+  return CheckValueString(static_cast<long long>(v));
+}
+inline std::string CheckValueString(bool v) { return v ? "true" : "false"; }
+
+}  // namespace internal
+}  // namespace flos
+
+// ---------------------------------------------------------------------------
+// Tier 1: FLOS_CHECK — always on.
+
+/// Aborts with file:line + the condition text (and an optional literal
+/// message) unless `cond` is true. Enabled in every build type.
+#define FLOS_CHECK(cond, ...)                                             \
+  ((cond) ? static_cast<void>(0)                                          \
+          : ::flos::internal::CheckFailed(__FILE__, __LINE__,             \
+                                          #cond __VA_OPT__(, ) __VA_ARGS__))
+
+#define FLOS_INTERNAL_CHECK_OP(op, a, b, ...)                              \
+  do {                                                                     \
+    const auto flos_check_a_ = (a);                                        \
+    const auto flos_check_b_ = (b);                                        \
+    if (!(flos_check_a_ op flos_check_b_)) {                               \
+      ::flos::internal::CheckOpFailed(                                     \
+          __FILE__, __LINE__, #a " " #op " " #b,                           \
+          ::flos::internal::CheckValueString(flos_check_a_),               \
+          ::flos::internal::CheckValueString(flos_check_b_)                \
+              __VA_OPT__(, ) __VA_ARGS__);                                 \
+    }                                                                      \
+  } while (false)
+
+/// Comparison checks that print both operand values on failure. Operands
+/// are evaluated exactly once.
+#define FLOS_CHECK_EQ(a, b, ...) FLOS_INTERNAL_CHECK_OP(==, a, b, __VA_ARGS__)
+#define FLOS_CHECK_LE(a, b, ...) FLOS_INTERNAL_CHECK_OP(<=, a, b, __VA_ARGS__)
+#define FLOS_CHECK_GE(a, b, ...) FLOS_INTERNAL_CHECK_OP(>=, a, b, __VA_ARGS__)
+#define FLOS_CHECK_LT(a, b, ...) FLOS_INTERNAL_CHECK_OP(<, a, b, __VA_ARGS__)
+
+// Disabled form shared by the DCHECK/AUDIT tiers: the operands are
+// type-checked (a stale expression still breaks the build) but NEVER
+// evaluated, and the whole expression folds to nothing.
+#define FLOS_INTERNAL_NOP_CHECK(cond, ...) \
+  (true ? static_cast<void>(0) : static_cast<void>(cond))
+#define FLOS_INTERNAL_NOP_CHECK_OP(a, b, ...)       \
+  (true ? static_cast<void>(0)                      \
+        : static_cast<void>((void)(a), (void)(b)))
+
+// ---------------------------------------------------------------------------
+// Tier 2: FLOS_DCHECK — Debug (and audit) builds only.
+
+#if FLOS_DCHECK_ENABLED
+#define FLOS_DCHECK(cond, ...) FLOS_CHECK(cond __VA_OPT__(, ) __VA_ARGS__)
+#define FLOS_DCHECK_EQ(a, b, ...) FLOS_CHECK_EQ(a, b __VA_OPT__(, ) __VA_ARGS__)
+#define FLOS_DCHECK_LE(a, b, ...) FLOS_CHECK_LE(a, b __VA_OPT__(, ) __VA_ARGS__)
+#define FLOS_DCHECK_GE(a, b, ...) FLOS_CHECK_GE(a, b __VA_OPT__(, ) __VA_ARGS__)
+#define FLOS_DCHECK_LT(a, b, ...) FLOS_CHECK_LT(a, b __VA_OPT__(, ) __VA_ARGS__)
+#else
+#define FLOS_DCHECK(cond, ...) FLOS_INTERNAL_NOP_CHECK(cond)
+#define FLOS_DCHECK_EQ(a, b, ...) FLOS_INTERNAL_NOP_CHECK_OP(a, b)
+#define FLOS_DCHECK_LE(a, b, ...) FLOS_INTERNAL_NOP_CHECK_OP(a, b)
+#define FLOS_DCHECK_GE(a, b, ...) FLOS_INTERNAL_NOP_CHECK_OP(a, b)
+#define FLOS_DCHECK_LT(a, b, ...) FLOS_INTERNAL_NOP_CHECK_OP(a, b)
+#endif
+
+// ---------------------------------------------------------------------------
+// Tier 3: FLOS_AUDIT — only with -DFLOS_ENABLE_AUDIT=ON.
+
+#if FLOS_AUDIT_ENABLED
+#define FLOS_AUDIT(cond, ...) FLOS_CHECK(cond __VA_OPT__(, ) __VA_ARGS__)
+#define FLOS_AUDIT_EQ(a, b, ...) FLOS_CHECK_EQ(a, b __VA_OPT__(, ) __VA_ARGS__)
+#define FLOS_AUDIT_LE(a, b, ...) FLOS_CHECK_LE(a, b __VA_OPT__(, ) __VA_ARGS__)
+#define FLOS_AUDIT_GE(a, b, ...) FLOS_CHECK_GE(a, b __VA_OPT__(, ) __VA_ARGS__)
+#else
+#define FLOS_AUDIT(cond, ...) FLOS_INTERNAL_NOP_CHECK(cond)
+#define FLOS_AUDIT_EQ(a, b, ...) FLOS_INTERNAL_NOP_CHECK_OP(a, b)
+#define FLOS_AUDIT_LE(a, b, ...) FLOS_INTERNAL_NOP_CHECK_OP(a, b)
+#define FLOS_AUDIT_GE(a, b, ...) FLOS_INTERNAL_NOP_CHECK_OP(a, b)
+#endif
+
+/// Guards a multi-statement audit block: `FLOS_AUDIT_SCOPE { ... }`. The
+/// block always compiles (so audit code cannot rot) but is discarded by
+/// the optimizer unless FLOS_ENABLE_AUDIT is defined.
+#define FLOS_AUDIT_SCOPE if constexpr (::flos::kAuditEnabled)
+
+#endif  // FLOS_UTIL_CHECK_H_

@@ -32,7 +32,7 @@ double Recall(const std::vector<NodeId>& got,
   for (const NodeId t : truth) {
     hits += std::count(got.begin(), got.end(), t) > 0;
   }
-  return static_cast<double>(hits) / truth.size();
+  return static_cast<double>(hits) / static_cast<double>(truth.size());
 }
 
 TEST(GiTest, ExactForEveryMeasure) {
@@ -136,7 +136,8 @@ TEST(DneTest, GoodRecallWithGenerousBudgetAndCappedVisits) {
   const int k = 10;
   const TopKAnswer answer = ValueOrDie(DneTopK(&accessor, q, k, options));
   EXPECT_FALSE(answer.exact);
-  EXPECT_LE(answer.touched_nodes, options.node_budget + g.MaxWeightedDegree());
+  EXPECT_LE(answer.touched_nodes,
+            static_cast<double>(options.node_budget) + g.MaxWeightedDegree());
   const auto exact = ValueOrDie(ExactPhp(g, q, 0.5));
   const auto truth = TopKFromScores(exact, q, k, Direction::kMaximize);
   EXPECT_GE(Recall(answer.nodes, truth), 0.7)

@@ -81,7 +81,9 @@ TEST(BatchTopKTest, PreservesInputOrderAndMatchesSerial) {
   const Graph g = RandomConnectedGraph(300, 900, 11);
   const FlosOptions options = DefaultOptions();
   std::vector<NodeId> queries;
-  for (NodeId q = 0; q < 40; ++q) queries.push_back((q * 37) % g.NumNodes());
+  for (NodeId q = 0; q < 40; ++q) {
+    queries.push_back(static_cast<NodeId>((q * 37) % g.NumNodes()));
+  }
 
   std::vector<FlosResult> serial;
   for (const NodeId q : queries) {
@@ -127,7 +129,7 @@ TEST(BatchTopKTest, AnyInvalidQueryFailsTheWholeBatch) {
   const Graph g = RandomConnectedGraph(100, 300, 7);
   std::vector<NodeId> queries;
   for (NodeId q = 0; q < 20; ++q) queries.push_back(q);
-  queries.push_back(g.NumNodes());  // out of range
+  queries.push_back(static_cast<NodeId>(g.NumNodes()));  // out of range
   const auto result = BatchTopK(g, queries, 5, DefaultOptions(), 4);
   EXPECT_FALSE(result.ok());
 }

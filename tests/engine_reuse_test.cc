@@ -118,7 +118,8 @@ TEST(EngineReuseTest, FailedCallDoesNotPoisonEngine) {
   // Invalid arguments of every flavor: bad k, out-of-range node, bad c,
   // multi-source with a single-source-only measure, duplicate queries.
   EXPECT_FALSE(engine.TopK(0, 0, options).ok());
-  EXPECT_FALSE(engine.TopK(g.NumNodes(), 3, options).ok());
+  EXPECT_FALSE(
+      engine.TopK(static_cast<NodeId>(g.NumNodes()), 3, options).ok());
   FlosOptions bad_c = options;
   bad_c.c = 1.5;
   EXPECT_FALSE(engine.TopK(0, 3, bad_c).ok());

@@ -32,7 +32,9 @@ TEST_P(GeneratorInvariantsTest, ExactCountsNoLoopsNoDuplicates) {
     const auto ids = g.NeighborIds(u);
     for (size_t e = 0; e < ids.size(); ++e) {
       EXPECT_NE(ids[e], u) << "self loop at " << u;
-      if (e > 0) EXPECT_LT(ids[e - 1], ids[e]) << "duplicate edge at " << u;
+      if (e > 0) {
+        EXPECT_LT(ids[e - 1], ids[e]) << "duplicate edge at " << u;
+      }
       // Symmetry.
       EXPECT_TRUE(g.HasEdge(ids[e], u));
     }

@@ -157,7 +157,7 @@ TEST(IntegrationTest, LsPushRecallGrowsWithClusterSize) {
     for (const NodeId t : truth) {
       for (const NodeId got : a.nodes) recall += (got == t);
     }
-    recall /= truth.size();
+    recall /= static_cast<double>(truth.size());
     EXPECT_GE(recall, prev_recall);
     prev_recall = recall;
   }

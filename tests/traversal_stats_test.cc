@@ -123,10 +123,10 @@ TEST(PresetsTest, AllPresetsBuildAtSmallScale) {
     EXPECT_GE(g.NumNodes(), 64u) << p.name;
     EXPECT_GT(g.NumEdges(), 0u) << p.name;
     // Density should roughly track the paper's dataset.
-    const double paper_density =
-        2.0 * p.paper_edges / static_cast<double>(p.paper_nodes);
-    const double got_density =
-        2.0 * g.NumEdges() / static_cast<double>(g.NumNodes());
+    const double paper_density = 2.0 * static_cast<double>(p.paper_edges) /
+                                 static_cast<double>(p.paper_nodes);
+    const double got_density = 2.0 * static_cast<double>(g.NumEdges()) /
+                               static_cast<double>(g.NumNodes());
     EXPECT_NEAR(got_density, paper_density, paper_density * 0.5) << p.name;
   }
 }
