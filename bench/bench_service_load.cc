@@ -1,0 +1,244 @@
+// Closed-loop load generator for the k-NN query service.
+//
+// Starts an in-process ServiceServer over the paper's RAND synthetic
+// (Erdős–Rényi, 1M nodes / 5M edges at --scale=1), then drives it from
+// --connections client threads, each running a closed loop of anytime
+// queries (--deadline-us budget) against random degree>=1 nodes. Client-
+// side latencies feed a LatencyHistogram; the run reports QPS and
+// p50/p95/p99 and writes them to --json (BENCH_service.json) next to the
+// server's own metrics (certified ratio, overload rejects, peak queue
+// depth).
+//
+//   ./bench/bench_service_load --scale=1 --duration-s=5
+//   ./bench/bench_service_load --scale=0.05 --deadline-us=0   # certified
+//
+// Everything — IO thread, 4 workers, client threads — shares whatever
+// cores the machine has; this is deliberately the worst honest setup for
+// a latency SLO, which is exactly what the admission-control and anytime-
+// deadline machinery is for.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.h"
+#include "service/client.h"
+#include "service/metrics.h"
+#include "service/server.h"
+#include "util/flags.h"
+#include "util/rng.h"
+
+namespace {
+
+struct ClientStats {
+  uint64_t ok = 0;
+  uint64_t certified = 0;
+  uint64_t overloaded = 0;
+  uint64_t errors = 0;
+  flos::LatencyHistogram latency_us;
+};
+
+void RunClient(const std::string& host, uint16_t port, uint64_t seed,
+               const flos::Graph& graph, const flos::QueryRequest& base,
+               const std::atomic<bool>& stop, ClientStats* stats) {
+  auto client = flos::ServiceClient::Connect(host, port);
+  if (!client.ok()) {
+    std::fprintf(stderr, "client connect: %s\n",
+                 client.status().ToString().c_str());
+    ++stats->errors;
+    return;
+  }
+  flos::Rng rng(seed);
+  while (!stop.load(std::memory_order_relaxed)) {
+    flos::QueryRequest request = base;
+    do {
+      request.query_node =
+          static_cast<flos::NodeId>(rng.NextBounded(graph.NumNodes()));
+    } while (graph.Degree(request.query_node) == 0);
+    const auto start = std::chrono::steady_clock::now();
+    const auto resp = client->Query(request);
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    stats->latency_us.Record(
+        elapsed > 0 ? static_cast<uint64_t>(elapsed) : 0);
+    if (!resp.ok()) {
+      ++stats->errors;
+      return;  // transport broken; stop this connection
+    }
+    if (resp->status == flos::StatusCode::kOk) {
+      ++stats->ok;
+      if (resp->certified) ++stats->certified;
+    } else if (resp->status == flos::StatusCode::kOverloaded) {
+      ++stats->overloaded;
+    } else {
+      ++stats->errors;
+    }
+  }
+}
+
+int Run(int argc, char** argv) {
+  flos::FlagParser flags;
+  double scale = 1.0;
+  int64_t workers = 4;
+  int64_t connections = 4;
+  int64_t duration_s = 5;
+  int64_t deadline_us = 50;
+  int64_t k = 10;
+  int64_t max_queue = 256;
+  int64_t seed = 42;
+  std::string json_path = "BENCH_service.json";
+  flags.AddDouble("scale", &scale,
+                  "fraction of the 1M-node RAND preset to generate");
+  flags.AddInt("workers", &workers, "server query worker threads");
+  flags.AddInt("connections", &connections, "closed-loop client threads");
+  flags.AddInt("duration-s", &duration_s, "measured run length");
+  flags.AddInt("deadline-us", &deadline_us,
+               "per-query anytime budget (0 = run every query to proof)");
+  flags.AddInt("k", &k, "neighbors per query");
+  flags.AddInt("max-queue", &max_queue, "server admission-control cap");
+  flags.AddInt("seed", &seed, "graph + query sampling seed");
+  flags.AddString("json", &json_path, "output file ('' = skip)");
+  if (const flos::Status s = flags.Parse(argc, argv); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    flags.PrintUsage(argv[0]);
+    return 1;
+  }
+
+  flos::bench::SynthSpec spec;
+  spec.nodes = static_cast<uint64_t>(1000000.0 * scale);
+  spec.edges = spec.nodes * 5;
+  spec.rmat = false;
+  spec.label = "RAND n=" + std::to_string(spec.nodes);
+  const flos::Graph graph = flos::bench::CheckOk(
+      flos::bench::BuildSynth(spec, static_cast<uint64_t>(seed)));
+  flos::bench::PrintGraphLine(spec.label, graph);
+
+  flos::ServerOptions options;
+  options.num_workers = static_cast<int>(workers);
+  options.max_queue_depth = static_cast<size_t>(max_queue);
+  flos::ServiceServer server(&graph, options);
+  flos::bench::CheckOk(server.Start());
+
+  flos::QueryRequest base;
+  base.measure = flos::Measure::kPhp;
+  base.k = static_cast<uint32_t>(k);
+  base.deadline_us = static_cast<uint64_t>(deadline_us);
+
+  std::atomic<bool> stop{false};
+  std::vector<ClientStats> stats(static_cast<size_t>(connections));
+  std::vector<std::thread> clients;
+  clients.reserve(stats.size());
+  for (size_t i = 0; i < stats.size(); ++i) {
+    clients.emplace_back(RunClient, options.host, server.port(),
+                         static_cast<uint64_t>(seed) + 1000 + i,
+                         std::cref(graph), std::cref(base), std::cref(stop),
+                         &stats[i]);
+  }
+  const auto bench_start = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(std::chrono::seconds(duration_s));
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : clients) t.join();
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    bench_start)
+          .count();
+  server.Shutdown();
+
+  flos::LatencyHistogram merged;
+  uint64_t ok = 0, certified = 0, overloaded = 0, errors = 0;
+  for (const ClientStats& s : stats) {
+    ok += s.ok;
+    certified += s.certified;
+    overloaded += s.overloaded;
+    errors += s.errors;
+    const auto buckets = s.latency_us.Snapshot();
+    const auto& bounds = flos::LatencyHistogram::BucketBounds();
+    for (size_t b = 0; b < buckets.size(); ++b) {
+      // Replay bucket counts at their upper bound: percentile upper bounds
+      // merge exactly, which is all this report uses.
+      const uint64_t rep =
+          b < bounds.size() ? bounds[b] : bounds.back() + 1;
+      for (uint64_t n = 0; n < buckets[b]; ++n) merged.Record(rep);
+    }
+  }
+  const uint64_t answered = ok + overloaded;
+  const double qps =
+      elapsed_s > 0 ? static_cast<double>(answered) / elapsed_s : 0;
+  const double certified_ratio =
+      ok > 0 ? static_cast<double>(certified) / static_cast<double>(ok) : 0;
+  const uint64_t p50 = merged.PercentileUpperBound(0.50);
+  const uint64_t p95 = merged.PercentileUpperBound(0.95);
+  const uint64_t p99 = merged.PercentileUpperBound(0.99);
+  const int64_t peak_queue = server.metrics().queue_depth.max_value();
+
+  std::printf(
+      "%lld connections x %.1fs, deadline %lld us, k=%lld, %lld workers\n",
+      static_cast<long long>(connections), elapsed_s,
+      static_cast<long long>(deadline_us), static_cast<long long>(k),
+      static_cast<long long>(workers));
+  std::printf(
+      "qps %.1f  ok %llu  certified %.3f  overloaded %llu  errors %llu\n",
+      qps, static_cast<unsigned long long>(ok), certified_ratio,
+      static_cast<unsigned long long>(overloaded),
+      static_cast<unsigned long long>(errors));
+  std::printf("latency p50 <= %llu us, p95 <= %llu us, p99 <= %llu us; "
+              "peak queue depth %lld\n",
+              static_cast<unsigned long long>(p50),
+              static_cast<unsigned long long>(p95),
+              static_cast<unsigned long long>(p99),
+              static_cast<long long>(peak_queue));
+
+  if (errors > 0) {
+    std::fprintf(stderr, "bench saw %llu errors\n",
+                 static_cast<unsigned long long>(errors));
+    return 1;
+  }
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(
+        f,
+        "{\n"
+        "  \"service_load\": {\n"
+        "    \"graph\": \"%s\",\n"
+        "    \"workers\": %lld,\n"
+        "    \"connections\": %lld,\n"
+        "    \"deadline_us\": %lld,\n"
+        "    \"k\": %lld,\n"
+        "    \"duration_s\": %.2f,\n"
+        "    \"qps\": %.1f,\n"
+        "    \"p50_us\": %llu,\n"
+        "    \"p95_us\": %llu,\n"
+        "    \"p99_us\": %llu,\n"
+        "    \"queries_ok\": %llu,\n"
+        "    \"certified_ratio\": %.4f,\n"
+        "    \"overload_rejects\": %llu,\n"
+        "    \"peak_queue_depth\": %lld\n"
+        "  }\n"
+        "}\n",
+        spec.label.c_str(), static_cast<long long>(workers),
+        static_cast<long long>(connections),
+        static_cast<long long>(deadline_us), static_cast<long long>(k),
+        elapsed_s, qps, static_cast<unsigned long long>(p50),
+        static_cast<unsigned long long>(p95),
+        static_cast<unsigned long long>(p99),
+        static_cast<unsigned long long>(ok), certified_ratio,
+        static_cast<unsigned long long>(overloaded),
+        static_cast<long long>(peak_queue));
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

@@ -1,0 +1,108 @@
+// Standalone FLoS k-NN query server.
+//
+//   ./examples/flos_server --graph=my_edges.txt --port=7421 --workers=4
+//   ./examples/flos_server --synthetic-nodes=100000   # ephemeral port
+//
+// Loads a SNAP-style edge list (or generates an R-MAT graph), starts the
+// epoll service (src/service/server.h), prints the bound address, and runs
+// until a client sends SHUTDOWN (see flos_client --shutdown) or the
+// process receives SIGINT/SIGTERM. On exit it prints the final metrics
+// snapshot — the same text the STATS command returns.
+
+#include <csignal>
+#include <cstdio>
+#include <string>
+#include <utility>
+
+#include "graph/edge_list_io.h"
+#include "graph/generators.h"
+#include "graph/stats.h"
+#include "service/server.h"
+#include "util/flags.h"
+
+namespace {
+
+flos::ServiceServer* g_server = nullptr;
+
+void HandleSignal(int /*signum*/) {
+  // Unblocks WaitForShutdown; the main thread performs the real teardown.
+  if (g_server != nullptr) g_server->Shutdown();
+}
+
+int Run(int argc, char** argv) {
+  flos::FlagParser flags;
+  std::string graph_path;
+  std::string host = "127.0.0.1";
+  int64_t port = 0;
+  int64_t workers = 4;
+  int64_t max_queue = 256;
+  int64_t synthetic_nodes = 100000;
+  int64_t seed = 1;
+  flags.AddString("graph", &graph_path, "SNAP-style edge list to serve");
+  flags.AddString("host", &host, "address to bind");
+  flags.AddInt("port", &port, "TCP port (0 = ephemeral, printed on start)");
+  flags.AddInt("workers", &workers, "query worker threads");
+  flags.AddInt("max-queue", &max_queue,
+               "admission-control queue cap (overloaded beyond this)");
+  flags.AddInt("synthetic-nodes", &synthetic_nodes,
+               "R-MAT size when --graph is not given");
+  flags.AddInt("seed", &seed, "generator seed");
+  if (const flos::Status s = flags.Parse(argc, argv); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    flags.PrintUsage(argv[0]);
+    return 1;
+  }
+
+  flos::Graph graph;
+  if (!graph_path.empty()) {
+    auto loaded = flos::ReadEdgeList(graph_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "load: %s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    graph = std::move(loaded).value();
+  } else {
+    flos::GeneratorOptions options;
+    options.num_nodes = static_cast<uint64_t>(synthetic_nodes);
+    options.num_edges = static_cast<uint64_t>(synthetic_nodes) * 8;
+    options.seed = static_cast<uint64_t>(seed);
+    auto generated = flos::GenerateRmat(options);
+    if (!generated.ok()) {
+      std::fprintf(stderr, "generate: %s\n",
+                   generated.status().ToString().c_str());
+      return 1;
+    }
+    graph = std::move(generated).value();
+  }
+  std::printf("# %s\n", flos::StatsToString(flos::ComputeStats(graph)).c_str());
+
+  flos::ServerOptions options;
+  options.host = host;
+  options.port = static_cast<uint16_t>(port);
+  options.num_workers = static_cast<int>(workers);
+  options.max_queue_depth = static_cast<size_t>(max_queue);
+  flos::ServiceServer server(&graph, options);
+  if (const flos::Status s = server.Start(); !s.ok()) {
+    std::fprintf(stderr, "start: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  // The CI smoke test greps this line for the ephemeral port.
+  std::printf("flos_server listening on %s:%u\n", host.c_str(),
+              static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+
+  g_server = &server;
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+
+  server.WaitForShutdown();
+  server.Shutdown();
+  g_server = nullptr;
+  std::printf("shutting down; final metrics:\n%s",
+              server.metrics().registry.RenderText().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

@@ -19,8 +19,16 @@ Enforced policy (see DESIGN.md "Correctness tooling & invariant policy"):
                   reproducible from a seed, and the library's generators
                   are deterministic by contract.
   no-cout         `std::cout` / `std::cerr` are banned in src/ library
-                  code; the library reports through Status and leaves I/O
-                  to callers (bench/, examples/, tests/ may print).
+                  code — including the serving layer (src/service/); the
+                  library reports through Status and leaves I/O to callers
+                  (bench/, examples/, tests/ may print).
+  no-raw-sockets  raw POSIX socket/epoll/eventfd calls (socket, bind,
+                  listen, accept, connect, close, epoll_*, eventfd, ...)
+                  are banned everywhere except the src/service/net_io
+                  wrapper pair, so fd lifetimes, EINTR handling, and
+                  SIGPIPE suppression live in exactly one audited place.
+                  A deliberate exception outside the wrappers carries
+                  `// lint:allow(no-raw-sockets) <reason>`.
   header-guards   every header uses a classic include guard named
                   FLOS_<PATH>_H_ (no #pragma once), matching its path so
                   moved files cannot silently collide.
@@ -66,6 +74,24 @@ TOKEN_RULES_EVERYWHERE = [
         "no-ad-hoc-rng",
         re.compile(r"(^|[^\w])s?rand\s*\(|std::random_device\b"),
         "ad-hoc randomness; use util/rng (seeded, reproducible)",
+    ),
+]
+
+# Applied everywhere EXCEPT src/service/net_io.{h,cc}, the one audited
+# home for raw fd handling. The leading [^\w.:>] keeps method calls
+# (conn.close(), ::close() inside the wrappers) and std::-qualified names
+# from tripping; the lowercase names match only the POSIX C API.
+TOKEN_RULES_SOCKETS = [
+    (
+        "no-raw-sockets",
+        re.compile(
+            r"(^|[^\w.:>])(socket|bind|listen|accept4?|connect|setsockopt|"
+            r"getsockname|epoll_create1?|epoll_ctl|epoll_wait|eventfd|"
+            r"recvfrom|sendto|recv|send|close|shutdown)\s*\("
+        ),
+        "raw POSIX socket/fd call; go through the service/net_io wrappers "
+        "(UniqueFd, ListenTcp, Epoll, WakeFd) or annotate a deliberate "
+        "exception with lint:allow(no-raw-sockets)",
     ),
 ]
 
@@ -176,6 +202,8 @@ def lint_file(path, root, findings, suppressions):
         rules += TOKEN_RULES_LIBRARY
     if "util/rng" not in path.as_posix():
         rules += TOKEN_RULES_EVERYWHERE
+    if "service/net_io" not in path.as_posix():
+        rules += TOKEN_RULES_SOCKETS
 
     stripped = strip_comments_and_strings(text).splitlines()
     for ln, line in enumerate(stripped, 1):

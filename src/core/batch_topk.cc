@@ -34,7 +34,8 @@ Result<std::vector<FlosResult>> BatchTopK(const AccessorFactory& make_accessor,
   {
     ThreadPool pool(num_threads);
     for (int t = 0; t < num_threads; ++t) {
-      pool.Submit([&] {
+      // A freshly constructed pool always accepts; only Shutdown rejects.
+      const Status submitted = pool.Submit([&] {
         auto accessor = make_accessor();
         if (!accessor.ok()) {
           record_error(accessor.status());
@@ -55,6 +56,7 @@ Result<std::vector<FlosResult>> BatchTopK(const AccessorFactory& make_accessor,
           results[i] = std::move(result).value();
         }
       });
+      if (!submitted.ok()) record_error(submitted);
     }
     pool.Wait();
   }

@@ -27,6 +27,7 @@ PhpBoundEngine::PhpBoundEngine(LocalGraph* local,
 
 void PhpBoundEngine::Reset(const BoundEngineOptions& options) {
   options_ = options;
+  deadline_hit_ = false;
   lower_.clear();
   upper_.clear();
   self_coeff_.clear();
@@ -170,9 +171,12 @@ void PhpBoundEngine::RefreshBoundaryCoefficients() {
 uint32_t PhpBoundEngine::FusedSolve(double tolerance, bool lower_only) {
   const double alpha = options_.alpha;
   const bool self_loop = options_.self_loop_tightening;
+  const bool has_deadline =
+      options_.deadline != std::chrono::steady_clock::time_point::max();
   double* const lo = lower_.data();
   double* const hi = upper_.data();
   uint32_t iters = 0;
+  deadline_hit_ = false;
   // Audit tier: snapshot the incoming bounds so every sweep can be checked
   // against them. The entry sandwich check catches state that was already
   // uncertified before this solve (e.g. injected corruption).
@@ -235,6 +239,14 @@ uint32_t PhpBoundEngine::FusedSolve(double tolerance, bool lower_only) {
       if (!lower_only) audit_prev_hi = upper_;
     }
     if (check && delta < tolerance) break;
+    // Anytime termination: each completed sweep is a certified bound state,
+    // so stopping here (at the amortized checkpoints, to keep the hot loop
+    // free of clock reads) leaves valid — merely looser — bounds.
+    if (check && has_deadline &&
+        std::chrono::steady_clock::now() >= options_.deadline) {
+      deadline_hit_ = true;
+      break;
+    }
   }
   return iters;
 }
@@ -254,7 +266,9 @@ uint32_t PhpBoundEngine::FinalizeExhausted(double final_tolerance) {
   // the exact system. Solve it tightly and collapse the interval.
   RefreshBoundaryCoefficients();
   const uint32_t iters = FusedSolve(final_tolerance, /*lower_only=*/true);
-  upper_ = lower_;
+  // A deadline-interrupted solve has not reached the exact fixed point yet;
+  // collapsing would turn a valid lower bound into an invalid upper one.
+  if (!deadline_hit_) upper_ = lower_;
   return iters;
 }
 

@@ -36,6 +36,7 @@
 #ifndef FLOS_CORE_BOUND_ENGINE_H_
 #define FLOS_CORE_BOUND_ENGINE_H_
 
+#include <chrono>
 #include <cstdint>
 #include <vector>
 
@@ -64,6 +65,13 @@ struct BoundEngineOptions {
   /// update; worth it for degree-weighted (RWR) searches, which need the
   /// frontier bound for termination anyway, and off by default otherwise.
   bool frontier_dummy = false;
+  /// Anytime hook: solves stop between sweeps once this instant passes
+  /// (checked at the amortized convergence checkpoints, so the overshoot is
+  /// at most a few sweeps). Every completed sweep leaves certified bounds,
+  /// so an interrupted solve is valid — just looser. `deadline_hit()`
+  /// reports whether the last solve was cut short. Default: no deadline.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
 };
 
 /// Bound state for the visited subgraph. One instance per query WORKSPACE:
@@ -103,8 +111,15 @@ class PhpBoundEngine {
   /// Runs the lower system to a much tighter tolerance and collapses
   /// upper = lower. Only valid when the LocalGraph is exhausted (no
   /// transitions leave S, so the deleted-transition system IS the exact
-  /// system). Returns inner iterations spent.
+  /// system). Returns inner iterations spent. If the options deadline cuts
+  /// the solve short (deadline_hit()), the interval is NOT collapsed — the
+  /// unconverged lower is not yet the exact value — and both bounds stay
+  /// certified.
   uint32_t FinalizeExhausted(double final_tolerance);
+
+  /// True iff the most recent solve stopped on the options deadline rather
+  /// than on convergence. Reset by the next Reset() or solve call.
+  bool deadline_hit() const { return deadline_hit_; }
 
   double lower(LocalId i) const { return lower_[i]; }
   double upper(LocalId i) const { return upper_[i]; }
@@ -171,6 +186,7 @@ class PhpBoundEngine {
   std::vector<double> plain_dummy_coeff_;
   double dummy_mesh_ = 1.0;   ///< >= unvisited AND visited-boundary values
   double dummy_tight_ = 1.0;  ///< >= unvisited values only
+  bool deadline_hit_ = false; ///< last solve stopped on the deadline
 };
 
 }  // namespace flos

@@ -20,6 +20,7 @@
 #ifndef FLOS_CORE_FLOS_H_
 #define FLOS_CORE_FLOS_H_
 
+#include <chrono>
 #include <cstdint>
 #include <vector>
 
@@ -57,6 +58,17 @@ struct FlosOptions {
   /// If > 0, stop after visiting this many nodes and return the current
   /// best-effort ranking (stats.exact will be false). 0 = run to proof.
   uint64_t max_visited = 0;
+  /// Absolute wall-clock deadline for the search (anytime termination, the
+  /// serving layer's graceful-degradation hook). When the deadline passes
+  /// mid-search, the engine stops expanding — including between inner
+  /// bound sweeps — and returns the current best-effort top-k with its
+  /// still-certified lower/upper bounds (stats.exact = false,
+  /// stats.deadline_expired = true). The bounds stay rigorous at any
+  /// instant (Theorems 3-5: every partial Gauss-Seidel state is a
+  /// certified bound), so an expired answer is a usable interval answer,
+  /// not an error. Default: no deadline.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
 };
 
 /// One result entry. `score` is the measure's value ((lower+upper)/2 when
@@ -75,6 +87,7 @@ struct FlosStats {
   uint64_t inner_iterations = 0;///< total Algorithm-7 sweeps
   bool exact = false;           ///< true iff the top-k was certified
   bool exhausted_component = false;  ///< visited the query's whole component
+  bool deadline_expired = false;  ///< search was cut short by the deadline
 };
 
 /// Result of a FLoS query: top-k nodes, closest first.

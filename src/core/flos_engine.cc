@@ -111,7 +111,7 @@ Result<FlosResult> FlosEngine::TopKSet(const std::vector<NodeId>& queries,
   FLOS_RETURN_IF_ERROR(local_.Init(queries));
   use_tht_ = options.measure == Measure::kTht;
   if (use_tht_) {
-    tht_.Reset(options.tht_length);
+    tht_.Reset(options.tht_length, options.deadline);
   } else {
     BoundEngineOptions be;
     be.alpha = AlphaFor(options);
@@ -121,9 +121,22 @@ Result<FlosResult> FlosEngine::TopKSet(const std::vector<NodeId>& queries,
     // Degree-weighted searches need the frontier bound for termination
     // anyway; folding it into the dummy value is then nearly free.
     be.frontier_dummy = options.measure == Measure::kRwr;
+    be.deadline = options.deadline;
     php_.Reset(be);
   }
   degree_cursor_ = 0;
+
+  // Anytime deadline (the serving layer's graceful-degradation hook). The
+  // check is threaded through every long-running stretch: the expansion
+  // loop, the inner solves (via the bound-engine options above), and the
+  // outer iteration. Bounds are certified at every instant, so stopping
+  // anywhere yields a valid interval answer — just an uncertified one.
+  const bool has_deadline =
+      options.deadline != std::chrono::steady_clock::time_point::max();
+  const auto deadline_passed = [&]() {
+    return has_deadline &&
+           std::chrono::steady_clock::now() >= options.deadline;
+  };
 
   FlosResult result;
   FlosStats& stats = result.stats;
@@ -238,6 +251,7 @@ Result<FlosResult> FlosEngine::TopKSet(const std::vector<NodeId>& queries,
 
   // Main loop (Algorithm 2, with optional batched LocalExpansion).
   bool certified = false;
+  bool expired = false;
   while (true) {
     // Rank the boundary by average bound (Algorithm 3); at t=1 the only
     // boundary node is the query itself.
@@ -248,8 +262,16 @@ Result<FlosResult> FlosEngine::TopKSet(const std::vector<NodeId>& queries,
       frontier_.push_back({rank_of(i, mid), i});
     }
     if (frontier_.empty()) {
-      // Component exhausted: finish with a tight solve.
+      // Component exhausted: finish with a tight solve. The solve itself
+      // honors the deadline; if it was cut short the bounds are still
+      // certified but not yet exact, so the result stays uncertified.
       stats.inner_iterations += FinalizeBounds(options.final_tolerance);
+      const bool finalize_interrupted =
+          use_tht_ ? tht_.deadline_hit() : php_.deadline_hit();
+      if (finalize_interrupted) {
+        expired = true;
+        break;
+      }
       stats.exhausted_component = true;
       certified = true;
       break;
@@ -282,20 +304,38 @@ Result<FlosResult> FlosEngine::TopKSet(const std::vector<NodeId>& queries,
       if (options.max_visited > 0 && local_.Size() >= options.max_visited) {
         break;
       }
+      if (deadline_passed()) {
+        expired = true;
+        break;
+      }
     }
+    // Even on an expired deadline the freshly expanded nodes need their
+    // bound slots (OnGrowth seeds them with the trivially valid [0, 1] /
+    // [0, L] intervals); the update after it is deadline-aware and exits
+    // after at most a few sweeps.
     OnGrowth();
     stats.inner_iterations += UpdateBounds();
 
-    if (check_termination()) {
+    if (!expired && check_termination()) {
       certified = true;
       break;
     }
     if (options.max_visited > 0 && local_.Size() >= options.max_visited) {
       break;  // best-effort cutoff
     }
+    if (expired || deadline_passed()) {
+      expired = true;
+      break;
+    }
   }
   stats.visited_nodes = local_.Size();
   stats.exact = certified;
+  stats.deadline_expired = expired;
+  // Anytime-certification contract: a deadline-expired answer must never
+  // claim exactness — the two flags are mutually exclusive by construction
+  // of the loop above, and the serving layer relies on it.
+  FLOS_DCHECK(!(stats.deadline_expired && stats.exact),
+              "deadline-expired query reported certified=true");
 
   // Assemble the k results. If termination selected candidates, use them;
   // otherwise (exhausted or cutoff) rank all visited non-query nodes.

@@ -12,8 +12,11 @@ ThtBoundEngine::ThtBoundEngine(LocalGraph* local, int length)
   Reset(length);
 }
 
-void ThtBoundEngine::Reset(int length) {
+void ThtBoundEngine::Reset(int length,
+                           std::chrono::steady_clock::time_point deadline) {
   length_ = length;
+  deadline_ = deadline;
+  deadline_hit_ = false;
   lower_.clear();
   upper_.clear();
   OnGrowth();
@@ -31,6 +34,9 @@ void ThtBoundEngine::OnGrowth() {
 
 void ThtBoundEngine::UpdateBounds() {
   const uint32_t n = local_->Size();
+  const bool has_deadline =
+      deadline_ != std::chrono::steady_clock::time_point::max();
+  deadline_hit_ = false;
   work_lo_.assign(n, 0.0);
   work_hi_.assign(n, 0.0);
   next_lo_.assign(n, 0.0);
@@ -52,6 +58,14 @@ void ThtBoundEngine::UpdateBounds() {
   // per-update O(edges) rescans). Degree-0 nodes can never hit q; their
   // value saturates at L.
   for (int t = 1; t <= length_; ++t) {
+    // Anytime hook: the horizon recursion is only a valid THT bound once
+    // all L steps ran, so an expired deadline abandons the recompute and
+    // keeps the previous (smaller-S, still certified) bounds instead.
+    if (has_deadline && t > 1 &&
+        std::chrono::steady_clock::now() >= deadline_) {
+      deadline_hit_ = true;
+      return;
+    }
     const double horizon = t - 1;  // max THT value at horizon t-1 (<= L)
     const double escaped_lo = std::min(horizon, unvisited_hops);
     FusedRowSweep(*local_, work_lo_.data(), work_hi_.data(),

@@ -27,6 +27,7 @@
 #ifndef FLOS_CORE_THT_BOUND_ENGINE_H_
 #define FLOS_CORE_THT_BOUND_ENGINE_H_
 
+#include <chrono>
 #include <cstdint>
 #include <vector>
 
@@ -42,23 +43,36 @@ class ThtBoundEngine {
 
   /// Returns the engine to its freshly-constructed state for the next
   /// query (after the LocalGraph was Reset+Init'd), with a new truncation
-  /// length. Keeps every buffer's capacity.
-  void Reset(int length);
+  /// length and an optional anytime deadline. Keeps every buffer's
+  /// capacity.
+  void Reset(int length,
+             std::chrono::steady_clock::time_point deadline =
+                 std::chrono::steady_clock::time_point::max());
 
   /// Resizes state after LocalGraph growth (new nodes: lower 0, upper L).
   void OnGrowth();
 
   /// Recomputes both bounds with a fresh L-step DP over S. Cost
-  /// O(L * edges(S)).
+  /// O(L * edges(S)). If the deadline passes mid-DP the recompute is
+  /// abandoned WITHOUT committing (a partial horizon recursion is not a
+  /// valid THT bound); the previous bounds — certified for the smaller S
+  /// and still valid under growth-monotone tightening — stay in place, and
+  /// deadline_hit() reports the interruption.
   void UpdateBounds();
 
   double lower(LocalId i) const { return lower_[i]; }
   double upper(LocalId i) const { return upper_[i]; }
   int length() const { return length_; }
 
+  /// True iff the most recent UpdateBounds was abandoned on the deadline.
+  bool deadline_hit() const { return deadline_hit_; }
+
  private:
   LocalGraph* local_;
   int length_;
+  std::chrono::steady_clock::time_point deadline_ =
+      std::chrono::steady_clock::time_point::max();
+  bool deadline_hit_ = false;
   std::vector<double> lower_;
   std::vector<double> upper_;
   std::vector<double> work_lo_;

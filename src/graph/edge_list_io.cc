@@ -18,35 +18,69 @@ Result<Graph> ReadEdgeList(const std::string& path,
   builder_options.ignore_self_loops = options.ignore_self_loops;
   GraphBuilder builder(builder_options);
 
+  // Every malformed row is a hard, line-numbered error — a silently
+  // skipped or misparsed row would corrupt the graph without a trace.
+  const auto at_line = [&path](uint64_t line_no, const std::string& what) {
+    return path + ":" + std::to_string(line_no) + ": " + what;
+  };
+  const auto skip_space = [](const char* p) {
+    while (*p == ' ' || *p == '\t' || *p == '\r') ++p;
+    return p;
+  };
+  const auto at_eol = [](const char* p) { return *p == '\n' || *p == '\0'; };
+
   std::unordered_set<uint64_t> seen;
   char line[512];
   uint64_t line_no = 0;
   Status status = Status::OK();
   while (std::fgets(line, sizeof(line), f) != nullptr) {
     ++line_no;
-    const char* p = line;
-    while (*p == ' ' || *p == '\t') ++p;
-    if (*p == '#' || *p == '%' || *p == '\n' || *p == '\0') continue;
+    const char* p = skip_space(line);
+    if (*p == '#' || *p == '%' || at_eol(p)) continue;
+    if (*p == '-') {
+      status = Status::Corruption(at_line(line_no, "negative node id"));
+      break;
+    }
     char* end = nullptr;
     const unsigned long long u = std::strtoull(p, &end, 10);
     if (end == p) {
-      status = Status::Corruption(path + ":" + std::to_string(line_no) +
-                                  ": expected node id");
+      status = Status::Corruption(at_line(line_no, "expected node id"));
       break;
     }
-    p = end;
+    p = skip_space(end);
+    if (*p == '-') {
+      status = Status::Corruption(at_line(line_no, "negative node id"));
+      break;
+    }
     const unsigned long long v = std::strtoull(p, &end, 10);
     if (end == p) {
-      status = Status::Corruption(path + ":" + std::to_string(line_no) +
-                                  ": expected second node id");
+      status = Status::Corruption(
+          at_line(line_no, at_eol(p) ? "truncated edge: expected second "
+                                       "node id"
+                                     : "expected second node id"));
       break;
     }
-    p = end;
-    double w = std::strtod(p, &end);
-    if (end == p) w = 1.0;
+    p = skip_space(end);
+    double w = 1.0;
+    if (!at_eol(p)) {
+      w = std::strtod(p, &end);
+      if (end == p) {
+        status = Status::Corruption(
+            at_line(line_no, "malformed edge weight '" + std::string(p) +
+                                 "' (expected a number)"));
+        break;
+      }
+      p = skip_space(end);
+      if (!at_eol(p)) {
+        status = Status::Corruption(at_line(
+            line_no, "trailing garbage after edge weight: '" +
+                         std::string(p) + "'"));
+        break;
+      }
+    }
     if (u > kInvalidNode - 1 || v > kInvalidNode - 1) {
-      status = Status::OutOfRange(path + ":" + std::to_string(line_no) +
-                                  ": node id exceeds 32-bit range");
+      status = Status::OutOfRange(
+          at_line(line_no, "node id exceeds 32-bit range"));
       break;
     }
     if (options.dedup_duplicates && u != v) {
@@ -54,8 +88,14 @@ Result<Graph> ReadEdgeList(const std::string& path,
       const uint64_t hi = u < v ? v : u;
       if (!seen.insert((lo << 32) | hi).second) continue;
     }
-    status = builder.AddEdge(static_cast<NodeId>(u), static_cast<NodeId>(v), w);
-    if (!status.ok()) break;
+    const Status added =
+        builder.AddEdge(static_cast<NodeId>(u), static_cast<NodeId>(v), w);
+    if (!added.ok()) {
+      // Builder rejections (negative/zero/non-finite weight, endpoint out
+      // of a fixed node range) gain the file:line prefix on the way out.
+      status = Status(added.code(), at_line(line_no, added.message()));
+      break;
+    }
   }
   std::fclose(f);
   FLOS_RETURN_IF_ERROR(status);

@@ -24,7 +24,11 @@ struct EdgeListOptions {
   bool ignore_self_loops = true;
 };
 
-/// Parses an edge list file into a Graph.
+/// Parses an edge list file into a Graph. Parsing is strict: malformed
+/// rows (bad ids, non-numeric or non-positive weights, trailing garbage,
+/// a truncated final line) fail with a `<path>:<line>: ...` Status rather
+/// than being skipped, so a corrupt file can never silently load as a
+/// smaller graph.
 Result<Graph> ReadEdgeList(const std::string& path,
                            const EdgeListOptions& options = {});
 

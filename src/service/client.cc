@@ -1,0 +1,58 @@
+#include "service/client.h"
+
+#include <cstring>
+#include <utility>
+
+namespace flos {
+
+Result<ServiceClient> ServiceClient::Connect(const std::string& host,
+                                             uint16_t port) {
+  FLOS_ASSIGN_OR_RETURN(UniqueFd fd, ConnectTcp(host, port));
+  return ServiceClient(std::move(fd));
+}
+
+Result<QueryResponse> ServiceClient::Query(const QueryRequest& request) {
+  std::string frame;
+  EncodeQueryRequest(request, &frame);
+  FLOS_RETURN_IF_ERROR(SendFrame(frame));
+  return ReceiveResponse();
+}
+
+Result<QueryResponse> ServiceClient::Stats() {
+  std::string frame;
+  EncodeStatsRequest(&frame);
+  FLOS_RETURN_IF_ERROR(SendFrame(frame));
+  return ReceiveResponse();
+}
+
+Result<QueryResponse> ServiceClient::Shutdown() {
+  std::string frame;
+  EncodeShutdownRequest(&frame);
+  FLOS_RETURN_IF_ERROR(SendFrame(frame));
+  return ReceiveResponse();
+}
+
+Status ServiceClient::SendFrame(const std::string& frame) {
+  if (!fd_.valid()) {
+    return Status::FailedPrecondition("client connection is closed");
+  }
+  return SendAll(fd_.get(), frame.data(), frame.size());
+}
+
+Result<QueryResponse> ServiceClient::ReceiveResponse() {
+  if (!fd_.valid()) {
+    return Status::FailedPrecondition("client connection is closed");
+  }
+  uint32_t frame_len = 0;
+  FLOS_RETURN_IF_ERROR(RecvAll(fd_.get(), &frame_len, sizeof(frame_len)));
+  if (frame_len > kDefaultMaxFrameBytes) {
+    return Status::Corruption("response frame exceeds the size cap");
+  }
+  std::string payload(frame_len, '\0');
+  if (frame_len > 0) {
+    FLOS_RETURN_IF_ERROR(RecvAll(fd_.get(), payload.data(), payload.size()));
+  }
+  return DecodeResponse(payload);
+}
+
+}  // namespace flos

@@ -1,0 +1,66 @@
+// Blocking client for the FLoS query service.
+//
+// One TCP connection, one request in flight: Query/Stats/Shutdown each
+// send a frame and block until the matching response arrives, so the
+// unordered-response caveat of the wire protocol (protocol.h) never
+// applies here. Tests that exercise pipelining drive SendFrame /
+// ReceiveResponse directly.
+//
+// The client is move-only and thread-compatible: share connections across
+// threads only with external synchronization, or give each thread its own.
+
+#ifndef FLOS_SERVICE_CLIENT_H_
+#define FLOS_SERVICE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "service/net_io.h"
+#include "service/protocol.h"
+#include "util/status.h"
+
+namespace flos {
+
+/// Synchronous connection to a ServiceServer.
+class ServiceClient {
+ public:
+  /// A default-constructed client is closed; every call returns
+  /// kFailedPrecondition until it is replaced via Connect.
+  ServiceClient() = default;
+
+  /// Blocking TCP connect (IPv4 dotted quad or "localhost").
+  static Result<ServiceClient> Connect(const std::string& host,
+                                       uint16_t port);
+
+  ServiceClient(ServiceClient&&) = default;
+  ServiceClient& operator=(ServiceClient&&) = default;
+
+  /// Sends a QUERY and blocks for the answer. A deadline expiring on the
+  /// server is NOT an error here: the response has status ok with
+  /// `certified == false` — inspect it. Transport failures and server
+  /// rejections (overloaded, invalid argument) surface via the response's
+  /// status field; only wire-level problems fail the Result.
+  Result<QueryResponse> Query(const QueryRequest& request);
+
+  /// Fetches the metrics snapshot (response.message holds the text).
+  Result<QueryResponse> Stats();
+
+  /// Asks the server to shut down; resolves once the server acks.
+  Result<QueryResponse> Shutdown();
+
+  /// Raw frame IO for pipelining tests and custom drivers. `frame` must be
+  /// a complete encoded frame (header + payload).
+  Status SendFrame(const std::string& frame);
+  Result<QueryResponse> ReceiveResponse();
+
+  /// Closes the connection now (also happens on destruction).
+  void Close() { fd_.Close(); }
+
+ private:
+  explicit ServiceClient(UniqueFd fd) : fd_(std::move(fd)) {}
+  UniqueFd fd_;
+};
+
+}  // namespace flos
+
+#endif  // FLOS_SERVICE_CLIENT_H_

@@ -1,0 +1,281 @@
+#include "service/net_io.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace flos {
+
+namespace {
+
+Status ErrnoStatus(const std::string& what) {
+  return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+Status ResolveIpv4(const std::string& host, uint16_t port,
+                   sockaddr_in* addr) {
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(port);
+  const std::string ip = host == "localhost" ? "127.0.0.1" : host;
+  if (inet_pton(AF_INET, ip.c_str(), &addr->sin_addr) != 1) {
+    return Status::InvalidArgument("not an IPv4 address: " + host);
+  }
+  return Status::OK();
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return ErrnoStatus("fcntl(O_NONBLOCK)");
+  }
+  return Status::OK();
+}
+
+void SetNoDelay(int fd) {
+  // Best-effort: small request/response frames must not wait for Nagle.
+  const int one = 1;
+  (void)setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+UniqueFd& UniqueFd::operator=(UniqueFd&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void UniqueFd::Close() {
+  if (fd_ >= 0) {
+    // EINTR on close is unrecoverable by retry (the fd state is
+    // unspecified); accept the kernel's outcome either way.
+    (void)close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<UniqueFd> ListenTcp(const std::string& host, uint16_t port,
+                           int backlog) {
+  sockaddr_in addr;
+  FLOS_RETURN_IF_ERROR(ResolveIpv4(host, port, &addr));
+  UniqueFd fd(socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return ErrnoStatus("socket");
+  const int one = 1;
+  if (setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) <
+      0) {
+    return ErrnoStatus("setsockopt(SO_REUSEADDR)");
+  }
+  if (bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+           sizeof(addr)) < 0) {
+    return ErrnoStatus("bind");
+  }
+  if (listen(fd.get(), backlog) < 0) return ErrnoStatus("listen");
+  FLOS_RETURN_IF_ERROR(SetNonBlocking(fd.get()));
+  return fd;
+}
+
+Result<UniqueFd> ConnectTcp(const std::string& host, uint16_t port) {
+  sockaddr_in addr;
+  FLOS_RETURN_IF_ERROR(ResolveIpv4(host, port, &addr));
+  UniqueFd fd(socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return ErrnoStatus("socket");
+  int rc;
+  do {
+    rc = connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                 sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) return ErrnoStatus("connect");
+  SetNoDelay(fd.get());
+  return fd;
+}
+
+Result<UniqueFd> AcceptConnection(int listen_fd) {
+  int rc;
+  do {
+    rc = accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return UniqueFd();
+    return ErrnoStatus("accept");
+  }
+  UniqueFd fd(rc);
+  FLOS_RETURN_IF_ERROR(SetNonBlocking(fd.get()));
+  SetNoDelay(fd.get());
+  return fd;
+}
+
+Result<uint16_t> LocalPort(int fd) {
+  sockaddr_in addr;
+  socklen_t len = sizeof(addr);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    return ErrnoStatus("getsockname");
+  }
+  return static_cast<uint16_t>(ntohs(addr.sin_port));
+}
+
+Status SendAll(int fd, const void* data, size_t len) {
+  const char* p = static_cast<const char*>(data);
+  while (len > 0) {
+    const ssize_t n = send(fd, p, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("send");
+    }
+    p += n;
+    len -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status RecvAll(int fd, void* data, size_t len) {
+  char* p = static_cast<char*>(data);
+  while (len > 0) {
+    const ssize_t n = recv(fd, p, len, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("recv");
+    }
+    if (n == 0) {
+      return Status::IoError("connection closed mid-message");
+    }
+    p += n;
+    len -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status SendSome(int fd, const void* data, size_t len, size_t* written) {
+  *written = 0;
+  const char* p = static_cast<const char*>(data);
+  while (*written < len) {
+    const ssize_t n =
+        send(fd, p + *written, len - *written, MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return Status::OK();
+      return ErrnoStatus("send");
+    }
+    *written += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status RecvSome(int fd, size_t max_bytes, std::string* out, bool* eof) {
+  *eof = false;
+  char buf[16384];
+  size_t total = 0;
+  while (total < max_bytes) {
+    const size_t want = std::min(sizeof(buf), max_bytes - total);
+    const ssize_t n = recv(fd, buf, want, MSG_DONTWAIT);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return Status::OK();
+      return ErrnoStatus("recv");
+    }
+    if (n == 0) {
+      *eof = true;
+      return Status::OK();
+    }
+    out->append(buf, static_cast<size_t>(n));
+    total += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<Epoll> Epoll::Create() {
+  UniqueFd fd(epoll_create1(EPOLL_CLOEXEC));
+  if (!fd.valid()) return ErrnoStatus("epoll_create1");
+  return Epoll(std::move(fd));
+}
+
+namespace {
+uint32_t EpollMask(bool want_read, bool want_write) {
+  uint32_t mask = 0;
+  if (want_read) mask |= EPOLLIN;
+  if (want_write) mask |= EPOLLOUT;
+  return mask;
+}
+}  // namespace
+
+Status Epoll::Add(int fd, bool want_read, bool want_write) {
+  epoll_event ev{};
+  ev.events = EpollMask(want_read, want_write);
+  ev.data.fd = fd;
+  if (epoll_ctl(fd_.get(), EPOLL_CTL_ADD, fd, &ev) < 0) {
+    return ErrnoStatus("epoll_ctl(ADD)");
+  }
+  return Status::OK();
+}
+
+Status Epoll::Modify(int fd, bool want_read, bool want_write) {
+  epoll_event ev{};
+  ev.events = EpollMask(want_read, want_write);
+  ev.data.fd = fd;
+  if (epoll_ctl(fd_.get(), EPOLL_CTL_MOD, fd, &ev) < 0) {
+    return ErrnoStatus("epoll_ctl(MOD)");
+  }
+  return Status::OK();
+}
+
+Status Epoll::Remove(int fd) {
+  if (epoll_ctl(fd_.get(), EPOLL_CTL_DEL, fd, nullptr) < 0) {
+    return ErrnoStatus("epoll_ctl(DEL)");
+  }
+  return Status::OK();
+}
+
+Status Epoll::Wait(int timeout_ms, std::vector<EpollEvent>* events) {
+  events->clear();
+  epoll_event raw[64];
+  int n;
+  do {
+    n = epoll_wait(fd_.get(), raw, 64, timeout_ms);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) return ErrnoStatus("epoll_wait");
+  events->reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    EpollEvent ev;
+    ev.fd = raw[i].data.fd;
+    ev.readable = (raw[i].events & EPOLLIN) != 0;
+    ev.writable = (raw[i].events & EPOLLOUT) != 0;
+    ev.error = (raw[i].events & (EPOLLERR | EPOLLHUP)) != 0;
+    events->push_back(ev);
+  }
+  return Status::OK();
+}
+
+Result<WakeFd> WakeFd::Create() {
+  UniqueFd fd(eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK));
+  if (!fd.valid()) return ErrnoStatus("eventfd");
+  return WakeFd(std::move(fd));
+}
+
+void WakeFd::Signal() {
+  const uint64_t one = 1;
+  // The counter saturating (EAGAIN) still leaves the fd readable, which is
+  // all a wakeup needs; nothing to handle.
+  (void)write(fd_.get(), &one, sizeof(one));
+}
+
+void WakeFd::Drain() {
+  uint64_t value;
+  (void)read(fd_.get(), &value, sizeof(value));
+}
+
+}  // namespace flos

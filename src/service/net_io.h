@@ -1,0 +1,129 @@
+// RAII socket / epoll / eventfd wrappers for the serving layer.
+//
+// This is the ONLY file pair in the tree allowed to touch the raw POSIX
+// socket API (scripts/lint.py rule `no-raw-sockets`); everything else —
+// server, client, tests — goes through these wrappers, so fd lifetimes,
+// EINTR loops, SIGPIPE suppression, and non-blocking setup live in exactly
+// one place. Errors surface as Status (util/status.h) carrying errno text.
+
+#ifndef FLOS_SERVICE_NET_IO_H_
+#define FLOS_SERVICE_NET_IO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace flos {
+
+/// Owning file descriptor: closes on destruction, move-only. An
+/// default-constructed instance holds no fd (`valid()` is false).
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  ~UniqueFd() { Close(); }
+
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  UniqueFd& operator=(UniqueFd&& other) noexcept;
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// Closes the held fd now (no-op when empty). Idempotent.
+  void Close();
+
+  /// Releases ownership without closing; returns the raw fd.
+  int Release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+/// Creates a TCP listening socket bound to `host:port` (SO_REUSEADDR,
+/// non-blocking, backlog `backlog`). `port` 0 binds an ephemeral port —
+/// read it back with LocalPort.
+Result<UniqueFd> ListenTcp(const std::string& host, uint16_t port,
+                           int backlog);
+
+/// Blocking TCP connect to `host:port` (IPv4 dotted quad or "localhost").
+/// The returned socket is blocking with TCP_NODELAY set — right for the
+/// one-request-in-flight client; the server sets its accepted sockets
+/// non-blocking itself.
+Result<UniqueFd> ConnectTcp(const std::string& host, uint16_t port);
+
+/// Accepts one pending connection on a listening socket; the result is
+/// non-blocking with TCP_NODELAY. Returns an empty (invalid) UniqueFd when
+/// no connection is pending (EAGAIN) — not an error.
+Result<UniqueFd> AcceptConnection(int listen_fd);
+
+/// Port a bound socket actually listens on (for ephemeral binds).
+Result<uint16_t> LocalPort(int fd);
+
+/// Blocking loops (EINTR-safe, SIGPIPE suppressed). SendAll fails if the
+/// peer closes mid-write; RecvAll fails on EOF before `len` bytes.
+Status SendAll(int fd, const void* data, size_t len);
+Status RecvAll(int fd, void* data, size_t len);
+
+/// Non-blocking write for the server's IO thread: writes as much as the
+/// kernel accepts, stores the byte count in `*written`, and reports
+/// "would block" as OK with a short count. Hard errors (peer reset) fail.
+Status SendSome(int fd, const void* data, size_t len, size_t* written);
+
+/// Non-blocking read: appends up to `max_bytes` onto `*out`. Sets `*eof`
+/// when the peer closed cleanly; "would block" reads zero bytes with OK.
+Status RecvSome(int fd, size_t max_bytes, std::string* out, bool* eof);
+
+/// One ready event from Epoll::Wait.
+struct EpollEvent {
+  int fd = -1;
+  bool readable = false;
+  bool writable = false;
+  bool error = false;  ///< EPOLLERR / EPOLLHUP: tear the connection down
+};
+
+/// Thin epoll wrapper (level-triggered).
+class Epoll {
+ public:
+  static Result<Epoll> Create();
+
+  Status Add(int fd, bool want_read, bool want_write);
+  Status Modify(int fd, bool want_read, bool want_write);
+  Status Remove(int fd);
+
+  /// Blocks up to `timeout_ms` (-1 = forever); fills `*events` with the
+  /// ready set (cleared first).
+  Status Wait(int timeout_ms, std::vector<EpollEvent>* events);
+
+ private:
+  explicit Epoll(UniqueFd fd) : fd_(std::move(fd)) {}
+  UniqueFd fd_;
+};
+
+/// Self-pipe replacement: an eventfd the workers signal to wake the IO
+/// thread out of epoll_wait. Signal() is async-signal- and thread-safe.
+class WakeFd {
+ public:
+  static Result<WakeFd> Create();
+
+  int fd() const { return fd_.get(); }
+  void Signal();
+  /// Drains pending signals so level-triggered epoll stops reporting.
+  void Drain();
+
+ private:
+  explicit WakeFd(UniqueFd fd) : fd_(std::move(fd)) {}
+  UniqueFd fd_;
+};
+
+}  // namespace flos
+
+#endif  // FLOS_SERVICE_NET_IO_H_

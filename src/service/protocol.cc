@@ -1,0 +1,219 @@
+#include "service/protocol.h"
+
+#include <cstring>
+
+namespace flos {
+
+namespace {
+
+// Little-endian primitive writers. memcpy of the value bytes is correct on
+// little-endian targets and compiles to single stores; big-endian hosts
+// would need byte swaps here (the only place the wire order is spelled
+// out).
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+void PutU16(std::string* out, uint16_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void PutU32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void PutU64(std::string* out, uint64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void PutF64(std::string* out, double v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+/// Bounds-checked little-endian reader over a payload.
+class Reader {
+ public:
+  explicit Reader(const std::string& data) : data_(data) {}
+
+  bool Read(void* out, size_t n) {
+    if (pos_ + n > data_.size()) return false;
+    std::memcpy(out, data_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  bool ReadU8(uint8_t* v) { return Read(v, sizeof(*v)); }
+  bool ReadU16(uint16_t* v) { return Read(v, sizeof(*v)); }
+  bool ReadU32(uint32_t* v) { return Read(v, sizeof(*v)); }
+  bool ReadU64(uint64_t* v) { return Read(v, sizeof(*v)); }
+  bool ReadF64(double* v) { return Read(v, sizeof(*v)); }
+  bool ReadString(size_t n, std::string* v) {
+    if (pos_ + n > data_.size()) return false;
+    v->assign(data_, pos_, n);
+    pos_ += n;
+    return true;
+  }
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  const std::string& data_;
+  size_t pos_ = 0;
+};
+
+void AppendFrameHeader(std::string* out, size_t payload_start) {
+  const size_t payload = out->size() - payload_start;
+  const uint32_t len = static_cast<uint32_t>(payload);
+  std::memcpy(out->data() + payload_start - kFrameHeaderBytes, &len,
+              sizeof(len));
+}
+
+/// Reserves the length slot, returns the payload start offset.
+size_t BeginFrame(std::string* out) {
+  out->append(kFrameHeaderBytes, '\0');
+  return out->size();
+}
+
+bool ValidMeasure(uint8_t m) {
+  return m <= static_cast<uint8_t>(Measure::kRwr);
+}
+
+}  // namespace
+
+void EncodeQueryRequest(const QueryRequest& request, std::string* out) {
+  const size_t start = BeginFrame(out);
+  PutU8(out, static_cast<uint8_t>(MessageType::kQuery));
+  PutU8(out, static_cast<uint8_t>(request.measure));
+  PutU16(out, 0);  // reserved
+  PutU32(out, request.k);
+  PutU32(out, request.flags);
+  PutU32(out, request.tht_length);
+  PutU64(out, request.query_node);
+  PutU64(out, request.deadline_us);
+  PutF64(out, request.c);
+  AppendFrameHeader(out, start);
+}
+
+void EncodeStatsRequest(std::string* out) {
+  const size_t start = BeginFrame(out);
+  PutU8(out, static_cast<uint8_t>(MessageType::kStats));
+  AppendFrameHeader(out, start);
+}
+
+void EncodeShutdownRequest(std::string* out) {
+  const size_t start = BeginFrame(out);
+  PutU8(out, static_cast<uint8_t>(MessageType::kShutdown));
+  AppendFrameHeader(out, start);
+}
+
+void EncodeResponse(const QueryResponse& response, std::string* out) {
+  const size_t start = BeginFrame(out);
+  PutU8(out, static_cast<uint8_t>(response.type));
+  PutU8(out, static_cast<uint8_t>(response.status));
+  PutU8(out, response.certified ? 1 : 0);
+  PutU8(out, 0);  // reserved
+  PutU32(out, static_cast<uint32_t>(response.topk.size()));
+  PutU64(out, response.visited);
+  PutU64(out, response.wall_us);
+  for (const ResponseEntry& e : response.topk) {
+    PutU64(out, e.node);
+    PutF64(out, e.score);
+    PutF64(out, e.lower);
+    PutF64(out, e.upper);
+  }
+  PutU32(out, static_cast<uint32_t>(response.message.size()));
+  out->append(response.message);
+  AppendFrameHeader(out, start);
+}
+
+Result<MessageType> PeekMessageType(const std::string& payload) {
+  if (payload.empty()) {
+    return Status::InvalidArgument("empty frame payload");
+  }
+  const uint8_t type = static_cast<uint8_t>(payload[0]);
+  switch (type) {
+    case static_cast<uint8_t>(MessageType::kQuery):
+    case static_cast<uint8_t>(MessageType::kStats):
+    case static_cast<uint8_t>(MessageType::kShutdown):
+      return static_cast<MessageType>(type);
+    default:
+      return Status::InvalidArgument("unknown message type " +
+                                     std::to_string(type));
+  }
+}
+
+Result<QueryRequest> DecodeQueryRequest(const std::string& payload) {
+  Reader r(payload);
+  uint8_t type = 0;
+  uint8_t measure = 0;
+  uint16_t reserved = 0;
+  QueryRequest req;
+  uint64_t node = 0;
+  if (!r.ReadU8(&type) || !r.ReadU8(&measure) || !r.ReadU16(&reserved) ||
+      !r.ReadU32(&req.k) || !r.ReadU32(&req.flags) ||
+      !r.ReadU32(&req.tht_length) || !r.ReadU64(&node) ||
+      !r.ReadU64(&req.deadline_us) || !r.ReadF64(&req.c)) {
+    return Status::InvalidArgument("truncated QUERY payload");
+  }
+  if (type != static_cast<uint8_t>(MessageType::kQuery)) {
+    return Status::InvalidArgument("payload is not a QUERY frame");
+  }
+  if (!ValidMeasure(measure)) {
+    return Status::InvalidArgument("unknown measure id " +
+                                   std::to_string(measure));
+  }
+  if (r.remaining() != 0) {
+    return Status::InvalidArgument("trailing bytes after QUERY payload");
+  }
+  if (node >= kInvalidNode) {
+    return Status::OutOfRange("query node exceeds the node id range");
+  }
+  req.measure = static_cast<Measure>(measure);
+  req.query_node = static_cast<NodeId>(node);
+  return req;
+}
+
+Result<QueryResponse> DecodeResponse(const std::string& payload) {
+  Reader r(payload);
+  uint8_t type = 0;
+  uint8_t status = 0;
+  uint8_t certified = 0;
+  uint8_t reserved = 0;
+  uint32_t count = 0;
+  QueryResponse resp;
+  if (!r.ReadU8(&type) || !r.ReadU8(&status) || !r.ReadU8(&certified) ||
+      !r.ReadU8(&reserved) || !r.ReadU32(&count) ||
+      !r.ReadU64(&resp.visited) || !r.ReadU64(&resp.wall_us)) {
+    return Status::InvalidArgument("truncated response payload");
+  }
+  const auto peek = PeekMessageType(payload);
+  if (!peek.ok()) return peek.status();
+  resp.type = *peek;
+  if (status > static_cast<uint8_t>(StatusCode::kDeadlineExceeded)) {
+    return Status::InvalidArgument("unknown status code in response");
+  }
+  resp.status = static_cast<StatusCode>(status);
+  resp.certified = certified != 0;
+  // 32 bytes per row; the cap protects against a hostile length field.
+  if (count > r.remaining() / 32) {
+    return Status::InvalidArgument("response row count exceeds payload");
+  }
+  resp.topk.resize(count);
+  for (ResponseEntry& e : resp.topk) {
+    if (!r.ReadU64(&e.node) || !r.ReadF64(&e.score) ||
+        !r.ReadF64(&e.lower) || !r.ReadF64(&e.upper)) {
+      return Status::InvalidArgument("truncated response rows");
+    }
+  }
+  uint32_t msg_len = 0;
+  if (!r.ReadU32(&msg_len) || msg_len != r.remaining() ||
+      !r.ReadString(msg_len, &resp.message)) {
+    return Status::InvalidArgument("malformed response message field");
+  }
+  return resp;
+}
+
+QueryResponse MakeErrorResponse(MessageType type, const Status& status) {
+  QueryResponse resp;
+  resp.type = type;
+  resp.status = status.code();
+  resp.certified = false;
+  resp.message = status.message();
+  return resp;
+}
+
+}  // namespace flos

@@ -1,0 +1,115 @@
+// Wire protocol of the FLoS k-NN query service.
+//
+// Framing: every message is a little-endian `uint32 payload_length`
+// followed by exactly that many payload bytes. Payloads start with a
+// one-byte message type. Frames larger than a server-configured cap are a
+// protocol violation and close the connection.
+//
+// Request payload layouts (all integers little-endian, doubles IEEE-754
+// little-endian via bit pattern):
+//
+//   QUERY (type 1):
+//     u8 type  u8 measure  u16 reserved  u32 k  u32 flags  u32 tht_length
+//     u64 query_node  u64 deadline_us  f64 c
+//   STATS (type 2), SHUTDOWN (type 3): u8 type only.
+//
+// Response payload (one layout for every request type):
+//     u8 type (echoes the request)  u8 status (StatusCode)  u8 certified
+//     u8 reserved  u32 topk_count  u64 visited  u64 wall_us
+//     topk_count * { u64 node  f64 score  f64 lower  f64 upper }
+//     u32 message_length  message bytes (error text, or STATS text)
+//
+// `deadline_us` is RELATIVE to the instant the server dequeues the frame
+// (0 = no deadline). A deadline expiring mid-search is NOT an error: the
+// response carries status ok, `certified = 0`, and the current top-k with
+// its still-rigorous lower/upper bounds — the paper's anytime guarantee
+// (monotone no-local-optimum bounds, Theorems 2-5) made visible on the
+// wire. `status = overloaded` means admission control rejected the request
+// before any work; back off and retry.
+//
+// Pipelining: a client may have several QUERY frames in flight on one
+// connection, but responses complete in whatever order the workers finish
+// and carry no request ids — clients that pipeline must treat responses as
+// unordered. ServiceClient (client.h) keeps exactly one request in flight.
+
+#ifndef FLOS_SERVICE_PROTOCOL_H_
+#define FLOS_SERVICE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "measures/measure.h"
+#include "util/status.h"
+
+namespace flos {
+
+/// Message type tags (first payload byte).
+enum class MessageType : uint8_t {
+  kQuery = 1,
+  kStats = 2,
+  kShutdown = 3,
+};
+
+/// A top-k proximity query as it travels over the wire.
+struct QueryRequest {
+  Measure measure = Measure::kPhp;
+  NodeId query_node = 0;
+  uint32_t k = 10;
+  /// Microseconds the server may spend before returning its current
+  /// anytime answer; 0 = run to full certification.
+  uint64_t deadline_us = 0;
+  /// Reserved for future use (carried verbatim; servers ignore it today).
+  uint32_t flags = 0;
+  uint32_t tht_length = 10;
+  double c = 0.5;
+};
+
+/// One certified result row.
+struct ResponseEntry {
+  uint64_t node = 0;
+  double score = 0;
+  double lower = 0;
+  double upper = 0;
+};
+
+/// A response frame in decoded form (shared by QUERY/STATS/SHUTDOWN).
+struct QueryResponse {
+  MessageType type = MessageType::kQuery;
+  StatusCode status = StatusCode::kOk;
+  /// True iff the top-k is exact (bounds certified it before any deadline).
+  bool certified = false;
+  uint64_t visited = 0;
+  uint64_t wall_us = 0;
+  std::vector<ResponseEntry> topk;
+  /// Error text when status != ok; the metrics dump for STATS.
+  std::string message;
+};
+
+/// Frame sizing shared by server and client.
+inline constexpr size_t kFrameHeaderBytes = 4;
+inline constexpr size_t kDefaultMaxFrameBytes = 1 << 20;
+
+/// Serializes a full frame (header + payload) onto `*out`.
+void EncodeQueryRequest(const QueryRequest& request, std::string* out);
+void EncodeStatsRequest(std::string* out);
+void EncodeShutdownRequest(std::string* out);
+void EncodeResponse(const QueryResponse& response, std::string* out);
+
+/// Parses one request payload (the bytes after the length header).
+/// `payload` must be a complete frame payload.
+Result<QueryRequest> DecodeQueryRequest(const std::string& payload);
+
+/// Reads the type byte of a payload (kInvalidArgument on empty/unknown).
+Result<MessageType> PeekMessageType(const std::string& payload);
+
+/// Parses a response payload.
+Result<QueryResponse> DecodeResponse(const std::string& payload);
+
+/// Convenience for one-line error responses.
+QueryResponse MakeErrorResponse(MessageType type, const Status& status);
+
+}  // namespace flos
+
+#endif  // FLOS_SERVICE_PROTOCOL_H_

@@ -1,0 +1,163 @@
+// Networked FLoS k-NN query service.
+//
+// Threading model: one epoll IO thread owns every socket (accept, frame
+// reassembly, all writes); `num_workers` worker threads run the queries on
+// leased engine sessions (session_pool.h). The two sides meet at a BOUNDED
+// request queue — when it is full, the IO thread answers `overloaded`
+// immediately instead of queuing (admission control), so queue depth, and
+// with it tail latency, stays capped no matter the offered load.
+//
+// Deadlines: a QUERY's `deadline_us` (relative, 0 = none) is anchored at
+// DEQUEUE time and handed to the engine as an absolute steady_clock
+// deadline. An expired query is still a useful answer: status ok,
+// `certified = 0`, and the current top-k with rigorous lower/upper bounds
+// (FLoS's anytime guarantee — see FlosOptions::deadline).
+//
+// STATS and SHUTDOWN are served on the IO thread (no queue, no engine):
+// STATS returns the metrics registry text; SHUTDOWN (when enabled) acks,
+// then unblocks WaitForShutdown so the owning thread can call Shutdown().
+
+#ifndef FLOS_SERVICE_SERVER_H_
+#define FLOS_SERVICE_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+#include "service/metrics.h"
+#include "service/net_io.h"
+#include "service/protocol.h"
+#include "service/session_pool.h"
+#include "util/status.h"
+
+namespace flos {
+
+/// Server configuration.
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 binds an ephemeral port; read it back with ServiceServer::port().
+  uint16_t port = 0;
+  /// Query worker threads; also the engine-session pool size.
+  int num_workers = 4;
+  /// Admission-control cap: QUERY frames waiting for a worker. Beyond this
+  /// the server answers `overloaded` without queuing.
+  size_t max_queue_depth = 256;
+  /// Frames larger than this are a protocol violation (connection closed).
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Whether a SHUTDOWN frame from a client unblocks WaitForShutdown.
+  bool allow_remote_shutdown = true;
+  /// Serving cap on k (bounds the response frame size).
+  uint32_t max_k = 10000;
+};
+
+/// The query server. Start() spawns the threads; Shutdown() (or the
+/// destructor) joins them. `graph` must stay alive and immutable for the
+/// server's lifetime.
+class ServiceServer {
+ public:
+  ServiceServer(const Graph* graph, ServerOptions options);
+  ~ServiceServer();
+
+  ServiceServer(const ServiceServer&) = delete;
+  ServiceServer& operator=(const ServiceServer&) = delete;
+
+  /// Binds, listens, and spawns the IO + worker threads.
+  Status Start();
+
+  /// Port actually bound (valid after Start; resolves ephemeral binds).
+  uint16_t port() const { return port_; }
+
+  /// Blocks until a client sends SHUTDOWN or Shutdown() is called.
+  void WaitForShutdown();
+
+  /// Stops accepting, drains threads, closes every connection. Idempotent;
+  /// safe to call whether or not Start succeeded.
+  void Shutdown();
+
+  /// Live metrics (readable concurrently with serving).
+  const ServiceMetrics& metrics() const { return metrics_; }
+
+ private:
+  /// Per-connection state. The IO thread owns the socket and the read
+  /// side; workers only append to `outbox` (under `out_mu`) and signal the
+  /// wake fd. Held by shared_ptr so a worker finishing after a disconnect
+  /// writes into a harmlessly orphaned buffer instead of a dangling one.
+  struct Connection {
+    UniqueFd fd;
+    std::string inbuf;        // IO thread only
+    std::mutex out_mu;
+    std::string outbox;       // guarded by out_mu
+    bool epoll_out = false;   // IO thread only: EPOLLOUT currently armed
+  };
+
+  /// One admitted QUERY waiting for a worker.
+  struct PendingQuery {
+    std::shared_ptr<Connection> conn;
+    std::string payload;
+    std::chrono::steady_clock::time_point accept_time;
+  };
+
+  void IoLoop();
+  void WorkerLoop();
+
+  void AcceptAll();
+  /// Reads, reassembles, and dispatches frames; false = close connection.
+  bool HandleReadable(const std::shared_ptr<Connection>& conn);
+  /// Dispatches one complete frame payload; false = close connection.
+  bool HandleFrame(const std::shared_ptr<Connection>& conn,
+                   std::string payload);
+  void HandleQueryFrame(const std::shared_ptr<Connection>& conn,
+                        std::string payload);
+  /// Runs one admitted query on a leased engine and enqueues the response.
+  void ServeQuery(FlosEngine* engine, const PendingQuery& work);
+
+  /// Encodes `response` onto the connection's outbox. `from_io_thread`
+  /// lets the IO thread flush immediately instead of signaling itself.
+  void EnqueueResponse(const std::shared_ptr<Connection>& conn,
+                       const QueryResponse& response, bool from_io_thread);
+  /// Writes as much pending outbox as the kernel takes; arms/disarms
+  /// EPOLLOUT accordingly. IO thread only. False = connection broken.
+  bool FlushOutbox(const std::shared_ptr<Connection>& conn);
+  void CloseConnection(int fd);
+
+  const Graph* graph_;
+  ServerOptions options_;
+  ServiceMetrics metrics_;
+
+  UniqueFd listen_fd_;
+  uint16_t port_ = 0;
+  std::unique_ptr<Epoll> epoll_;
+  std::unique_ptr<WakeFd> wake_;
+  std::unique_ptr<EngineSessionPool> sessions_;
+
+  // IO-thread-only connection table.
+  std::unordered_map<int, std::shared_ptr<Connection>> connections_;
+
+  // Bounded request queue (admission control).
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<PendingQuery> queue_;  // guarded by queue_mu_
+
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+  std::thread io_thread_;
+  std::vector<std::thread> workers_;
+
+  // WaitForShutdown plumbing.
+  std::mutex shutdown_mu_;
+  std::condition_variable shutdown_cv_;
+  bool shutdown_requested_ = false;  // guarded by shutdown_mu_
+};
+
+}  // namespace flos
+
+#endif  // FLOS_SERVICE_SERVER_H_

@@ -1,0 +1,66 @@
+#include "service/session_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace flos {
+
+EngineSessionPool::EngineSessionPool(const Graph* graph, size_t capacity) {
+  const size_t n = std::max<size_t>(1, capacity);
+  sessions_.reserve(n);
+  free_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    sessions_.push_back(std::make_unique<Session>(graph));
+    free_.push_back(i);
+  }
+}
+
+EngineSessionPool::Lease EngineSessionPool::Acquire() {
+  std::unique_lock<std::mutex> lock(mu_);
+  available_.wait(lock, [this] { return shutdown_ || !free_.empty(); });
+  if (shutdown_) return Lease();
+  const size_t index = free_.back();
+  free_.pop_back();
+  return Lease(this, index);
+}
+
+void EngineSessionPool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  available_.notify_all();
+}
+
+void EngineSessionPool::Return(size_t index) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    free_.push_back(index);
+  }
+  available_.notify_one();
+}
+
+EngineSessionPool::Lease& EngineSessionPool::Lease::operator=(
+    Lease&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    index_ = other.index_;
+    other.pool_ = nullptr;
+  }
+  return *this;
+}
+
+FlosEngine* EngineSessionPool::Lease::engine() const {
+  return pool_ == nullptr ? nullptr
+                          : &pool_->sessions_[index_]->engine;
+}
+
+void EngineSessionPool::Lease::Release() {
+  if (pool_ != nullptr) {
+    pool_->Return(index_);
+    pool_ = nullptr;
+  }
+}
+
+}  // namespace flos

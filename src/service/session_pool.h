@@ -1,0 +1,98 @@
+// Pool of reusable FLoS query sessions for the serving layer.
+//
+// A "session" is the pairing the GraphAccessor thread-safety contract
+// requires for concurrent serving: one InMemoryAccessor plus one
+// FlosEngine, both private to whichever thread holds the lease, over one
+// shared immutable Graph. Engines keep their workspaces warm across
+// queries (zero steady-state allocation, PR 1), so pooling them — instead
+// of constructing per request — is what makes high-QPS serving cheap.
+//
+// Acquire blocks until a session frees up (or the pool is shut down), so
+// the number of concurrently running queries can never exceed the pool
+// capacity; the server sizes the pool to its worker count, making Acquire
+// effectively non-blocking there.
+
+#ifndef FLOS_SERVICE_SESSION_POOL_H_
+#define FLOS_SERVICE_SESSION_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/flos_engine.h"
+#include "graph/accessor.h"
+#include "graph/graph.h"
+
+namespace flos {
+
+/// Fixed-capacity pool of {accessor, engine} sessions over one graph.
+class EngineSessionPool {
+ public:
+  /// One warm session per slot. `graph` must stay immutable and outlive
+  /// the pool.
+  EngineSessionPool(const Graph* graph, size_t capacity);
+
+  EngineSessionPool(const EngineSessionPool&) = delete;
+  EngineSessionPool& operator=(const EngineSessionPool&) = delete;
+
+  class Lease;
+
+  /// Blocks until a session is free; returns an empty lease (engine() ==
+  /// nullptr) once Shutdown has been called.
+  Lease Acquire();
+
+  /// Wakes every blocked Acquire with an empty lease and makes future
+  /// Acquires return empty immediately. Outstanding leases stay valid
+  /// until released.
+  void Shutdown();
+
+  size_t capacity() const { return sessions_.size(); }
+
+  /// RAII session lease; returns the session to the pool on destruction.
+  class Lease {
+   public:
+    Lease() = default;
+    ~Lease() { Release(); }
+    Lease(Lease&& other) noexcept
+        : pool_(other.pool_), index_(other.index_) {
+      other.pool_ = nullptr;
+    }
+    Lease& operator=(Lease&& other) noexcept;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    /// nullptr iff the lease is empty (pool shut down).
+    FlosEngine* engine() const;
+
+    void Release();
+
+   private:
+    friend class EngineSessionPool;
+    Lease(EngineSessionPool* pool, size_t index)
+        : pool_(pool), index_(index) {}
+    EngineSessionPool* pool_ = nullptr;
+    size_t index_ = 0;
+  };
+
+ private:
+  struct Session {
+    explicit Session(const Graph* graph)
+        : accessor(graph), engine(&accessor) {}
+    InMemoryAccessor accessor;
+    FlosEngine engine;
+  };
+
+  void Return(size_t index);
+
+  std::vector<std::unique_ptr<Session>> sessions_;
+  std::mutex mu_;
+  std::condition_variable available_;
+  std::vector<size_t> free_;  // indexes of idle sessions (guarded by mu_)
+  bool shutdown_ = false;     // guarded by mu_
+};
+
+}  // namespace flos
+
+#endif  // FLOS_SERVICE_SESSION_POOL_H_

@@ -22,6 +22,10 @@ const char* StatusCodeName(StatusCode code) {
       return "resource_exhausted";
     case StatusCode::kInternal:
       return "internal";
+    case StatusCode::kOverloaded:
+      return "overloaded";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline_exceeded";
   }
   return "unknown";
 }

@@ -26,6 +26,13 @@ enum class StatusCode {
   kCorruption,
   kResourceExhausted,
   kInternal,
+  /// A serving layer refused the request because its bounded queue is full
+  /// (admission control); the client should back off and retry.
+  kOverloaded,
+  /// The request's deadline passed before any work could start. Mid-search
+  /// expiry is NOT an error: the engine returns its current certified
+  /// bounds with stats.deadline_expired set instead.
+  kDeadlineExceeded,
 };
 
 /// Returns a stable lowercase name for `code` (e.g., "invalid_argument").
@@ -67,6 +74,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

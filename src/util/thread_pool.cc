@@ -13,22 +13,33 @@ ThreadPool::ThreadPool(int num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
   {
     std::unique_lock<std::mutex> lock(mu_);
     shutdown_ = true;
   }
   work_ready_.notify_all();
-  for (std::thread& w : workers_) w.join();
+  // Workers exit only once the queue is drained, so every task submitted
+  // before Shutdown — queued or in flight — still runs to completion.
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
+Status ThreadPool::Submit(std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lock(mu_);
+    if (shutdown_) {
+      return Status::FailedPrecondition(
+          "ThreadPool::Submit after Shutdown: task rejected");
+    }
     queue_.push_back(std::move(task));
     ++pending_;
   }
   work_ready_.notify_one();
+  return Status::OK();
 }
 
 void ThreadPool::Wait() {

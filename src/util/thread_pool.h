@@ -18,27 +18,35 @@
 #include <thread>
 #include <vector>
 
+#include "util/status.h"
+
 namespace flos {
 
 /// Fixed pool of worker threads consuming submitted tasks FIFO.
-/// Submit/Wait may be called from any single controlling thread; tasks
-/// themselves must not Submit or Wait (no nested scheduling).
+/// Submit/Wait/Shutdown may be called from any single controlling thread;
+/// tasks themselves must not Submit or Wait (no nested scheduling).
 class ThreadPool {
  public:
   /// Starts `num_threads` workers (clamped to >= 1).
   explicit ThreadPool(int num_threads);
 
-  /// Drains outstanding tasks (as if by Wait) and joins the workers.
+  /// Drains outstanding tasks (as if by Shutdown) and joins the workers.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task. Never blocks (unbounded queue).
-  void Submit(std::function<void()> task);
+  /// Enqueues a task. Never blocks (unbounded queue). After Shutdown has
+  /// begun the task is rejected with kFailedPrecondition and never runs.
+  Status Submit(std::function<void()> task);
 
   /// Blocks until every submitted task has finished running.
   void Wait();
+
+  /// Graceful shutdown: stops accepting new tasks, lets every already
+  /// submitted task (queued or in flight) run to completion, then joins
+  /// the workers. Idempotent; the destructor calls it implicitly.
+  void Shutdown();
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 

@@ -1,0 +1,107 @@
+// Unit coverage for the service metrics layer (service/metrics.h):
+// counter/gauge semantics, histogram bucketing, conservative percentile
+// upper bounds, and the registry's stable text rendering.
+
+#include "service/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace flos {
+namespace {
+
+TEST(CounterTest, IncrementsAcrossThreads) {
+  Counter c;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < 1000; ++i) c.Increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), 4000u);
+}
+
+TEST(GaugeTest, TracksPeakValue) {
+  Gauge g;
+  g.Add(3);
+  g.Add(4);   // 7 — the peak
+  g.Add(-5);  // 2
+  g.Set(1);
+  EXPECT_EQ(g.value(), 1);
+  EXPECT_EQ(g.max_value(), 7)
+      << "peak must survive later decreases (bounded-queue proof)";
+}
+
+TEST(LatencyHistogramTest, BucketsAndStats) {
+  LatencyHistogram h;
+  h.Record(1);
+  h.Record(3);      // bucket with bound 5
+  h.Record(999);    // bucket with bound 1000
+  h.Record(123456789);  // overflow
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum_micros(), 1u + 3u + 999u + 123456789u);
+  const auto snapshot = h.Snapshot();
+  const auto& bounds = LatencyHistogram::BucketBounds();
+  ASSERT_EQ(snapshot.size(), bounds.size() + 1);
+  EXPECT_EQ(snapshot.back(), 1u) << "overflow bucket";
+  uint64_t total = 0;
+  for (const uint64_t n : snapshot) total += n;
+  EXPECT_EQ(total, 4u);
+}
+
+TEST(LatencyHistogramTest, PercentileIsConservativeUpperBound) {
+  LatencyHistogram h;
+  // 90 fast samples (~10us) and 10 slow ones (~40ms).
+  for (int i = 0; i < 90; ++i) h.Record(9);
+  for (int i = 0; i < 10; ++i) h.Record(40000);
+  EXPECT_EQ(h.PercentileUpperBound(0.50), 10u);
+  EXPECT_EQ(h.PercentileUpperBound(0.90), 10u);
+  EXPECT_EQ(h.PercentileUpperBound(0.95), 50000u);
+  EXPECT_EQ(h.PercentileUpperBound(0.99), 50000u);
+  EXPECT_GE(h.PercentileUpperBound(1.0), 50000u);
+}
+
+TEST(LatencyHistogramTest, EmptyHistogramReportsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.PercentileUpperBound(0.99), 0u);
+}
+
+TEST(MetricsRegistryTest, RendersStableText) {
+  Counter c;
+  Gauge g;
+  LatencyHistogram h;
+  c.Increment(7);
+  g.Set(3);
+  h.Record(100);
+  MetricsRegistry registry;
+  registry.RegisterCounter("requests", &c);
+  registry.RegisterGauge("depth", &g);
+  registry.RegisterHistogram("latency", &h);
+  const std::string text = registry.RenderText();
+  EXPECT_NE(text.find("counter requests 7\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("gauge depth 3 max 3\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("hist latency count 1 "), std::string::npos) << text;
+  EXPECT_NE(text.find("p99_us"), std::string::npos) << text;
+}
+
+TEST(ServiceMetricsTest, RegistersTheFullMetricSet) {
+  ServiceMetrics metrics;
+  metrics.requests_accepted.Increment();
+  metrics.queue_depth.Set(5);
+  metrics.serve_us.Record(42);
+  const std::string text = metrics.registry.RenderText();
+  EXPECT_NE(text.find("counter requests_accepted 1"), std::string::npos);
+  EXPECT_NE(text.find("counter requests_rejected_overload 0"),
+            std::string::npos);
+  EXPECT_NE(text.find("gauge queue_depth 5 max 5"), std::string::npos);
+  EXPECT_NE(text.find("hist serve_us count 1"), std::string::npos);
+  EXPECT_NE(text.find("counter deadline_expiries 0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace flos

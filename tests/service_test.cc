@@ -1,0 +1,321 @@
+// End-to-end coverage of the networked query service over loopback:
+// protocol round trips, answer parity with the in-process engine for every
+// measure, anytime-deadline semantics (uncertified answers whose bounds
+// still sandwich the exact values), admission control under pipelined
+// overload, malformed-frame handling, STATS, and remote shutdown.
+
+#include "service/server.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/flos.h"
+#include "core/flos_engine.h"
+#include "measures/exact.h"
+#include "service/client.h"
+#include "service/protocol.h"
+#include "service/session_pool.h"
+#include "tests/test_util.h"
+
+namespace flos {
+namespace {
+
+using flos::testing::ValueOrDie;
+
+Graph TestGraph(uint64_t nodes = 2000, uint64_t seed = 7) {
+  GeneratorOptions options;
+  options.num_nodes = nodes;
+  options.num_edges = nodes * 5;
+  options.seed = seed;
+  return ValueOrDie(GenerateConnected(options));
+}
+
+TEST(ProtocolTest, QueryRequestRoundTrip) {
+  QueryRequest req;
+  req.measure = Measure::kRwr;
+  req.query_node = 1234567;
+  req.k = 25;
+  req.deadline_us = 500;
+  req.tht_length = 12;
+  req.c = 0.75;
+  std::string frame;
+  EncodeQueryRequest(req, &frame);
+  ASSERT_GE(frame.size(), kFrameHeaderBytes);
+  uint32_t len = 0;
+  std::memcpy(&len, frame.data(), sizeof(len));
+  ASSERT_EQ(frame.size(), kFrameHeaderBytes + len);
+  const QueryRequest back =
+      ValueOrDie(DecodeQueryRequest(frame.substr(kFrameHeaderBytes)));
+  EXPECT_EQ(back.measure, Measure::kRwr);
+  EXPECT_EQ(back.query_node, 1234567u);
+  EXPECT_EQ(back.k, 25u);
+  EXPECT_EQ(back.deadline_us, 500u);
+  EXPECT_EQ(back.tht_length, 12u);
+  EXPECT_DOUBLE_EQ(back.c, 0.75);
+}
+
+TEST(ProtocolTest, ResponseRoundTrip) {
+  QueryResponse resp;
+  resp.type = MessageType::kQuery;
+  resp.status = StatusCode::kOk;
+  resp.certified = true;
+  resp.visited = 321;
+  resp.wall_us = 4567;
+  resp.topk.push_back({42, 0.5, 0.49, 0.51});
+  resp.topk.push_back({7, 0.25, 0.25, 0.25});
+  resp.message = "note";
+  std::string frame;
+  EncodeResponse(resp, &frame);
+  const QueryResponse back =
+      ValueOrDie(DecodeResponse(frame.substr(kFrameHeaderBytes)));
+  EXPECT_EQ(back.status, StatusCode::kOk);
+  EXPECT_TRUE(back.certified);
+  EXPECT_EQ(back.visited, 321u);
+  EXPECT_EQ(back.wall_us, 4567u);
+  ASSERT_EQ(back.topk.size(), 2u);
+  EXPECT_EQ(back.topk[0].node, 42u);
+  EXPECT_DOUBLE_EQ(back.topk[0].score, 0.5);
+  EXPECT_EQ(back.message, "note");
+}
+
+TEST(ProtocolTest, RejectsMalformedPayloads) {
+  EXPECT_FALSE(DecodeQueryRequest("").ok());
+  EXPECT_FALSE(DecodeQueryRequest("\x01short").ok());
+  EXPECT_FALSE(PeekMessageType(std::string(1, '\x09')).ok());
+  // Valid QUERY with trailing junk must be rejected, not silently read.
+  QueryRequest req;
+  std::string frame;
+  EncodeQueryRequest(req, &frame);
+  std::string payload = frame.substr(kFrameHeaderBytes) + "junk";
+  EXPECT_FALSE(DecodeQueryRequest(payload).ok());
+}
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  void StartServer(ServerOptions options = {}) {
+    graph_ = TestGraph();
+    server_ = std::make_unique<ServiceServer>(&graph_, options);
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  ServiceClient Connect() {
+    return ValueOrDie(ServiceClient::Connect("127.0.0.1", server_->port()));
+  }
+
+  Graph graph_;
+  std::unique_ptr<ServiceServer> server_;
+};
+
+TEST_F(ServiceTest, MatchesInProcessEngineForEveryMeasure) {
+  StartServer();
+  ServiceClient client = Connect();
+  for (const Measure measure : {Measure::kPhp, Measure::kEi, Measure::kDht,
+                                Measure::kTht, Measure::kRwr}) {
+    QueryRequest req;
+    req.measure = measure;
+    req.query_node = 17;
+    req.k = 10;
+    const QueryResponse resp = ValueOrDie(client.Query(req));
+    ASSERT_EQ(resp.status, StatusCode::kOk)
+        << MeasureName(measure) << ": " << resp.message;
+    EXPECT_TRUE(resp.certified) << MeasureName(measure);
+
+    FlosOptions opts;
+    opts.measure = measure;
+    const FlosResult local =
+        ValueOrDie(FlosTopK(graph_, 17, 10, opts));
+    ASSERT_EQ(resp.topk.size(), local.topk.size()) << MeasureName(measure);
+    for (size_t i = 0; i < local.topk.size(); ++i) {
+      EXPECT_EQ(resp.topk[i].node, local.topk[i].node)
+          << MeasureName(measure) << " rank " << i;
+      EXPECT_DOUBLE_EQ(resp.topk[i].score, local.topk[i].score)
+          << MeasureName(measure) << " rank " << i;
+    }
+  }
+}
+
+TEST_F(ServiceTest, DeadlineExpiryReturnsRigorousUncertifiedBounds) {
+  StartServer();
+  ServiceClient client = Connect();
+  QueryRequest req;
+  req.measure = Measure::kPhp;
+  req.query_node = 3;
+  req.k = 10;
+  req.deadline_us = 1;  // expires during the first expansion
+  const QueryResponse resp = ValueOrDie(client.Query(req));
+  ASSERT_EQ(resp.status, StatusCode::kOk) << resp.message;
+  EXPECT_FALSE(resp.certified)
+      << "a 1us deadline cannot certify a 2000-node query";
+  ASSERT_FALSE(resp.topk.empty())
+      << "anytime answers must include the partial top-k";
+
+  // The paper's guarantee: even a cut-short answer carries bounds that
+  // sandwich the exact proximity of every returned node.
+  const std::vector<double> exact =
+      ValueOrDie(ExactPhp(graph_, 3, 0.5));
+  for (const ResponseEntry& e : resp.topk) {
+    ASSERT_LT(e.node, exact.size());
+    EXPECT_LE(e.lower, exact[e.node] + 1e-9)
+        << "node " << e.node << " lower bound not rigorous";
+    EXPECT_GE(e.upper, exact[e.node] - 1e-9)
+        << "node " << e.node << " upper bound not rigorous";
+    EXPECT_LE(e.lower, e.upper);
+  }
+  EXPECT_GE(server_->metrics().deadline_expiries.value(), 1u);
+}
+
+TEST_F(ServiceTest, OverloadRejectsBeyondBoundedQueue) {
+  ServerOptions options;
+  options.num_workers = 1;
+  options.max_queue_depth = 2;
+  StartServer(options);
+  ServiceClient client = Connect();
+
+  // Pipeline far more expensive (certified, no deadline) queries than the
+  // queue admits. Responses are unordered; count statuses.
+  const int kBurst = 40;
+  for (int i = 0; i < kBurst; ++i) {
+    QueryRequest req;
+    req.measure = Measure::kPhp;
+    req.query_node = static_cast<NodeId>(i % 100);
+    req.k = 20;
+    std::string frame;
+    EncodeQueryRequest(req, &frame);
+    ASSERT_TRUE(client.SendFrame(frame).ok());
+  }
+  int ok = 0, overloaded = 0, other = 0;
+  for (int i = 0; i < kBurst; ++i) {
+    const QueryResponse resp = ValueOrDie(client.ReceiveResponse());
+    if (resp.status == StatusCode::kOk) {
+      ++ok;
+    } else if (resp.status == StatusCode::kOverloaded) {
+      ++overloaded;
+    } else {
+      ++other;
+    }
+  }
+  EXPECT_EQ(other, 0);
+  EXPECT_EQ(ok + overloaded, kBurst);
+  EXPECT_GT(overloaded, 0) << "burst of 40 must overflow a queue of 2";
+  EXPECT_GT(ok, 0) << "admitted queries must still be answered";
+  // The bounded-queue invariant, observed rather than assumed.
+  EXPECT_LE(server_->metrics().queue_depth.max_value(), 2);
+  EXPECT_EQ(
+      server_->metrics().requests_rejected_overload.value(),
+      static_cast<uint64_t>(overloaded));
+}
+
+TEST_F(ServiceTest, MalformedFramesGetErrorResponses) {
+  StartServer();
+  ServiceClient client = Connect();
+
+  // Unknown message type: framing intact, so the server answers and keeps
+  // the connection.
+  std::string bogus;
+  const uint32_t len = 1;
+  bogus.append(reinterpret_cast<const char*>(&len), sizeof(len));
+  bogus.push_back('\x09');
+  ASSERT_TRUE(client.SendFrame(bogus).ok());
+  QueryResponse resp = ValueOrDie(client.ReceiveResponse());
+  EXPECT_EQ(resp.status, StatusCode::kInvalidArgument);
+
+  // Truncated QUERY payload: decoded (and rejected) by the worker.
+  std::string stub;
+  const uint32_t stub_len = 3;
+  stub.append(reinterpret_cast<const char*>(&stub_len), sizeof(stub_len));
+  stub.push_back(static_cast<char>(MessageType::kQuery));
+  stub.append("ab");
+  ASSERT_TRUE(client.SendFrame(stub).ok());
+  resp = ValueOrDie(client.ReceiveResponse());
+  EXPECT_EQ(resp.status, StatusCode::kInvalidArgument);
+
+  // The connection survived both: a well-formed query still works.
+  QueryRequest req;
+  req.query_node = 1;
+  req.k = 5;
+  resp = ValueOrDie(client.Query(req));
+  EXPECT_EQ(resp.status, StatusCode::kOk) << resp.message;
+  EXPECT_GE(server_->metrics().requests_malformed.value(), 2u);
+}
+
+TEST_F(ServiceTest, InvalidQueryParametersAreRejected) {
+  StartServer();
+  ServiceClient client = Connect();
+  QueryRequest req;
+  req.query_node = static_cast<NodeId>(graph_.NumNodes() + 5);
+  req.k = 10;
+  QueryResponse resp = ValueOrDie(client.Query(req));
+  EXPECT_NE(resp.status, StatusCode::kOk) << "out-of-range node must fail";
+  req.query_node = 1;
+  req.k = 0;
+  resp = ValueOrDie(client.Query(req));
+  EXPECT_EQ(resp.status, StatusCode::kInvalidArgument);
+  req.k = 10;
+  req.c = 1.5;
+  resp = ValueOrDie(client.Query(req));
+  EXPECT_EQ(resp.status, StatusCode::kInvalidArgument);
+}
+
+TEST_F(ServiceTest, StatsReportsServingCounters) {
+  StartServer();
+  ServiceClient client = Connect();
+  QueryRequest req;
+  req.query_node = 2;
+  req.k = 5;
+  ASSERT_EQ(ValueOrDie(client.Query(req)).status, StatusCode::kOk);
+  const QueryResponse stats = ValueOrDie(client.Stats());
+  EXPECT_EQ(stats.type, MessageType::kStats);
+  EXPECT_EQ(stats.status, StatusCode::kOk);
+  EXPECT_NE(stats.message.find("counter queries_ok 1"), std::string::npos)
+      << stats.message;
+  EXPECT_NE(stats.message.find("hist serve_us count 1"), std::string::npos)
+      << stats.message;
+  EXPECT_NE(stats.message.find("gauge active_connections"),
+            std::string::npos)
+      << stats.message;
+}
+
+TEST_F(ServiceTest, RemoteShutdownUnblocksWait) {
+  StartServer();
+  ServiceClient client = Connect();
+  const QueryResponse ack = ValueOrDie(client.Shutdown());
+  EXPECT_EQ(ack.type, MessageType::kShutdown);
+  EXPECT_EQ(ack.status, StatusCode::kOk);
+  server_->WaitForShutdown();  // must return promptly, not hang
+  server_->Shutdown();
+}
+
+TEST_F(ServiceTest, RemoteShutdownCanBeDisabled) {
+  ServerOptions options;
+  options.allow_remote_shutdown = false;
+  StartServer(options);
+  ServiceClient client = Connect();
+  const QueryResponse ack = ValueOrDie(client.Shutdown());
+  EXPECT_EQ(ack.status, StatusCode::kFailedPrecondition);
+}
+
+TEST(SessionPoolTest, LeasesAreExclusiveAndRecycled) {
+  const Graph graph = TestGraph(200, 3);
+  EngineSessionPool pool(&graph, 2);
+  EXPECT_EQ(pool.capacity(), 2u);
+  auto a = pool.Acquire();
+  auto b = pool.Acquire();
+  ASSERT_NE(a.engine(), nullptr);
+  ASSERT_NE(b.engine(), nullptr);
+  EXPECT_NE(a.engine(), b.engine());
+  FlosEngine* const first = a.engine();
+  a.Release();
+  auto c = pool.Acquire();
+  EXPECT_EQ(c.engine(), first) << "released session must be reused";
+  pool.Shutdown();
+  auto after = pool.Acquire();
+  EXPECT_EQ(after.engine(), nullptr);
+}
+
+}  // namespace
+}  // namespace flos

@@ -117,6 +117,66 @@ TEST(EdgeListIoTest, MissingFileAndGarbage) {
   std::remove(path.c_str());
 }
 
+namespace {
+
+/// Writes `content` to a temp file and returns ReadEdgeList's status.
+Status ReadContent(const std::string& name, const std::string& content) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  const Status status = ReadEdgeList(path).status();
+  std::remove(path.c_str());
+  return status;
+}
+
+}  // namespace
+
+TEST(EdgeListIoTest, MalformedLineReportsLineNumber) {
+  const Status s = ReadContent("malformed.txt", "0 1\n1 two\n2 3\n");
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find(":2:"), std::string::npos)
+      << "error must carry the 1-based line number: " << s.message();
+}
+
+TEST(EdgeListIoTest, NegativeWeightFailsWithLineNumber) {
+  const Status s = ReadContent("negweight.txt", "0 1 1.0\n1 2 -0.5\n");
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument) << s.ToString();
+  EXPECT_NE(s.message().find(":2:"), std::string::npos) << s.message();
+}
+
+TEST(EdgeListIoTest, NegativeNodeIdFails) {
+  const Status s = ReadContent("negnode.txt", "0 -1\n");
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find(":1:"), std::string::npos) << s.message();
+}
+
+TEST(EdgeListIoTest, TruncatedLastLineFails) {
+  // File ends mid-record: a source id with no destination.
+  const Status s = ReadContent("truncated.txt", "0 1\n1 2\n3");
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find(":3:"), std::string::npos) << s.message();
+  EXPECT_NE(s.message().find("truncated"), std::string::npos) << s.message();
+}
+
+TEST(EdgeListIoTest, TrailingGarbageAfterWeightFails) {
+  const Status s = ReadContent("trailing.txt", "0 1 1.0 oops\n");
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find(":1:"), std::string::npos) << s.message();
+}
+
+TEST(EdgeListIoTest, MissingWeightColumnStillDefaultsToOne) {
+  const std::string path = ::testing::TempDir() + "/noweight.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fprintf(f, "0 1\n1 2 2.5\n");
+  std::fclose(f);
+  const Graph g = ValueOrDie(ReadEdgeList(path));
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(1, 2), 2.5);
+  std::remove(path.c_str());
+}
+
 TEST(PresetsTest, AllPresetsBuildAtSmallScale) {
   for (const GraphPreset& p : RealGraphPresets()) {
     const Graph g = ValueOrDie(BuildPresetGraph(p, /*scale=*/0.002));
