@@ -21,11 +21,11 @@
 #include <utility>
 #include <vector>
 
-#include "core/bound_engine.h"
 #include "core/flos.h"
 #include "core/flos_engine.h"
 #include "core/local_graph.h"
 #include "core/sweep_kernel.h"
+#include "core/unified_bound_engine.h"
 #include "graph/accessor.h"
 #include "graph/generators.h"
 #include "measures/exact.h"
@@ -239,8 +239,34 @@ struct SweepFixture {
     return delta;
   }
 
+  // One sweep through a SweepBackend (core/sweep_kernel.h) over the
+  // pair-interleaved bound layout the unified engine uses —
+  // bounds[2i] = lower_i, bounds[2i+1] = upper_i. Same system, same
+  // coefficients; this is what prices the scalar backend vs the blocked-ELL
+  // AVX2 backend on production data.
+  double BackendSweep(SweepBackend* backend) {
+    FixedPointSweepArgs args;
+    args.local = local.get();
+    args.bounds = pair_bounds.data();
+    args.self_coeff = self_coeff.data();
+    args.mesh_dummy_coeff = mesh_dummy_coeff.data();
+    args.plain_dummy_coeff = plain_dummy_coeff.data();
+    args.alpha = kAlpha;
+    args.dummy_tight = 1.0;
+    args.dummy_mesh = 1.0;
+    args.self_loop = true;
+    return backend->FusedSweep(args);
+  }
+
+  void ResetPairBounds() {
+    pair_bounds.assign(2 * lower.size(), 0.0);
+    for (size_t i = 0; i < lower.size(); ++i) pair_bounds[2 * i + 1] = 1.0;
+    pair_bounds[0] = 1.0;  // query row pinned at (1, 1)
+  }
+
   static constexpr double kAlpha = 0.5;
 
+  std::vector<double> pair_bounds;
   std::unique_ptr<InMemoryAccessor> accessor;
   std::unique_ptr<LocalGraph> local;
   std::vector<std::vector<std::pair<LocalId, double>>> legacy_rows;
@@ -335,6 +361,39 @@ void BM_BoundSweepFusedGSAudited(benchmark::State& state) {
 }
 BENCHMARK(BM_BoundSweepFusedGSAudited);
 
+void BM_BoundSweepBackendScalar(benchmark::State& state) {
+  // The scalar SweepBackend over the pair-interleaved layout — the
+  // reference implementation behind the unified engine's seam.
+  SweepFixture& f = SharedFixture();
+  f.ResetPairBounds();
+  auto backend = MakeSweepBackend(SweepBackendKind::kScalar);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.BackendSweep(backend.get()));
+  }
+  state.SetItemsProcessed(state.iterations() * f.row_entries);
+  state.counters["visited"] = static_cast<double>(f.lower.size());
+}
+BENCHMARK(BM_BoundSweepBackendScalar);
+
+void BM_BoundSweepBackendAvx2(benchmark::State& state) {
+  // The blocked-ELL AVX2 SweepBackend (skipped when the CPU lacks AVX2).
+  if (!Avx2SweepAvailable()) {
+    state.SkipWithError("AVX2 not available");
+    return;
+  }
+  SweepFixture& f = SharedFixture();
+  f.ResetPairBounds();
+  auto backend = MakeSweepBackend(SweepBackendKind::kAvx2);
+  f.BackendSweep(backend.get());  // build the ELL layout outside the loop
+  f.ResetPairBounds();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.BackendSweep(backend.get()));
+  }
+  state.SetItemsProcessed(state.iterations() * f.row_entries);
+  state.counters["visited"] = static_cast<double>(f.lower.size());
+}
+BENCHMARK(BM_BoundSweepBackendAvx2);
+
 void BM_FlosExpansionStep(benchmark::State& state) {
   // One LocalExpansion + bound update, amortized over a fresh query each
   // time the frontier empties.
@@ -342,14 +401,14 @@ void BM_FlosExpansionStep(benchmark::State& state) {
   InMemoryAccessor accessor(&g);
   Rng rng(3);
   std::unique_ptr<LocalGraph> local;
-  std::unique_ptr<PhpBoundEngine> engine;
-  BoundEngineOptions be;
-  be.alpha = 0.5;
+  std::unique_ptr<UnifiedBoundEngine> engine;
+  UnifiedBoundOptions be;
+  be.traits.alpha = 0.5;
   const auto reset = [&] {
     local = std::make_unique<LocalGraph>(&accessor);
     const auto q = static_cast<NodeId>(rng.NextBounded(g.NumNodes()));
     if (!local->Init(q).ok()) std::abort();
-    engine = std::make_unique<PhpBoundEngine>(local.get(), be);
+    engine = std::make_unique<UnifiedBoundEngine>(local.get(), be);
   };
   reset();
   for (auto _ : state) {
@@ -445,6 +504,16 @@ double TimeSweeps(SweepFixture* f, SweepKind kind, int sweeps) {
   return ns;
 }
 
+double TimeBackendSweeps(SweepFixture* f, SweepBackend* backend, int sweeps) {
+  f->ResetPairBounds();
+  WallTimer timer;
+  double sink = 0;
+  for (int s = 0; s < sweeps; ++s) sink += f->BackendSweep(backend);
+  const double ns = timer.ElapsedSeconds() * 1e9 / sweeps;
+  benchmark::DoNotOptimize(sink);
+  return ns;
+}
+
 uint32_t SweepsToConverge(SweepFixture* f, bool fused, double tolerance) {
   f->ResetBounds();
   uint32_t sweeps = 0;
@@ -498,6 +567,21 @@ void EmitKernelBaseline(const char* path) {
   const double legacy_ns = TimeSweeps(&f, SweepKind::kLegacyJacobi, 400);
   const double fused_ns = TimeSweeps(&f, SweepKind::kFusedGs, 400);
   const double audited_ns = TimeSweeps(&f, SweepKind::kFusedGsAudited, 400);
+  // The SweepBackend seam over the pair-interleaved layout: the scalar
+  // reference backend and (when the CPU has it) the blocked-ELL AVX2
+  // backend, both on the same fixture. simd_speedup compares AVX2 against
+  // the scalar FUSED sweep above — the kernel the engine ran before the
+  // seam existed — which is the acceptance bar for the SIMD backend.
+  const auto scalar_backend = MakeSweepBackend(SweepBackendKind::kScalar);
+  TimeBackendSweeps(&f, scalar_backend.get(), 50);
+  const double scalar_pair_ns =
+      TimeBackendSweeps(&f, scalar_backend.get(), 400);
+  double avx2_ns = 0;
+  if (Avx2SweepAvailable()) {
+    const auto avx2_backend = MakeSweepBackend(SweepBackendKind::kAvx2);
+    TimeBackendSweeps(&f, avx2_backend.get(), 50);  // includes ELL build
+    avx2_ns = TimeBackendSweeps(&f, avx2_backend.get(), 400);
+  }
   const double tol = 1e-8;
   const uint32_t jacobi_iters = SweepsToConverge(&f, /*fused=*/false, tol);
   const uint32_t gs_iters = SweepsToConverge(&f, /*fused=*/true, tol);
@@ -524,6 +608,19 @@ void EmitKernelBaseline(const char* path) {
                audited_ns / fused_ns);
   std::fprintf(out, "    \"speedup\": %.3f\n", legacy_ns / fused_ns);
   std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"sweep_backend\": {\n");
+  std::fprintf(out, "    \"scalar_pair_ns_per_sweep\": %.1f,\n",
+               scalar_pair_ns);
+  if (avx2_ns > 0) {
+    std::fprintf(out, "    \"avx2_ell_ns_per_sweep\": %.1f,\n", avx2_ns);
+    std::fprintf(out, "    \"simd_speedup_vs_scalar_fused\": %.3f,\n",
+                 fused_ns / avx2_ns);
+    std::fprintf(out, "    \"simd_speedup_vs_scalar_pair\": %.3f,\n",
+                 scalar_pair_ns / avx2_ns);
+  }
+  std::fprintf(out, "    \"avx2_available\": %s\n",
+               Avx2SweepAvailable() ? "true" : "false");
+  std::fprintf(out, "  },\n");
   std::fprintf(out, "  \"iterations_to_converge\": {\n");
   std::fprintf(out, "    \"tolerance\": %g,\n", tol);
   std::fprintf(out, "    \"jacobi\": %u,\n", jacobi_iters);
@@ -542,10 +639,11 @@ void EmitKernelBaseline(const char* path) {
   std::fprintf(out, "}\n");
   std::fclose(out);
   std::printf("kernel baseline written to %s (sweep speedup %.2fx, "
-              "audit overhead %.2fx, iters %u -> %u, RAND %.0f qps, "
-              "RMAT %.0f qps)\n",
+              "audit overhead %.2fx, simd speedup %.2fx, iters %u -> %u, "
+              "RAND %.0f qps, RMAT %.0f qps)\n",
               path, legacy_ns / fused_ns, audited_ns / fused_ns,
-              jacobi_iters, gs_iters, rand_point.qps, rmat_point.qps);
+              avx2_ns > 0 ? fused_ns / avx2_ns : 0.0, jacobi_iters, gs_iters,
+              rand_point.qps, rmat_point.qps);
 }
 
 }  // namespace

@@ -3,13 +3,20 @@
 // Starts an in-process ServiceServer over the paper's RAND synthetic
 // (Erdős–Rényi, 1M nodes / 5M edges at --scale=1), then drives it from
 // --connections client threads, each running a closed loop of anytime
-// queries (--deadline-us budget) against random degree>=1 nodes. Client-
-// side latencies feed a LatencyHistogram; the run reports QPS and
-// p50/p95/p99 and writes them to --json (BENCH_service.json) next to the
-// server's own metrics (certified ratio, overload rejects, peak queue
-// depth).
+// queries (--deadline-us budget) against degree>=1 nodes. Query nodes are
+// drawn uniformly or, with --zipf=s > 0, from a Zipf(s) distribution over
+// node ids — the skewed repeat-heavy shape of real query logs, which is
+// what the server's certified-result cache is for. Client-side latencies
+// feed per-outcome LatencyHistograms: certified and uncertified answers
+// get separate percentile tracks (a certified cache hit is microseconds, a
+// proof is milliseconds; one merged histogram would hide both), and
+// OVERLOADED rejections land in their own bucket so admission-control
+// pushback never pollutes the service-time percentiles. The run reports
+// QPS, per-track p50/p95/p99, and the server's own cache/certification
+// counters, and writes everything to --json (BENCH_service.json).
 //
 //   ./bench/bench_service_load --scale=1 --duration-s=5
+//   ./bench/bench_service_load --scale=1 --zipf=0.99 --measure=rwr
 //   ./bench/bench_service_load --scale=0.05 --deadline-us=0   # certified
 //
 // Everything — IO thread, 4 workers, client threads — shares whatever
@@ -17,9 +24,12 @@
 // a latency SLO, which is exactly what the admission-control and anytime-
 // deadline machinery is for.
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -33,17 +43,56 @@
 
 namespace {
 
+flos::Result<flos::Measure> ParseMeasure(const std::string& name) {
+  if (name == "php") return flos::Measure::kPhp;
+  if (name == "ei") return flos::Measure::kEi;
+  if (name == "dht") return flos::Measure::kDht;
+  if (name == "tht") return flos::Measure::kTht;
+  if (name == "rwr") return flos::Measure::kRwr;
+  return flos::Status::InvalidArgument(
+      "unknown measure '" + name + "' (expected php|ei|dht|tht|rwr)");
+}
+
+/// Zipf(s) sampler over [0, n): node id r with probability ∝ 1/(r+1)^s.
+/// One shared read-only CDF, inverse-transform per draw; exact, and the
+/// O(n) build cost is paid once before the clock starts.
+class ZipfSampler {
+ public:
+  ZipfSampler(uint64_t n, double s) : cdf_(n) {
+    double total = 0;
+    for (uint64_t i = 0; i < n; ++i) {
+      total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      cdf_[i] = total;
+    }
+  }
+
+  flos::NodeId Draw(flos::Rng* rng) const {
+    const double u = rng->NextDouble() * cdf_.back();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<flos::NodeId>(it - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
 struct ClientStats {
   uint64_t ok = 0;
   uint64_t certified = 0;
+  uint64_t cache_hits = 0;
   uint64_t overloaded = 0;
   uint64_t errors = 0;
-  flos::LatencyHistogram latency_us;
+  // Separate tracks: certified vs anytime-uncertified service times, plus
+  // admission-control rejections in their own bucket.
+  flos::LatencyHistogram certified_us;
+  flos::LatencyHistogram uncertified_us;
+  flos::LatencyHistogram overloaded_us;
 };
 
 void RunClient(const std::string& host, uint16_t port, uint64_t seed,
                const flos::Graph& graph, const flos::QueryRequest& base,
-               const std::atomic<bool>& stop, ClientStats* stats) {
+               const ZipfSampler* zipf, const std::atomic<bool>& stop,
+               ClientStats* stats) {
   auto client = flos::ServiceClient::Connect(host, port);
   if (!client.ok()) {
     std::fprintf(stderr, "client connect: %s\n",
@@ -56,7 +105,9 @@ void RunClient(const std::string& host, uint16_t port, uint64_t seed,
     flos::QueryRequest request = base;
     do {
       request.query_node =
-          static_cast<flos::NodeId>(rng.NextBounded(graph.NumNodes()));
+          zipf != nullptr
+              ? zipf->Draw(&rng)
+              : static_cast<flos::NodeId>(rng.NextBounded(graph.NumNodes()));
     } while (graph.Degree(request.query_node) == 0);
     const auto start = std::chrono::steady_clock::now();
     const auto resp = client->Query(request);
@@ -64,20 +115,38 @@ void RunClient(const std::string& host, uint16_t port, uint64_t seed,
         std::chrono::duration_cast<std::chrono::microseconds>(
             std::chrono::steady_clock::now() - start)
             .count();
-    stats->latency_us.Record(
-        elapsed > 0 ? static_cast<uint64_t>(elapsed) : 0);
+    const uint64_t micros = elapsed > 0 ? static_cast<uint64_t>(elapsed) : 0;
     if (!resp.ok()) {
       ++stats->errors;
       return;  // transport broken; stop this connection
     }
     if (resp->status == flos::StatusCode::kOk) {
       ++stats->ok;
-      if (resp->certified) ++stats->certified;
+      if (resp->certified) {
+        ++stats->certified;
+        stats->certified_us.Record(micros);
+      } else {
+        stats->uncertified_us.Record(micros);
+      }
+      if (resp->cache_hit) ++stats->cache_hits;
     } else if (resp->status == flos::StatusCode::kOverloaded) {
       ++stats->overloaded;
+      stats->overloaded_us.Record(micros);
     } else {
       ++stats->errors;
     }
+  }
+}
+
+// Replay bucket counts at their upper bound: percentile upper bounds merge
+// exactly, which is all this report uses.
+void MergeInto(flos::LatencyHistogram* dst,
+               const flos::LatencyHistogram& src) {
+  const auto buckets = src.Snapshot();
+  const auto& bounds = flos::LatencyHistogram::BucketBounds();
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    const uint64_t rep = b < bounds.size() ? bounds[b] : bounds.back() + 1;
+    for (uint64_t n = 0; n < buckets[b]; ++n) dst->Record(rep);
   }
 }
 
@@ -90,6 +159,9 @@ int Run(int argc, char** argv) {
   int64_t deadline_us = 50;
   int64_t k = 10;
   int64_t max_queue = 256;
+  int64_t query_cache = 4096;
+  double zipf = 0.0;
+  std::string measure_name = "php";
   int64_t seed = 42;
   std::string json_path = "BENCH_service.json";
   flags.AddDouble("scale", &scale,
@@ -101,11 +173,21 @@ int Run(int argc, char** argv) {
                "per-query anytime budget (0 = run every query to proof)");
   flags.AddInt("k", &k, "neighbors per query");
   flags.AddInt("max-queue", &max_queue, "server admission-control cap");
+  flags.AddInt("query-cache", &query_cache,
+               "server certified-result cache entries (0 = disable)");
+  flags.AddDouble("zipf", &zipf,
+                  "query-node skew exponent (0 = uniform; 0.99 = web-like)");
+  flags.AddString("measure", &measure_name, "php|ei|dht|tht|rwr");
   flags.AddInt("seed", &seed, "graph + query sampling seed");
   flags.AddString("json", &json_path, "output file ('' = skip)");
   if (const flos::Status s = flags.Parse(argc, argv); !s.ok()) {
     std::fprintf(stderr, "%s\n", s.ToString().c_str());
     flags.PrintUsage(argv[0]);
+    return 1;
+  }
+  const auto measure = ParseMeasure(measure_name);
+  if (!measure.ok()) {
+    std::fprintf(stderr, "%s\n", measure.status().ToString().c_str());
     return 1;
   }
 
@@ -118,14 +200,21 @@ int Run(int argc, char** argv) {
       flos::bench::BuildSynth(spec, static_cast<uint64_t>(seed)));
   flos::bench::PrintGraphLine(spec.label, graph);
 
+  std::unique_ptr<ZipfSampler> zipf_sampler;
+  if (zipf > 0) {
+    zipf_sampler = std::make_unique<ZipfSampler>(graph.NumNodes(), zipf);
+  }
+
   flos::ServerOptions options;
   options.num_workers = static_cast<int>(workers);
   options.max_queue_depth = static_cast<size_t>(max_queue);
+  options.query_cache_capacity =
+      query_cache > 0 ? static_cast<size_t>(query_cache) : 0;
   flos::ServiceServer server(&graph, options);
   flos::bench::CheckOk(server.Start());
 
   flos::QueryRequest base;
-  base.measure = flos::Measure::kPhp;
+  base.measure = *measure;
   base.k = static_cast<uint32_t>(k);
   base.deadline_us = static_cast<uint64_t>(deadline_us);
 
@@ -136,8 +225,8 @@ int Run(int argc, char** argv) {
   for (size_t i = 0; i < stats.size(); ++i) {
     clients.emplace_back(RunClient, options.host, server.port(),
                          static_cast<uint64_t>(seed) + 1000 + i,
-                         std::cref(graph), std::cref(base), std::cref(stop),
-                         &stats[i]);
+                         std::cref(graph), std::cref(base),
+                         zipf_sampler.get(), std::cref(stop), &stats[i]);
   }
   const auto bench_start = std::chrono::steady_clock::now();
   std::this_thread::sleep_for(std::chrono::seconds(duration_s));
@@ -147,51 +236,60 @@ int Run(int argc, char** argv) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     bench_start)
           .count();
-  server.Shutdown();
 
-  flos::LatencyHistogram merged;
-  uint64_t ok = 0, certified = 0, overloaded = 0, errors = 0;
+  flos::LatencyHistogram certified_us, uncertified_us, overloaded_us, all_us;
+  uint64_t ok = 0, certified = 0, cache_hits = 0, overloaded = 0, errors = 0;
   for (const ClientStats& s : stats) {
     ok += s.ok;
     certified += s.certified;
+    cache_hits += s.cache_hits;
     overloaded += s.overloaded;
     errors += s.errors;
-    const auto buckets = s.latency_us.Snapshot();
-    const auto& bounds = flos::LatencyHistogram::BucketBounds();
-    for (size_t b = 0; b < buckets.size(); ++b) {
-      // Replay bucket counts at their upper bound: percentile upper bounds
-      // merge exactly, which is all this report uses.
-      const uint64_t rep =
-          b < bounds.size() ? bounds[b] : bounds.back() + 1;
-      for (uint64_t n = 0; n < buckets[b]; ++n) merged.Record(rep);
-    }
+    MergeInto(&certified_us, s.certified_us);
+    MergeInto(&uncertified_us, s.uncertified_us);
+    MergeInto(&overloaded_us, s.overloaded_us);
+    MergeInto(&all_us, s.certified_us);
+    MergeInto(&all_us, s.uncertified_us);
   }
+  const uint64_t server_cache_hits = server.metrics().cache_hits.value();
+  const int64_t peak_queue = server.metrics().queue_depth.max_value();
+  server.Shutdown();
+
   const uint64_t answered = ok + overloaded;
   const double qps =
       elapsed_s > 0 ? static_cast<double>(answered) / elapsed_s : 0;
   const double certified_ratio =
       ok > 0 ? static_cast<double>(certified) / static_cast<double>(ok) : 0;
-  const uint64_t p50 = merged.PercentileUpperBound(0.50);
-  const uint64_t p95 = merged.PercentileUpperBound(0.95);
-  const uint64_t p99 = merged.PercentileUpperBound(0.99);
-  const int64_t peak_queue = server.metrics().queue_depth.max_value();
 
   std::printf(
-      "%lld connections x %.1fs, deadline %lld us, k=%lld, %lld workers\n",
-      static_cast<long long>(connections), elapsed_s,
+      "%lld connections x %.1fs, %s deadline %lld us, k=%lld, %lld workers, "
+      "zipf %.2f, cache %lld\n",
+      static_cast<long long>(connections), elapsed_s, measure_name.c_str(),
       static_cast<long long>(deadline_us), static_cast<long long>(k),
-      static_cast<long long>(workers));
+      static_cast<long long>(workers), zipf,
+      static_cast<long long>(query_cache));
   std::printf(
-      "qps %.1f  ok %llu  certified %.3f  overloaded %llu  errors %llu\n",
+      "qps %.1f  ok %llu  certified %.3f  cache_hits %llu  overloaded %llu"
+      "  errors %llu\n",
       qps, static_cast<unsigned long long>(ok), certified_ratio,
+      static_cast<unsigned long long>(cache_hits),
       static_cast<unsigned long long>(overloaded),
       static_cast<unsigned long long>(errors));
-  std::printf("latency p50 <= %llu us, p95 <= %llu us, p99 <= %llu us; "
-              "peak queue depth %lld\n",
-              static_cast<unsigned long long>(p50),
-              static_cast<unsigned long long>(p95),
-              static_cast<unsigned long long>(p99),
-              static_cast<long long>(peak_queue));
+  const auto print_track = [](const char* name,
+                              const flos::LatencyHistogram& h) {
+    std::printf("%-12s count %llu  p50 <= %llu us  p95 <= %llu us  "
+                "p99 <= %llu us\n",
+                name, static_cast<unsigned long long>(h.count()),
+                static_cast<unsigned long long>(h.PercentileUpperBound(0.50)),
+                static_cast<unsigned long long>(h.PercentileUpperBound(0.95)),
+                static_cast<unsigned long long>(
+                    h.PercentileUpperBound(0.99)));
+  };
+  print_track("all_ok", all_us);
+  print_track("certified", certified_us);
+  print_track("uncertified", uncertified_us);
+  print_track("overloaded", overloaded_us);
+  std::printf("peak queue depth %lld\n", static_cast<long long>(peak_queue));
 
   if (errors > 0) {
     std::fprintf(stderr, "bench saw %llu errors\n",
@@ -209,28 +307,51 @@ int Run(int argc, char** argv) {
         "{\n"
         "  \"service_load\": {\n"
         "    \"graph\": \"%s\",\n"
+        "    \"measure\": \"%s\",\n"
         "    \"workers\": %lld,\n"
         "    \"connections\": %lld,\n"
         "    \"deadline_us\": %lld,\n"
         "    \"k\": %lld,\n"
+        "    \"zipf\": %.2f,\n"
+        "    \"query_cache_entries\": %lld,\n"
         "    \"duration_s\": %.2f,\n"
         "    \"qps\": %.1f,\n"
         "    \"p50_us\": %llu,\n"
         "    \"p95_us\": %llu,\n"
         "    \"p99_us\": %llu,\n"
+        "    \"certified_p50_us\": %llu,\n"
+        "    \"certified_p99_us\": %llu,\n"
+        "    \"uncertified_p50_us\": %llu,\n"
+        "    \"uncertified_p99_us\": %llu,\n"
+        "    \"overloaded_p50_us\": %llu,\n"
         "    \"queries_ok\": %llu,\n"
         "    \"certified_ratio\": %.4f,\n"
+        "    \"cache_hits\": %llu,\n"
+        "    \"server_cache_hits\": %llu,\n"
         "    \"overload_rejects\": %llu,\n"
         "    \"peak_queue_depth\": %lld\n"
         "  }\n"
         "}\n",
-        spec.label.c_str(), static_cast<long long>(workers),
-        static_cast<long long>(connections),
-        static_cast<long long>(deadline_us), static_cast<long long>(k),
-        elapsed_s, qps, static_cast<unsigned long long>(p50),
-        static_cast<unsigned long long>(p95),
-        static_cast<unsigned long long>(p99),
+        spec.label.c_str(), measure_name.c_str(),
+        static_cast<long long>(workers), static_cast<long long>(connections),
+        static_cast<long long>(deadline_us), static_cast<long long>(k), zipf,
+        static_cast<long long>(query_cache), elapsed_s, qps,
+        static_cast<unsigned long long>(all_us.PercentileUpperBound(0.50)),
+        static_cast<unsigned long long>(all_us.PercentileUpperBound(0.95)),
+        static_cast<unsigned long long>(all_us.PercentileUpperBound(0.99)),
+        static_cast<unsigned long long>(
+            certified_us.PercentileUpperBound(0.50)),
+        static_cast<unsigned long long>(
+            certified_us.PercentileUpperBound(0.99)),
+        static_cast<unsigned long long>(
+            uncertified_us.PercentileUpperBound(0.50)),
+        static_cast<unsigned long long>(
+            uncertified_us.PercentileUpperBound(0.99)),
+        static_cast<unsigned long long>(
+            overloaded_us.PercentileUpperBound(0.50)),
         static_cast<unsigned long long>(ok), certified_ratio,
+        static_cast<unsigned long long>(cache_hits),
+        static_cast<unsigned long long>(server_cache_hits),
         static_cast<unsigned long long>(overloaded),
         static_cast<long long>(peak_queue));
     std::fclose(f);

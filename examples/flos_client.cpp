@@ -124,9 +124,10 @@ int Run(int argc, char** argv) {
     return 1;
   }
   std::printf(
-      "query %lld (%s, k=%lld): certified=%s, visited %llu, %llu us\n",
+      "query %lld (%s, k=%lld): certified=%s%s, visited %llu, %llu us\n",
       static_cast<long long>(node), measure_name.c_str(),
       static_cast<long long>(k), resp->certified ? "yes" : "no",
+      resp->cache_hit ? " (cache hit)" : "",
       static_cast<unsigned long long>(resp->visited),
       static_cast<unsigned long long>(resp->wall_us));
   for (const flos::ResponseEntry& e : resp->topk) {

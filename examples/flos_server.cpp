@@ -36,6 +36,7 @@ int Run(int argc, char** argv) {
   int64_t port = 0;
   int64_t workers = 4;
   int64_t max_queue = 256;
+  int64_t query_cache = 4096;
   int64_t synthetic_nodes = 100000;
   int64_t seed = 1;
   flags.AddString("graph", &graph_path, "SNAP-style edge list to serve");
@@ -44,6 +45,8 @@ int Run(int argc, char** argv) {
   flags.AddInt("workers", &workers, "query worker threads");
   flags.AddInt("max-queue", &max_queue,
                "admission-control queue cap (overloaded beyond this)");
+  flags.AddInt("query-cache", &query_cache,
+               "certified-result cache entries (0 = disable)");
   flags.AddInt("synthetic-nodes", &synthetic_nodes,
                "R-MAT size when --graph is not given");
   flags.AddInt("seed", &seed, "generator seed");
@@ -81,6 +84,8 @@ int Run(int argc, char** argv) {
   options.port = static_cast<uint16_t>(port);
   options.num_workers = static_cast<int>(workers);
   options.max_queue_depth = static_cast<size_t>(max_queue);
+  options.query_cache_capacity =
+      query_cache > 0 ? static_cast<size_t>(query_cache) : 0;
   flos::ServiceServer server(&graph, options);
   if (const flos::Status s = server.Start(); !s.ok()) {
     std::fprintf(stderr, "start: %s\n", s.ToString().c_str());

@@ -29,6 +29,14 @@ Enforced policy (see DESIGN.md "Correctness tooling & invariant policy"):
                   SIGPIPE suppression live in exactly one audited place.
                   A deliberate exception outside the wrappers carries
                   `// lint:allow(no-raw-sockets) <reason>`.
+  no-raw-intrinsics
+                  x86 SIMD intrinsics (`_mm*`, `__m128/256/512` vector
+                  types, `<immintrin.h>`) are banned everywhere except the
+                  src/core/sweep_backend_avx2.cc translation unit, so every
+                  target-specific code path sits behind the SweepBackend
+                  seam with its runtime dispatch and scalar parity twin.
+                  A deliberate exception carries
+                  `// lint:allow(no-raw-intrinsics) <reason>`.
   header-guards   every header uses a classic include guard named
                   FLOS_<PATH>_H_ (no #pragma once), matching its path so
                   moved files cannot silently collide.
@@ -92,6 +100,24 @@ TOKEN_RULES_SOCKETS = [
         "raw POSIX socket/fd call; go through the service/net_io wrappers "
         "(UniqueFd, ListenTcp, Epoll, WakeFd) or annotate a deliberate "
         "exception with lint:allow(no-raw-sockets)",
+    ),
+]
+
+
+# Applied everywhere EXCEPT src/core/sweep_backend_avx2.cc, the one TU
+# allowed to speak AVX2. Catches the intrinsic calls, the vector types,
+# and the header include, so a second SIMD island cannot grow silently.
+TOKEN_RULES_INTRINSICS = [
+    (
+        "no-raw-intrinsics",
+        re.compile(
+            r"(^|[^\w])_mm\d*_\w+\s*\(|__m(128|256|512)[a-z]*\b|"
+            r"#\s*include\s*<(imm|emm|xmm|smm|avx)\w*intrin\.h>"
+        ),
+        "raw SIMD intrinsic; implement a SweepBackend in "
+        "core/sweep_backend_avx2.cc (runtime-dispatched, scalar-paritied) "
+        "or annotate a deliberate exception with "
+        "lint:allow(no-raw-intrinsics)",
     ),
 ]
 
@@ -204,6 +230,8 @@ def lint_file(path, root, findings, suppressions):
         rules += TOKEN_RULES_EVERYWHERE
     if "service/net_io" not in path.as_posix():
         rules += TOKEN_RULES_SOCKETS
+    if "core/sweep_backend_avx2" not in path.as_posix():
+        rules += TOKEN_RULES_INTRINSICS
 
     stripped = strip_comments_and_strings(text).splitlines()
     for ln, line in enumerate(stripped, 1):

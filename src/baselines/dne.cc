@@ -2,8 +2,8 @@
 
 #include <algorithm>
 
-#include "core/bound_engine.h"
 #include "core/local_graph.h"
+#include "core/unified_bound_engine.h"
 
 namespace flos {
 
@@ -15,12 +15,13 @@ Result<TopKAnswer> DneTopK(GraphAccessor* accessor, NodeId query, int k,
 
   // Estimate PHP on the visited subgraph: this is exactly the
   // deleted-transition (lower bound) system without tightening.
-  BoundEngineOptions be;
-  be.alpha = options.c;
+  UnifiedBoundOptions be;
+  be.traits.family = BoundFamily::kFixedPoint;
+  be.traits.alpha = options.c;
   be.tolerance = options.tolerance;
   be.max_inner_iterations = options.max_inner_iterations;
   be.self_loop_tightening = false;
-  PhpBoundEngine engine(&local, be);
+  UnifiedBoundEngine engine(&local, be);
   const LocalId q_local = local.LocalIndex(query);
 
   while (local.Size() < options.node_budget) {

@@ -4,7 +4,7 @@
 #include <vector>
 
 #include "core/local_graph.h"
-#include "core/tht_bound_engine.h"
+#include "core/unified_bound_engine.h"
 
 namespace flos {
 
@@ -14,7 +14,10 @@ Result<TopKAnswer> LsThtTopK(GraphAccessor* accessor, NodeId query, int k,
   if (options.length < 1) return Status::InvalidArgument("length must be >= 1");
   LocalGraph local(accessor);
   FLOS_RETURN_IF_ERROR(local.Init(query));
-  ThtBoundEngine engine(&local, options.length);
+  UnifiedBoundOptions be;
+  be.traits.family = BoundFamily::kHorizonDp;
+  be.traits.horizon = options.length;
+  UnifiedBoundEngine engine(&local, be);
   const LocalId q_local = local.LocalIndex(query);
 
   const auto approx_done = [&]() -> bool {

@@ -1,0 +1,71 @@
+#include "core/expansion_policy.h"
+
+#include <algorithm>
+
+namespace flos {
+
+namespace {
+
+class BestFirstPolicy final : public ExpansionPolicy {
+ public:
+  const char* name() const override { return "best_first"; }
+
+  double Priority(double rank_lower, double rank_upper,
+                  const ExpansionContext& context) const override {
+    // Algorithm 3: rank the boundary by the interval midpoint; for
+    // minimize measures a smaller midpoint means closer, so negate.
+    const double mid = 0.5 * (rank_lower + rank_upper);
+    return context.minimize ? -mid : mid;
+  }
+};
+
+class BoundGapGreedyPolicy final : public ExpansionPolicy {
+ public:
+  const char* name() const override { return "bound_gap_greedy"; }
+
+  double Priority(double rank_lower, double rank_upper,
+                  const ExpansionContext& context) const override {
+    // Certification waits on the gap between the k-th guaranteed rank and
+    // the best optimistic rank outside the top-k. A boundary node whose
+    // interval straddles that threshold is exactly what keeps the gap
+    // open, and its width bounds how much one expansion can tighten the
+    // decision — so score by width, discounted by how far the interval
+    // sits from the contested band. Without a threshold yet (early
+    // iterations), plain width is the expected-tightening proxy.
+    const double width = rank_upper - rank_lower;
+    if (!context.has_threshold) return width;
+    double distance = 0;
+    if (rank_lower > context.threshold) {
+      distance = rank_lower - context.threshold;  // safely above the bar
+    } else if (rank_upper < context.threshold) {
+      distance = context.threshold - rank_upper;  // safely below the bar
+    }
+    return width - distance;
+  }
+};
+
+}  // namespace
+
+const ExpansionPolicy* GetExpansionPolicy(ExpansionPolicyKind kind) {
+  static const BestFirstPolicy kBestFirst;
+  static const BoundGapGreedyPolicy kBoundGapGreedy;
+  switch (kind) {
+    case ExpansionPolicyKind::kBoundGapGreedy:
+      return &kBoundGapGreedy;
+    case ExpansionPolicyKind::kBestFirst:
+      break;
+  }
+  return &kBestFirst;
+}
+
+const char* ExpansionPolicyKindName(ExpansionPolicyKind kind) {
+  switch (kind) {
+    case ExpansionPolicyKind::kBestFirst:
+      return "best_first";
+    case ExpansionPolicyKind::kBoundGapGreedy:
+      return "bound_gap_greedy";
+  }
+  return "unknown";
+}
+
+}  // namespace flos

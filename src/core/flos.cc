@@ -1,8 +1,8 @@
 #include "core/flos.h"
 
-#include "core/bound_engine.h"
 #include "core/flos_engine.h"
 #include "core/local_graph.h"
+#include "core/unified_bound_engine.h"
 
 namespace flos {
 
@@ -45,14 +45,15 @@ Result<BoundTrace> TraceFlosBounds(const Graph& graph, NodeId query, double c,
   InMemoryAccessor accessor(&graph);
   LocalGraph local(&accessor);
   FLOS_RETURN_IF_ERROR(local.Init(query));
-  BoundEngineOptions be;
-  be.alpha = c;
+  UnifiedBoundOptions be;
+  be.traits.family = BoundFamily::kFixedPoint;
+  be.traits.alpha = c;
   be.tolerance = 1e-12;
   be.self_loop_tightening = self_loop_tightening;
   // The trace reproduces the paper's Figure 4 verbatim, so the dummy value
   // follows Algorithm 5 line 7 without this library's extra tightenings.
   be.alpha_dummy_tightening = false;
-  PhpBoundEngine engine(&local, be);
+  UnifiedBoundEngine engine(&local, be);
 
   BoundTrace trace;
   for (uint32_t t = 0; t < max_iterations; ++t) {

@@ -2,9 +2,9 @@
 //
 // Given a query node and a proximity measure, FLoS expands a neighborhood
 // around the query best-first, maintains rigorous lower/upper proximity
-// bounds for the visited nodes (core/bound_engine.h, core/tht_bound_engine.h),
-// and stops as soon as the bounds certify the exact top-k — typically after
-// visiting a tiny fraction of the graph.
+// bounds for the visited nodes (core/unified_bound_engine.h), and stops as
+// soon as the bounds certify the exact top-k — typically after visiting a
+// tiny fraction of the graph.
 //
 // Supported measures:
 //   PHP         native (alpha = c)
@@ -24,6 +24,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/expansion_policy.h"
+#include "core/sweep_kernel.h"
 #include "graph/accessor.h"
 #include "graph/graph.h"
 #include "measures/measure.h"
@@ -55,6 +57,14 @@ struct FlosOptions {
   /// the search may visit slightly more nodes in exchange for far fewer
   /// O(edges(S)) bound solves. The ablation bench quantifies the trade.
   uint32_t expansion_batch = 0;
+  /// How the boundary is ranked for expansion (core/expansion_policy.h).
+  /// Exactness holds under ANY schedule; policies only trade how many
+  /// nodes are visited before certification.
+  ExpansionPolicyKind expansion_policy = ExpansionPolicyKind::kBestFirst;
+  /// Which kernel implementation runs the fixed-point inner solves
+  /// (core/sweep_kernel.h). kAuto picks the AVX2 blocked-ELL backend when
+  /// the CPU supports it, the scalar reference kernel otherwise.
+  SweepBackendKind sweep_backend = SweepBackendKind::kAuto;
   /// If > 0, stop after visiting this many nodes and return the current
   /// best-effort ranking (stats.exact will be false). 0 = run to proof.
   uint64_t max_visited = 0;
@@ -88,6 +98,9 @@ struct FlosStats {
   bool exact = false;           ///< true iff the top-k was certified
   bool exhausted_component = false;  ///< visited the query's whole component
   bool deadline_expired = false;  ///< search was cut short by the deadline
+  /// True iff the result was served from a QueryCache hit (the stats above
+  /// then describe the original certifying run, not this call).
+  bool cache_hit = false;
 };
 
 /// Result of a FLoS query: top-k nodes, closest first.

@@ -3,64 +3,16 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/expansion_policy.h"
+#include "core/measure_traits.h"
 #include "util/check.h"
 
 namespace flos {
 
-namespace {
-
-// Internal ranking mode. PHP/EI/DHT rank by the PHP-form value; RWR ranks
-// by w_i * value (Section 5.6); THT ranks by its own value, minimized.
-enum class RankMode { kValue, kDegreeWeighted, kMinimizeValue };
-
-RankMode RankModeFor(Measure m) {
-  switch (m) {
-    case Measure::kRwr:
-      return RankMode::kDegreeWeighted;
-    case Measure::kTht:
-      return RankMode::kMinimizeValue;
-    default:
-      return RankMode::kValue;
-  }
-}
-
-double AlphaFor(const FlosOptions& options) {
-  // PHP uses its decay directly; EI/DHT/RWR reduce to a PHP system with
-  // decay 1 - c (Theorems 2, 6).
-  return options.measure == Measure::kPhp ? options.c : 1.0 - options.c;
-}
-
-}  // namespace
-
 FlosEngine::FlosEngine(GraphAccessor* accessor)
     : accessor_(accessor),
       local_(accessor),
-      php_(&local_, BoundEngineOptions{}),
-      tht_(&local_, /*length=*/1) {}
-
-void FlosEngine::CaptureDummy() {
-  if (!use_tht_) php_.CaptureDummyFromBoundary();
-}
-
-void FlosEngine::OnGrowth() {
-  if (use_tht_) {
-    tht_.OnGrowth();
-  } else {
-    php_.OnGrowth();
-  }
-}
-
-uint32_t FlosEngine::UpdateBounds() {
-  if (!use_tht_) return php_.UpdateBounds();
-  tht_.UpdateBounds();
-  return 1;
-}
-
-uint32_t FlosEngine::FinalizeBounds(double final_tolerance) {
-  if (!use_tht_) return php_.FinalizeExhausted(final_tolerance);
-  tht_.UpdateBounds();  // DP is already exact once S is the component
-  return 1;
-}
+      bounds_(&local_, UnifiedBoundOptions{}) {}
 
 double FlosEngine::MaxUnknownDegree() {
   const auto& order = accessor_->DegreeOrder();
@@ -102,27 +54,37 @@ Result<FlosResult> FlosEngine::TopKSet(const std::vector<NodeId>& queries,
     }
   }
 
-  const RankMode mode = RankModeFor(options.measure);
+  // A certified answer is exact, so an unchanged-epoch repeat query needs
+  // no search at all. Multi-source queries bypass the cache (the key would
+  // need the whole set; set queries are rare in serving).
+  QueryCache::Key cache_key;
+  const bool cacheable = query_cache_ != nullptr && queries.size() == 1;
+  if (cacheable) {
+    cache_key = {queries[0],          options.measure, k,
+                 options.c,           options.tht_length,
+                 accessor_->Epoch()};
+    FlosResult cached;
+    if (query_cache_->Lookup(cache_key, &cached)) return cached;
+  }
+
+  const BoundTraits traits =
+      BoundTraitsFor(options.measure, options.c, options.tht_length);
+  const RankMode mode = traits.rank_mode;
   const bool minimize = mode == RankMode::kMinimizeValue;
 
   // Rewind the workspace for this query; an error return leaves it ready
   // to be rewound again, so failed calls don't poison the engine.
   local_.Reset();
   FLOS_RETURN_IF_ERROR(local_.Init(queries));
-  use_tht_ = options.measure == Measure::kTht;
-  if (use_tht_) {
-    tht_.Reset(options.tht_length, options.deadline);
-  } else {
-    BoundEngineOptions be;
-    be.alpha = AlphaFor(options);
-    be.tolerance = options.tolerance;
-    be.max_inner_iterations = options.max_inner_iterations;
-    be.self_loop_tightening = options.self_loop_tightening;
-    // Degree-weighted searches need the frontier bound for termination
-    // anyway; folding it into the dummy value is then nearly free.
-    be.frontier_dummy = options.measure == Measure::kRwr;
-    be.deadline = options.deadline;
-    php_.Reset(be);
+  {
+    UnifiedBoundOptions ub;
+    ub.traits = traits;
+    ub.tolerance = options.tolerance;
+    ub.max_inner_iterations = options.max_inner_iterations;
+    ub.self_loop_tightening = options.self_loop_tightening;
+    ub.backend = options.sweep_backend;
+    ub.deadline = options.deadline;
+    bounds_.Reset(ub);
   }
   degree_cursor_ = 0;
 
@@ -150,6 +112,14 @@ Result<FlosResult> FlosEngine::TopKSet(const std::vector<NodeId>& queries,
 
   selected_.clear();  // current certified-or-not top-k
 
+  // Expansion-policy context: the certification threshold of the most
+  // recent termination check feeds the next frontier ranking (the
+  // bound-gap policy scores nodes by how much they block that proof).
+  const ExpansionPolicy* const policy =
+      GetExpansionPolicy(options.expansion_policy);
+  ExpansionContext policy_context;
+  policy_context.minimize = minimize;
+
   // Termination check (Algorithm 6 + the RWR extension). Fills `selected_`
   // with the current top-k interior candidates either way.
   const auto check_termination = [&]() -> bool {
@@ -157,7 +127,7 @@ Result<FlosResult> FlosEngine::TopKSet(const std::vector<NodeId>& queries,
     for (LocalId i = 0; i < local_.Size(); ++i) {
       if (local_.IsQueryLocal(i) || local_.IsBoundary(i)) continue;
       interior_.push_back(
-          {i, rank_of(i, BoundLower(i)), rank_of(i, BoundUpper(i))});
+          {i, rank_of(i, bounds_.lower(i)), rank_of(i, bounds_.upper(i))});
     }
     if (interior_.size() < static_cast<size_t>(k)) return false;
     // For maximize modes, pick k largest guaranteed (lower) rank values;
@@ -175,6 +145,8 @@ Result<FlosResult> FlosEngine::TopKSet(const std::vector<NodeId>& queries,
       threshold = minimize ? std::max(threshold, c.rank_upper)
                            : std::min(threshold, c.rank_lower);
     }
+    policy_context.has_threshold = true;
+    policy_context.threshold = threshold;
     // Opponents: every other visited node's optimistic value.
     double best_other = minimize ? 1e300 : -1e300;
     for (size_t i = k; i < interior_.size(); ++i) {
@@ -183,8 +155,8 @@ Result<FlosResult> FlosEngine::TopKSet(const std::vector<NodeId>& queries,
     }
     for (LocalId i = 0; i < local_.Size(); ++i) {
       if (local_.IsQueryLocal(i) || !local_.IsBoundary(i)) continue;
-      const double opt =
-          minimize ? rank_of(i, BoundLower(i)) : rank_of(i, BoundUpper(i));
+      const double opt = minimize ? rank_of(i, bounds_.lower(i))
+                                  : rank_of(i, bounds_.upper(i));
       best_other = minimize ? std::min(best_other, opt)
                             : std::max(best_other, opt);
     }
@@ -205,7 +177,7 @@ Result<FlosResult> FlosEngine::TopKSet(const std::vector<NodeId>& queries,
       //   w_v PHP(v) <= max( max_{v in dSbar} w_v r-bar_v,
       //                      maxdeg(unknown) * alpha * max_{dSbar} r-bar_v )
       const double alpha = 1.0 - options.c;
-      const auto out = php_.ComputeOutsideUppers();
+      const auto out = bounds_.ComputeOutsideUppers();
       if (out.any) {
         const double w_unknown = MaxUnknownDegree();
         const double unvisited_bound =
@@ -233,8 +205,8 @@ Result<FlosResult> FlosEngine::TopKSet(const std::vector<NodeId>& queries,
       };
       for (LocalId i = 0; i < local_.Size(); ++i) {
         if (local_.IsQueryLocal(i) || is_selected(i)) continue;
-        const double opt =
-            minimize ? rank_of(i, BoundLower(i)) : rank_of(i, BoundUpper(i));
+        const double opt = minimize ? rank_of(i, bounds_.lower(i))
+                                    : rank_of(i, bounds_.upper(i));
         if (minimize) {
           FLOS_CHECK_LE(audit_threshold, opt,
                         "top-k termination fired before the k-th upper "
@@ -253,22 +225,23 @@ Result<FlosResult> FlosEngine::TopKSet(const std::vector<NodeId>& queries,
   bool certified = false;
   bool expired = false;
   while (true) {
-    // Rank the boundary by average bound (Algorithm 3); at t=1 the only
-    // boundary node is the query itself.
+    // Rank the boundary by the expansion policy (Algorithm 3 is the
+    // best-first default); at t=1 the only boundary node is the query.
     frontier_.clear();
     for (LocalId i = 0; i < local_.Size(); ++i) {
       if (!local_.IsBoundary(i)) continue;
-      const double mid = 0.5 * (BoundLower(i) + BoundUpper(i));
-      frontier_.push_back({rank_of(i, mid), i});
+      const double priority =
+          policy->Priority(rank_of(i, bounds_.lower(i)),
+                           rank_of(i, bounds_.upper(i)), policy_context);
+      frontier_.push_back({priority, i});
     }
     if (frontier_.empty()) {
       // Component exhausted: finish with a tight solve. The solve itself
       // honors the deadline; if it was cut short the bounds are still
       // certified but not yet exact, so the result stays uncertified.
-      stats.inner_iterations += FinalizeBounds(options.final_tolerance);
-      const bool finalize_interrupted =
-          use_tht_ ? tht_.deadline_hit() : php_.deadline_hit();
-      if (finalize_interrupted) {
+      stats.inner_iterations += bounds_.FinalizeExhausted(
+          options.final_tolerance);
+      if (bounds_.deadline_hit()) {
         expired = true;
         break;
       }
@@ -277,9 +250,7 @@ Result<FlosResult> FlosEngine::TopKSet(const std::vector<NodeId>& queries,
       break;
     }
     std::sort(frontier_.begin(), frontier_.end(),
-              [&](const auto& a, const auto& b) {
-                return minimize ? a.first < b.first : a.first > b.first;
-              });
+              [](const auto& a, const auto& b) { return a.first > b.first; });
     // Adaptive mode targets ~12.5% growth of |S| per bound update, so the
     // number of O(edges(S)) updates stays logarithmic in the visited count
     // while overshoot past the certification point stays small.
@@ -288,7 +259,7 @@ Result<FlosResult> FlosEngine::TopKSet(const std::vector<NodeId>& queries,
             ? 0
             : local_.Size() + std::max<uint64_t>(1, local_.Size() / 8);
 
-    CaptureDummy();  // r_d from delta-S of the previous iteration
+    bounds_.CaptureDummyFromBoundary();  // r_d from the previous delta-S
     size_t expanded = 0;
     for (const auto& [priority, node] : frontier_) {
       (void)priority;
@@ -313,8 +284,8 @@ Result<FlosResult> FlosEngine::TopKSet(const std::vector<NodeId>& queries,
     // bound slots (OnGrowth seeds them with the trivially valid [0, 1] /
     // [0, L] intervals); the update after it is deadline-aware and exits
     // after at most a few sweeps.
-    OnGrowth();
-    stats.inner_iterations += UpdateBounds();
+    bounds_.OnGrowth();
+    stats.inner_iterations += bounds_.UpdateBounds();
 
     if (!expired && check_termination()) {
       certified = true;
@@ -346,7 +317,7 @@ Result<FlosResult> FlosEngine::TopKSet(const std::vector<NodeId>& queries,
     for (LocalId i = 0; i < local_.Size(); ++i) {
       if (local_.IsQueryLocal(i)) continue;
       pool_.push_back(
-          {i, rank_of(i, BoundLower(i)), rank_of(i, BoundUpper(i))});
+          {i, rank_of(i, bounds_.lower(i)), rank_of(i, bounds_.upper(i))});
     }
   }
   const auto mid_rank = [&](const Candidate& c) {
@@ -378,8 +349,10 @@ Result<FlosResult> FlosEngine::TopKSet(const std::vector<NodeId>& queries,
         const LocalId j = local_.LocalIndex(nb.id);
         // Every neighbor of q joins S at the first expansion, so j is
         // always valid here; the guard is belt-and-braces.
-        sigma_lo += nb.weight / wq * (j == kInvalidLocal ? 0 : BoundLower(j));
-        sigma_hi += nb.weight / wq * (j == kInvalidLocal ? 0 : BoundUpper(j));
+        sigma_lo +=
+            nb.weight / wq * (j == kInvalidLocal ? 0 : bounds_.lower(j));
+        sigma_hi +=
+            nb.weight / wq * (j == kInvalidLocal ? 0 : bounds_.upper(j));
       }
       const double denom_lo = wq * (1.0 - (1.0 - options.c) * sigma_lo);
       const double denom_hi = wq * (1.0 - (1.0 - options.c) * sigma_hi);
@@ -393,8 +366,8 @@ Result<FlosResult> FlosEngine::TopKSet(const std::vector<NodeId>& queries,
   for (const Candidate& c : pool_) {
     ScoredNode out;
     out.node = local_.GlobalId(c.local);
-    const double lo = BoundLower(c.local);
-    const double hi = BoundUpper(c.local);
+    const double lo = bounds_.lower(c.local);
+    const double hi = bounds_.upper(c.local);
     switch (options.measure) {
       case Measure::kPhp:
         out.lower = lo;
@@ -423,6 +396,7 @@ Result<FlosResult> FlosEngine::TopKSet(const std::vector<NodeId>& queries,
     out.score = 0.5 * (out.lower + out.upper);
     result.topk.push_back(out);
   }
+  if (cacheable && stats.exact) query_cache_->Insert(cache_key, result);
   return result;
 }
 

@@ -4,16 +4,18 @@
 // index, neighbor lists, bound vectors — on every call, so sustained
 // throughput is dominated by allocator traffic rather than the algorithm.
 // `FlosEngine` owns that state as a persistent workspace (LocalGraph with
-// epoch-versioned node indexes, both bound engines, frontier/candidate
-// scratch) and resets it in O(|S|) between queries; steady-state queries
-// allocate nothing. `FlosTopK`/`FlosTopKSet` remain as thin wrappers that
-// construct a throwaway engine.
+// epoch-versioned node indexes, the unified bound engine, the
+// frontier/candidate scratch) and resets it in O(|S|) between queries;
+// steady-state queries allocate nothing. `FlosTopK`/`FlosTopKSet` remain
+// as thin wrappers that construct a throwaway engine.
 //
 // Threading: an engine is bound to one GraphAccessor and is
 // thread-compatible, not thread-safe. Concurrent serving uses one engine
 // (with its own accessor) per thread over one shared immutable graph — see
 // the GraphAccessor thread-safety contract (graph/accessor.h) and
 // `BatchTopK` (core/batch_topk.h), which implements exactly that pattern.
+// The optional QueryCache is the one shared piece and is itself
+// thread-safe.
 //
 // Determinism: for a given accessor and options, a reused engine returns
 // bit-identical results and statistics to a freshly constructed one
@@ -26,10 +28,10 @@
 #include <utility>
 #include <vector>
 
-#include "core/bound_engine.h"
 #include "core/flos.h"
 #include "core/local_graph.h"
-#include "core/tht_bound_engine.h"
+#include "core/query_cache.h"
+#include "core/unified_bound_engine.h"
 #include "graph/accessor.h"
 #include "graph/graph.h"
 #include "util/status.h"
@@ -55,6 +57,14 @@ class FlosEngine {
   Result<FlosResult> TopKSet(const std::vector<NodeId>& queries, int k,
                              const FlosOptions& options);
 
+  /// Attaches a shared certified-result cache (core/query_cache.h), or
+  /// detaches with nullptr. Not owned; must outlive the engine while
+  /// attached. Single-source queries consult it before searching (keyed on
+  /// the accessor's current graph epoch) and deposit certified answers
+  /// after; multi-source queries bypass it.
+  void set_query_cache(QueryCache* cache) { query_cache_ = cache; }
+  QueryCache* query_cache() const { return query_cache_; }
+
   GraphAccessor* accessor() const { return accessor_; }
 
  private:
@@ -65,19 +75,6 @@ class FlosEngine {
     double rank_upper;
   };
 
-  // Measure-uniform views over whichever bound engine the current query
-  // uses (PHP-form for PHP/EI/DHT/RWR, finite-horizon DP for THT).
-  double BoundLower(LocalId i) const {
-    return use_tht_ ? tht_.lower(i) : php_.lower(i);
-  }
-  double BoundUpper(LocalId i) const {
-    return use_tht_ ? tht_.upper(i) : php_.upper(i);
-  }
-  void CaptureDummy();
-  void OnGrowth();
-  uint32_t UpdateBounds();
-  uint32_t FinalizeBounds(double final_tolerance);
-
   /// Maximum weighted degree among nodes neither visited nor adjacent to
   /// the visited set, via the accessor's descending degree order (Section
   /// 5.6). The cursor only advances within a query (membership only
@@ -86,9 +83,8 @@ class FlosEngine {
 
   GraphAccessor* accessor_;
   LocalGraph local_;
-  PhpBoundEngine php_;
-  ThtBoundEngine tht_;
-  bool use_tht_ = false;
+  UnifiedBoundEngine bounds_;
+  QueryCache* query_cache_ = nullptr;
   size_t degree_cursor_ = 0;
 
   // Per-query scratch, reused across calls.

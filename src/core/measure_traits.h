@@ -1,0 +1,86 @@
+// Measure-traits policy layer: the per-measure facts the unified bound
+// engine and the FLoS driver need, in one place.
+//
+// The five measures differ along exactly three axes:
+//  * which bound machinery their proximity system needs — a contractive
+//    fixed point r = alpha T r + e_q (PHP natively; EI, DHT and RWR by
+//    rank-equivalent reduction, Theorems 2 and 6) or the L-step
+//    finite-horizon DP (THT, Appendix 10.4);
+//  * the PHP-form contraction factor alpha (c for PHP, 1 - c for the
+//    reduced measures) or the truncation horizon L;
+//  * how visited nodes are ranked: by value, by degree-weighted value
+//    (RWR, Section 5.6), or by value minimized (THT, where smaller hitting
+//    time means closer).
+// Everything else — expansion, termination, deadline handling — is shared,
+// which is the point of the unified engine (core/unified_bound_engine.h).
+
+#ifndef FLOS_CORE_MEASURE_TRAITS_H_
+#define FLOS_CORE_MEASURE_TRAITS_H_
+
+#include "measures/measure.h"
+
+namespace flos {
+
+/// Which bound machinery a measure's proximity system runs on.
+enum class BoundFamily {
+  /// Monotone contractive fixed point; fused Gauss–Seidel sweeps, dummy
+  /// redirects, self-loop tightening (PHP, EI, DHT, RWR).
+  kFixedPoint,
+  /// Finite-horizon dynamic program; Jacobi double buffer, exact after L
+  /// steps, no iterative tolerance (THT).
+  kHorizonDp,
+};
+
+/// Internal ranking mode. PHP/EI/DHT rank by the PHP-form value; RWR ranks
+/// by w_i * value (Section 5.6); THT ranks by its own value, minimized.
+enum class RankMode { kValue, kDegreeWeighted, kMinimizeValue };
+
+/// The bound-engine policy derived from a measure: family plus the family
+/// parameter (alpha or horizon) plus the rank/termination quirks.
+struct BoundTraits {
+  BoundFamily family = BoundFamily::kFixedPoint;
+  /// Fixed-point contraction factor (ignored for kHorizonDp).
+  double alpha = 0.5;
+  /// DP truncation length L >= 1 (ignored for kFixedPoint).
+  int horizon = 0;
+  RankMode rank_mode = RankMode::kValue;
+  /// Degree-weighted searches need the per-frontier-node uppers for
+  /// termination anyway; folding them into the dummy value is then nearly
+  /// free (UnifiedBoundEngine folds them into the dummy when set).
+  bool frontier_dummy = false;
+};
+
+/// PHP uses its decay directly; EI/DHT/RWR reduce to a PHP system with
+/// decay 1 - c (Theorems 2, 6).
+inline double AlphaFor(Measure m, double c) {
+  return m == Measure::kPhp ? c : 1.0 - c;
+}
+
+inline RankMode RankModeFor(Measure m) {
+  switch (m) {
+    case Measure::kRwr:
+      return RankMode::kDegreeWeighted;
+    case Measure::kTht:
+      return RankMode::kMinimizeValue;
+    default:
+      return RankMode::kValue;
+  }
+}
+
+inline BoundTraits BoundTraitsFor(Measure m, double c, int tht_length) {
+  BoundTraits traits;
+  traits.rank_mode = RankModeFor(m);
+  if (m == Measure::kTht) {
+    traits.family = BoundFamily::kHorizonDp;
+    traits.horizon = tht_length;
+  } else {
+    traits.family = BoundFamily::kFixedPoint;
+    traits.alpha = AlphaFor(m, c);
+    traits.frontier_dummy = m == Measure::kRwr;
+  }
+  return traits;
+}
+
+}  // namespace flos
+
+#endif  // FLOS_CORE_MEASURE_TRAITS_H_

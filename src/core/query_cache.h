@@ -1,0 +1,117 @@
+// Certified-result cache for repeat k-NN queries.
+//
+// Serving workloads are Zipf-skewed: a small set of hot query nodes
+// receives most of the traffic. A certified FLoS answer is EXACT, so for
+// an unchanged graph re-running the search buys nothing — the cache stores
+// certified results keyed by everything that determines them:
+//
+//     (query node, measure, k, c, tht_length, graph epoch)
+//
+// and serves a warm hit in microseconds, bypassing the search entirely
+// while the engine workspaces stay warm for the misses.
+//
+// Invalidation contract (exact, epoch-based): the key carries the
+// accessor's graph epoch (GraphAccessor::Epoch, bumped by DynamicGraph on
+// every topology update). A lookup computes its key from the CURRENT
+// epoch, so an entry certified against an older topology can never match
+// again — no enumeration of affected queries, no TTL heuristics, no stale
+// window. Superseded entries age out through the LRU order. Each entry
+// additionally stores its epoch redundantly; under FLOS_AUDIT a hit
+// cross-checks it against the key and aborts on disagreement ("query cache
+// serving a stale graph epoch"), turning memory corruption or a future
+// keying bug into a crash instead of a silently wrong certified answer.
+//
+// Only certified results (stats.exact) are admitted: uncertified answers
+// depend on the deadline that produced them and are not reusable facts.
+// One cache instance assumes one solver configuration (tolerance,
+// tightenings, expansion policy) — the serving layer's situation, where
+// ServerOptions fixes them; the per-request knobs are all in the key.
+//
+// Thread-safe: one mutex guards the map + LRU list. The critical section
+// is a hash probe plus a list splice and a FlosResult copy (k entries), so
+// contention is negligible next to even a warm-path network round trip.
+
+#ifndef FLOS_CORE_QUERY_CACHE_H_
+#define FLOS_CORE_QUERY_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+
+#include "core/flos.h"
+#include "graph/graph.h"
+#include "measures/measure.h"
+
+namespace flos {
+
+/// LRU cache of certified FlosResults, shared by all engine sessions of a
+/// server (thread-safe).
+class QueryCache {
+ public:
+  /// Everything that determines a certified answer.
+  struct Key {
+    NodeId query = 0;
+    Measure measure = Measure::kPhp;
+    int k = 0;
+    double c = 0;
+    int tht_length = 0;
+    uint64_t epoch = 0;
+
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+
+  /// Keeps at most `capacity` entries (0 disables the cache: every lookup
+  /// misses, every insert is dropped).
+  explicit QueryCache(size_t capacity) : capacity_(capacity) {}
+
+  QueryCache(const QueryCache&) = delete;
+  QueryCache& operator=(const QueryCache&) = delete;
+
+  /// On a hit copies the cached result into `*out`, marks it as a cache
+  /// hit, and freshens the entry's LRU position. Counts hits/misses.
+  bool Lookup(const Key& key, FlosResult* out);
+
+  /// Admits a certified result. Rejects (and counts) non-certified
+  /// results; replaces an existing entry for the same key.
+  void Insert(const Key& key, const FlosResult& result);
+
+  /// Drops every entry (counters are kept).
+  void Clear();
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  uint64_t hits() const;
+  uint64_t misses() const;
+
+  /// Test-only: overwrites the stored redundant epoch of the entry for
+  /// `key`, desynchronizing it from the key it is filed under, so
+  /// tests/query_cache_test.cc can prove the FLOS_AUDIT stale-epoch check
+  /// fires. Returns false when the entry does not exist. Never call it
+  /// from library or application code.
+  bool CorruptEpochForTest(const Key& key, uint64_t stored_epoch);
+
+ private:
+  struct KeyHash {
+    size_t operator()(const Key& key) const;
+  };
+  struct Entry {
+    Key key;
+    /// Redundant copy of key.epoch, audited on every hit.
+    uint64_t stored_epoch = 0;
+    FlosResult result;
+  };
+
+  size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> entries_;  // front = most recent; guarded by mu_
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash>
+      index_;                 // guarded by mu_
+  uint64_t hits_ = 0;         // guarded by mu_
+  uint64_t misses_ = 0;       // guarded by mu_
+};
+
+}  // namespace flos
+
+#endif  // FLOS_CORE_QUERY_CACHE_H_

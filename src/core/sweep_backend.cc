@@ -1,0 +1,118 @@
+// Scalar sweep backend and the backend factory/dispatch.
+//
+// The scalar kernel is the reference implementation: one fused
+// Gauss–Seidel pass over the pair-layout bounds through FusedPairRowSweep,
+// rows in visit order, with the monotone clamps applied per row exactly as
+// the pre-seam engine did. The AVX2 backend (sweep_backend_avx2.cc) must
+// stay bound-sandwich compatible with this kernel: both produce certified
+// intervals that are elementwise no looser than the Jacobi iterate, but
+// they need not be bitwise equal (different update order and fp
+// reassociation).
+
+#include <algorithm>
+#include <memory>
+
+#include "core/sweep_kernel.h"
+
+namespace flos {
+
+namespace {
+
+class ScalarSweepBackend final : public SweepBackend {
+ public:
+  const char* name() const override { return "scalar"; }
+
+  void InvalidateStructure() override {}
+
+  double FusedSweep(const FixedPointSweepArgs& args) override {
+    double delta = 0;
+    double* const b = args.bounds;
+    const LocalGraph& local = *args.local;
+    FusedPairRowSweep(local, b, [&](LocalId i, double s_lo, double s_hi) {
+      if (local.IsQueryLocal(i)) return;  // pinned
+      double* const pi = b + 2 * static_cast<size_t>(i);
+      const double lo = pi[0];
+      const double hi = pi[1];
+      const double vl =
+          std::max(args.alpha * s_lo + args.self_coeff[i] * lo, lo);
+      double vu =
+          args.alpha * s_hi + args.plain_dummy_coeff[i] * args.dummy_tight;
+      if (args.self_loop) {
+        vu = std::min(vu, args.alpha * s_hi + args.self_coeff[i] * hi +
+                              args.mesh_dummy_coeff[i] * args.dummy_mesh);
+      }
+      vu = std::min(vu, hi);
+      delta = std::max(delta, std::max(vl - lo, hi - vu));
+      pi[0] = vl;  // in place: Gauss–Seidel
+      pi[1] = vu;
+    });
+    return delta;
+  }
+
+  double LowerSweep(const FixedPointSweepArgs& args) override {
+    double delta = 0;
+    double* const b = args.bounds;
+    const LocalGraph& local = *args.local;
+    const uint32_t n = local.Size();
+    for (LocalId i = 0; i < n; ++i) {
+      if (i + 1 < n) local.PrefetchRow(i + 1);
+      const LocalRow row = local.Row(i);
+      double s = 0;
+      for (uint32_t e = 0; e < row.len; ++e) {
+        FLOS_AUDIT(row.idx[e] < n, "local CSR column index out of range");
+        FLOS_AUDIT(row.weight[e] >= 0.0,
+                   "negative transition probability in local CSR");
+        s += row.weight[e] * b[2 * static_cast<size_t>(row.idx[e])];
+      }
+      if (local.IsQueryLocal(i)) continue;  // pinned
+      double& lo = b[2 * static_cast<size_t>(i)];
+      const double v = std::max(args.alpha * s + args.self_coeff[i] * lo, lo);
+      delta = std::max(delta, v - lo);
+      lo = v;
+    }
+    return delta;
+  }
+};
+
+}  // namespace
+
+// Implemented in sweep_backend_avx2.cc (the only TU allowed to touch raw
+// SIMD intrinsics; see scripts/lint.py no-raw-intrinsics).
+std::unique_ptr<SweepBackend> MakeAvx2SweepBackend();
+bool CpuHasAvx2();
+
+bool Avx2SweepAvailable() { return CpuHasAvx2(); }
+
+SweepBackendKind ResolveSweepBackendKind(SweepBackendKind kind) {
+  if (kind == SweepBackendKind::kAuto) {
+    return Avx2SweepAvailable() ? SweepBackendKind::kAvx2
+                                : SweepBackendKind::kScalar;
+  }
+  if (kind == SweepBackendKind::kAvx2 && !Avx2SweepAvailable()) {
+    return SweepBackendKind::kScalar;
+  }
+  return kind;
+}
+
+const char* SweepBackendKindName(SweepBackendKind kind) {
+  switch (kind) {
+    case SweepBackendKind::kAuto:
+      return "auto";
+    case SweepBackendKind::kScalar:
+      return "scalar";
+    case SweepBackendKind::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<SweepBackend> MakeSweepBackend(SweepBackendKind kind) {
+  switch (ResolveSweepBackendKind(kind)) {
+    case SweepBackendKind::kAvx2:
+      return MakeAvx2SweepBackend();
+    default:
+      return std::make_unique<ScalarSweepBackend>();
+  }
+}
+
+}  // namespace flos

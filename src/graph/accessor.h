@@ -72,6 +72,14 @@ class GraphAccessor {
   /// Largest weighted degree in the graph.
   virtual double MaxWeightedDegree() const = 0;
 
+  /// Topology version of the underlying graph. Strictly increases whenever
+  /// the graph an accessor serves changes (DynamicGraph bumps it per
+  /// update); immutable storage reports the constant 0. Consumers that
+  /// memoize derived answers — the serving layer's QueryCache — key on
+  /// this epoch, so entries computed against an older topology can never
+  /// match again: exact invalidation without tracking which nodes changed.
+  virtual uint64_t Epoch() const { return 0; }
+
   /// True when per-query workspaces over this accessor should index visited
   /// nodes with O(NumNodes())-memory dense stamp arrays (fastest lookups;
   /// right for in-memory CSR graphs). False steers them to hashing with

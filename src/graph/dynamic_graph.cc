@@ -53,6 +53,7 @@ Status DynamicGraph::AddEdge(NodeId u, NodeId v, double w) {
   max_weighted_degree_ = std::max(
       {max_weighted_degree_, weighted_degree_[u], weighted_degree_[v]});
   degree_order_dirty_ = true;
+  ++epoch_;
   return Status::OK();
 }
 
@@ -61,6 +62,7 @@ NodeId DynamicGraph::AddNode() {
   delta_.emplace_back();
   weighted_degree_.push_back(0.0);
   degree_order_dirty_ = true;
+  ++epoch_;
   return id;
 }
 

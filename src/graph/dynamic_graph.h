@@ -58,6 +58,9 @@ class DynamicGraph final : public GraphAccessor {
   Status CopyNeighbors(NodeId u, std::vector<Neighbor>* out) override;
   const std::vector<NodeId>& DegreeOrder() const override;
   double MaxWeightedDegree() const override { return max_weighted_degree_; }
+  /// Bumped on every successful AddEdge/AddNode. Compact() does not bump:
+  /// it changes the representation, never the served topology.
+  uint64_t Epoch() const override { return epoch_; }
 
  private:
   /// Returns the delta adjacency row of `u` (sorted by neighbor id).
@@ -66,6 +69,7 @@ class DynamicGraph final : public GraphAccessor {
   Graph base_;
   uint64_t num_nodes_ = 0;
   uint64_t delta_edge_count_ = 0;
+  uint64_t epoch_ = 0;
   std::vector<std::vector<Neighbor>> delta_;   // sorted per node
   std::vector<double> weighted_degree_;        // merged, maintained online
   double max_weighted_degree_ = 0;

@@ -125,6 +125,8 @@ ServiceMetrics::ServiceMetrics() {
   registry.RegisterCounter("queries_error", &queries_error);
   registry.RegisterCounter("queries_certified", &queries_certified);
   registry.RegisterCounter("queries_uncertified", &queries_uncertified);
+  registry.RegisterCounter("cache_hits", &cache_hits);
+  registry.RegisterCounter("cache_misses", &cache_misses);
   registry.RegisterCounter("deadline_expiries", &deadline_expiries);
   registry.RegisterCounter("stats_requests", &stats_requests);
   registry.RegisterGauge("queue_depth", &queue_depth);

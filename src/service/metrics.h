@@ -115,6 +115,8 @@ struct ServiceMetrics {
   Counter queries_error;
   Counter queries_certified;
   Counter queries_uncertified;
+  Counter cache_hits;               ///< answered from the certified cache
+  Counter cache_misses;             ///< ran the search (cache enabled)
   Counter deadline_expiries;
   Counter stats_requests;
   Gauge queue_depth;

@@ -105,7 +105,7 @@ void EncodeResponse(const QueryResponse& response, std::string* out) {
   PutU8(out, static_cast<uint8_t>(response.type));
   PutU8(out, static_cast<uint8_t>(response.status));
   PutU8(out, response.certified ? 1 : 0);
-  PutU8(out, 0);  // reserved
+  PutU8(out, response.cache_hit ? 0x01 : 0);  // flags: bit0 = cache hit
   PutU32(out, static_cast<uint32_t>(response.topk.size()));
   PutU64(out, response.visited);
   PutU64(out, response.wall_us);
@@ -172,11 +172,11 @@ Result<QueryResponse> DecodeResponse(const std::string& payload) {
   uint8_t type = 0;
   uint8_t status = 0;
   uint8_t certified = 0;
-  uint8_t reserved = 0;
+  uint8_t flags = 0;
   uint32_t count = 0;
   QueryResponse resp;
   if (!r.ReadU8(&type) || !r.ReadU8(&status) || !r.ReadU8(&certified) ||
-      !r.ReadU8(&reserved) || !r.ReadU32(&count) ||
+      !r.ReadU8(&flags) || !r.ReadU32(&count) ||
       !r.ReadU64(&resp.visited) || !r.ReadU64(&resp.wall_us)) {
     return Status::InvalidArgument("truncated response payload");
   }
@@ -188,6 +188,7 @@ Result<QueryResponse> DecodeResponse(const std::string& payload) {
   }
   resp.status = static_cast<StatusCode>(status);
   resp.certified = certified != 0;
+  resp.cache_hit = (flags & 0x01) != 0;
   // 32 bytes per row; the cap protects against a hostile length field.
   if (count > r.remaining() / 32) {
     return Status::InvalidArgument("response row count exceeds payload");

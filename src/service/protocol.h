@@ -15,7 +15,8 @@
 //
 // Response payload (one layout for every request type):
 //     u8 type (echoes the request)  u8 status (StatusCode)  u8 certified
-//     u8 reserved  u32 topk_count  u64 visited  u64 wall_us
+//     u8 flags (bit0 = answered from the certified-result cache; other
+//     bits reserved, sent as 0)  u32 topk_count  u64 visited  u64 wall_us
 //     topk_count * { u64 node  f64 score  f64 lower  f64 upper }
 //     u32 message_length  message bytes (error text, or STATS text)
 //
@@ -80,6 +81,9 @@ struct QueryResponse {
   StatusCode status = StatusCode::kOk;
   /// True iff the top-k is exact (bounds certified it before any deadline).
   bool certified = false;
+  /// True iff the server answered from its certified-result cache instead
+  /// of running the search (implies certified).
+  bool cache_hit = false;
   uint64_t visited = 0;
   uint64_t wall_us = 0;
   std::vector<ResponseEntry> topk;

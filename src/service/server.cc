@@ -45,8 +45,11 @@ Status ServiceServer::Start() {
   FLOS_RETURN_IF_ERROR(
       epoll_->Add(wake_->fd(), /*want_read=*/true, /*want_write=*/false));
 
+  if (options_.query_cache_capacity > 0) {
+    query_cache_ = std::make_unique<QueryCache>(options_.query_cache_capacity);
+  }
   sessions_ = std::make_unique<EngineSessionPool>(
-      graph_, static_cast<size_t>(options_.num_workers));
+      graph_, static_cast<size_t>(options_.num_workers), query_cache_.get());
 
   started_ = true;
   stop_.store(false, std::memory_order_relaxed);
@@ -227,6 +230,17 @@ bool ServiceServer::HandleFrame(const std::shared_ptr<Connection>& conn,
       resp.type = MessageType::kStats;
       resp.status = StatusCode::kOk;
       resp.message = metrics_.registry.RenderText();
+      // Derived line: fraction of ok queries whose proof finished. The
+      // raw counters stay above so dashboards can re-derive it.
+      const uint64_t certified = metrics_.queries_certified.value();
+      const uint64_t total = certified + metrics_.queries_uncertified.value();
+      char ratio_line[64];
+      std::snprintf(ratio_line, sizeof(ratio_line),
+                    "ratio certified_ratio %.4f\n",
+                    total > 0 ? static_cast<double>(certified) /
+                                    static_cast<double>(total)
+                              : 0.0);
+      resp.message += ratio_line;
       EnqueueResponse(conn, resp, /*from_io_thread=*/true);
       return true;
     }
@@ -356,6 +370,14 @@ void ServiceServer::ServeQuery(FlosEngine* engine,
     metrics_.queries_ok.Increment();
     resp.status = StatusCode::kOk;
     resp.certified = result->stats.exact;
+    resp.cache_hit = result->stats.cache_hit;
+    if (query_cache_ != nullptr) {
+      if (resp.cache_hit) {
+        metrics_.cache_hits.Increment();
+      } else {
+        metrics_.cache_misses.Increment();
+      }
+    }
     resp.visited = result->stats.visited_nodes;
     resp.wall_us = MicrosBetween(serve_start, serve_end);
     resp.topk.reserve(result->topk.size());

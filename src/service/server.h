@@ -32,6 +32,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/query_cache.h"
 #include "graph/graph.h"
 #include "service/metrics.h"
 #include "service/net_io.h"
@@ -57,6 +58,12 @@ struct ServerOptions {
   bool allow_remote_shutdown = true;
   /// Serving cap on k (bounds the response frame size).
   uint32_t max_k = 10000;
+  /// Certified-result cache entries shared by every worker session
+  /// (core/query_cache.h); 0 disables caching. Safe because the served
+  /// graph is immutable (epoch 0 forever), so entries never go stale;
+  /// repeat queries — the head of any Zipf-skewed workload — answer in
+  /// microseconds with the same certified bounds the search produced.
+  size_t query_cache_capacity = 4096;
 };
 
 /// The query server. Start() spawns the threads; Shutdown() (or the
@@ -137,6 +144,7 @@ class ServiceServer {
   uint16_t port_ = 0;
   std::unique_ptr<Epoll> epoll_;
   std::unique_ptr<WakeFd> wake_;
+  std::unique_ptr<QueryCache> query_cache_;  // must outlive sessions_
   std::unique_ptr<EngineSessionPool> sessions_;
 
   // IO-thread-only connection table.

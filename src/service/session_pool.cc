@@ -5,12 +5,14 @@
 
 namespace flos {
 
-EngineSessionPool::EngineSessionPool(const Graph* graph, size_t capacity) {
+EngineSessionPool::EngineSessionPool(const Graph* graph, size_t capacity,
+                                     QueryCache* query_cache) {
   const size_t n = std::max<size_t>(1, capacity);
   sessions_.reserve(n);
   free_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
     sessions_.push_back(std::make_unique<Session>(graph));
+    sessions_.back()->engine.set_query_cache(query_cache);
     free_.push_back(i);
   }
 }

@@ -27,12 +27,17 @@
 
 namespace flos {
 
+class QueryCache;
+
 /// Fixed-capacity pool of {accessor, engine} sessions over one graph.
 class EngineSessionPool {
  public:
   /// One warm session per slot. `graph` must stay immutable and outlive
-  /// the pool.
-  EngineSessionPool(const Graph* graph, size_t capacity);
+  /// the pool. When `query_cache` is non-null every engine shares it
+  /// (QueryCache is thread-safe), so a result certified on one session is
+  /// a warm hit on all of them; the cache must outlive the pool.
+  EngineSessionPool(const Graph* graph, size_t capacity,
+                    QueryCache* query_cache = nullptr);
 
   EngineSessionPool(const EngineSessionPool&) = delete;
   EngineSessionPool& operator=(const EngineSessionPool&) = delete;

@@ -1,8 +1,9 @@
-// Direct tests of the PHP-form bound engine internals: the dual-dummy
-// upper construction, the tightened dummy values, frontier uppers, and the
-// equivalence of batched and single-node expansion schedules.
+// Direct tests of the unified bound engine's fixed-point internals: the
+// dual-dummy upper construction, the tightened dummy values, frontier
+// uppers, and the equivalence of batched and single-node expansion
+// schedules.
 
-#include "core/bound_engine.h"
+#include "core/unified_bound_engine.h"
 
 #include <gtest/gtest.h>
 
@@ -21,10 +22,10 @@ using testing::ValueOrDie;
 
 struct EngineHarness {
   explicit EngineHarness(const Graph* g, NodeId query,
-                         const BoundEngineOptions& be)
+                         const UnifiedBoundOptions& be)
       : accessor(g), local(&accessor) {
     FLOS_EXPECT_OK(local.Init(query));
-    engine = std::make_unique<PhpBoundEngine>(&local, be);
+    engine = std::make_unique<UnifiedBoundEngine>(&local, be);
   }
 
   // Expands the best-midpoint boundary node once; returns false when
@@ -50,7 +51,7 @@ struct EngineHarness {
 
   InMemoryAccessor accessor;
   LocalGraph local;
-  std::unique_ptr<PhpBoundEngine> engine;
+  std::unique_ptr<UnifiedBoundEngine> engine;
 };
 
 class DualDummyTest : public ::testing::TestWithParam<uint64_t> {};
@@ -64,12 +65,12 @@ TEST_P(DualDummyTest, UppersNeverCrossExactWithAllTighteningsOn) {
   tight.tolerance = 1e-13;
   const auto exact = ValueOrDie(ExactPhp(g, q, alpha, tight));
 
-  BoundEngineOptions be;
-  be.alpha = alpha;
+  UnifiedBoundOptions be;
+  be.traits.alpha = alpha;
   be.tolerance = 1e-9;
   be.self_loop_tightening = true;
   be.alpha_dummy_tightening = true;
-  be.frontier_dummy = true;  // all tightenings at once
+  be.traits.frontier_dummy = true;  // all tightenings at once
   EngineHarness h(&g, q, be);
   int steps = 0;
   while (h.Step() && steps++ < 500) {
@@ -92,9 +93,9 @@ INSTANTIATE_TEST_SUITE_P(Seeds, DualDummyTest, ::testing::Values(1, 2, 3, 4));
 
 TEST(BoundEngineTest, TightDummyIsNoLooserThanMeshDummy) {
   const Graph g = RandomConnectedGraph(150, 450, 9);
-  BoundEngineOptions be;
-  be.alpha = 0.5;
-  be.frontier_dummy = true;
+  UnifiedBoundOptions be;
+  be.traits.alpha = 0.5;
+  be.traits.frontier_dummy = true;
   EngineHarness h(&g, 3, be);
   for (int step = 0; step < 30 && h.Step(); ++step) {
     EXPECT_LE(h.engine->tight_dummy_value(),
@@ -108,8 +109,8 @@ TEST(BoundEngineTest, FrontierUppersDominateUnvisitedExact) {
   ExactSolveOptions tight;
   tight.tolerance = 1e-13;
   const auto exact = ValueOrDie(ExactPhp(g, q, 0.5, tight));
-  BoundEngineOptions be;
-  be.alpha = 0.5;
+  UnifiedBoundOptions be;
+  be.traits.alpha = 0.5;
   EngineHarness h(&g, q, be);
   for (int step = 0; step < 25 && h.Step(); ++step) {
     const auto out = h.engine->ComputeOutsideUppers();
@@ -126,8 +127,8 @@ TEST(BoundEngineTest, PaperDummyRuleWhenTighteningOff) {
   // With alpha_dummy_tightening off, the dummy follows Algorithm 5 line 7
   // verbatim: max upper over the previous boundary, non-increasing.
   const Graph g = RandomConnectedGraph(100, 300, 2);
-  BoundEngineOptions be;
-  be.alpha = 0.5;
+  UnifiedBoundOptions be;
+  be.traits.alpha = 0.5;
   be.alpha_dummy_tightening = false;
   EngineHarness h(&g, 0, be);
   double prev = 1.0;

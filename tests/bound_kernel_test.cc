@@ -1,6 +1,5 @@
 // Property tests for the fused Gauss–Seidel bound kernels
-// (core/bound_engine.cc, core/tht_bound_engine.cc over
-// core/sweep_kernel.h):
+// (core/unified_bound_engine.cc over the core/sweep_kernel.h backends):
 //
 //  (a) the fused sweeps still produce CERTIFIED bounds
 //      (lower <= exact <= upper against measures/exact);
@@ -10,7 +9,8 @@
 //      state) — monotone operators applied to already-updated values can
 //      only tighten;
 //  (c) the THT fused DP is bit-identical to the reference horizon
-//      recursion (it stays Jacobi by necessity; only the row scan fused).
+//      recursion (it stays Jacobi by necessity; only the row scan fused,
+//      never handed to a reordering sweep backend).
 //
 // Parameterized across generator seeds and the no-local-optimum measures:
 // PHP (alpha = c) and EI/DHT (alpha = 1 - c) share the PHP-form system,
@@ -21,9 +21,8 @@
 #include <algorithm>
 #include <vector>
 
-#include "core/bound_engine.h"
 #include "core/local_graph.h"
-#include "core/tht_bound_engine.h"
+#include "core/unified_bound_engine.h"
 #include "graph/accessor.h"
 #include "measures/exact.h"
 #include "tests/test_util.h"
@@ -36,8 +35,8 @@ using testing::ValueOrDie;
 
 // Grows S to roughly half the graph by repeatedly expanding the first
 // boundary node, WITHOUT any engine attached — the dirty-node list stays
-// intact, so a PhpBoundEngine constructed afterwards sees every node as
-// dirty and computes fresh coefficients for the whole subgraph.
+// intact, so a UnifiedBoundEngine constructed afterwards sees every node
+// as dirty and computes fresh coefficients for the whole subgraph.
 void GrowHalf(LocalGraph* local, uint32_t target) {
   while (local->Size() < target && !local->Exhausted()) {
     for (LocalId i = 0; i < local->Size(); ++i) {
@@ -52,8 +51,8 @@ void GrowHalf(LocalGraph* local, uint32_t target) {
 // The pre-fusion kernel, verbatim: per-node boundary coefficients
 // recomputed from the neighbor lists, then separate lower and upper
 // Jacobi double-buffer sweeps with the monotone clamps. Dummy values stay
-// at their initial 1.0, matching a PhpBoundEngine that never captured a
-// boundary dummy.
+// at their initial 1.0, matching a UnifiedBoundEngine that never captured
+// a boundary dummy.
 struct JacobiBaseline {
   std::vector<double> lower;
   std::vector<double> upper;
@@ -176,12 +175,12 @@ TEST_P(FusedKernelTest, GaussSeidelIsCertifiedAndNoLooserThanJacobi) {
 
   for (const bool self_loop : {false, true}) {
     constexpr uint32_t kBudget = 5;  // sweeps for both solvers
-    BoundEngineOptions be;
-    be.alpha = alpha;
+    UnifiedBoundOptions be;
+    be.traits.alpha = alpha;
     be.self_loop_tightening = self_loop;
     be.tolerance = 0;  // never converge early: run exactly kBudget sweeps
     be.max_inner_iterations = kBudget;
-    PhpBoundEngine engine(&local, be);
+    UnifiedBoundEngine engine(&local, be);
     // The engine consumes the dirty list; reuse requires regrowing, so the
     // second self_loop pass re-marks everything dirty via a fresh harness
     // below instead. First pass: dirty list is full.
@@ -247,7 +246,10 @@ TEST_P(ThtKernelTest, FusedDpMatchesReferenceAndStaysCertified) {
   FLOS_ASSERT_OK(local.Init(q));
   GrowHalf(&local, static_cast<uint32_t>(g.NumNodes() / 2));
 
-  ThtBoundEngine engine(&local, length);
+  UnifiedBoundOptions be;
+  be.traits.family = BoundFamily::kHorizonDp;
+  be.traits.horizon = length;
+  UnifiedBoundEngine engine(&local, be);
   engine.UpdateBounds();
 
   // Reference horizon recursion: the pre-fusion DP with explicit per-node
@@ -323,10 +325,10 @@ TEST(FusedKernelConvergenceTest, GaussSeidelConvergesInNoMoreSweeps) {
   FLOS_ASSERT_OK(local.Init(q));
   GrowHalf(&local, 100);
 
-  BoundEngineOptions be;
-  be.alpha = alpha;
+  UnifiedBoundOptions be;
+  be.traits.alpha = alpha;
   be.tolerance = tol;
-  PhpBoundEngine engine(&local, be);
+  UnifiedBoundEngine engine(&local, be);
   engine.OnGrowth();
   const uint32_t gs_sweeps = engine.UpdateBounds();
 

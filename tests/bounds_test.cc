@@ -9,7 +9,7 @@
 
 #include "core/flos.h"
 #include "core/local_graph.h"
-#include "core/tht_bound_engine.h"
+#include "core/unified_bound_engine.h"
 #include "measures/exact.h"
 #include "tests/test_util.h"
 
@@ -132,7 +132,10 @@ TEST(ThtBoundsTest, SandwichAndConvergence) {
   InMemoryAccessor accessor(&g);
   LocalGraph local(&accessor);
   FLOS_ASSERT_OK(local.Init(q));
-  ThtBoundEngine engine(&local, length);
+  UnifiedBoundOptions be;
+  be.traits.family = BoundFamily::kHorizonDp;
+  be.traits.horizon = length;
+  UnifiedBoundEngine engine(&local, be);
   std::vector<double> prev_lower;
   std::vector<double> prev_upper;
   // Expand arbitrarily (round-robin over boundary) until exhausted.

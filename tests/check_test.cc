@@ -9,8 +9,8 @@
 
 #include <memory>
 
-#include "core/bound_engine.h"
 #include "core/local_graph.h"
+#include "core/unified_bound_engine.h"
 #include "graph/accessor.h"
 #include "graph/graph.h"
 #include "tests/test_util.h"
@@ -106,7 +106,7 @@ TEST(FlosCheckTest, AuditScopeRunsOnlyUnderTheAuditPreset) {
 }
 
 // ---------------------------------------------------------------------------
-// Injected corruption: the sandwich audit in PhpBoundEngine::FusedSolve
+// Injected corruption: the sandwich audit in UnifiedBoundEngine::FusedSolve
 // must catch a bound that was deliberately broken. This is the end-to-end
 // proof that the audit layer guards the exactness invariant, not just
 // that the macros abort.
@@ -115,9 +115,9 @@ struct CorruptionHarness {
   CorruptionHarness() : graph(PaperExampleGraph()), accessor(&graph) {
     local = std::make_unique<LocalGraph>(&accessor);
     EXPECT_TRUE(local->Init(NodeId{0}).ok());
-    BoundEngineOptions be;
-    be.alpha = 0.5;
-    engine = std::make_unique<PhpBoundEngine>(local.get(), be);
+    UnifiedBoundOptions be;
+    be.traits.alpha = 0.5;
+    engine = std::make_unique<UnifiedBoundEngine>(local.get(), be);
     // Grow S a little so there are real interior/boundary nodes.
     EXPECT_TRUE(local->Expand(0).ok());
     engine->OnGrowth();
@@ -127,7 +127,7 @@ struct CorruptionHarness {
   Graph graph;
   InMemoryAccessor accessor;
   std::unique_ptr<LocalGraph> local;
-  std::unique_ptr<PhpBoundEngine> engine;
+  std::unique_ptr<UnifiedBoundEngine> engine;
 };
 
 #if FLOS_AUDIT_ENABLED

@@ -1,0 +1,132 @@
+// Expansion-policy tests. FLoS bounds are rigorous for every visited set,
+// so ANY schedule must terminate with the same certified top-k — the
+// policies only change how many nodes the proof visits. These tests pin
+// the scoring functions themselves and then verify the schedule-
+// independence claim end to end against exact ground truth.
+
+#include "core/expansion_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/flos.h"
+#include "measures/exact.h"
+#include "measures/measure.h"
+#include "tests/test_util.h"
+
+namespace flos {
+namespace {
+
+using testing::ExpectTopKMatchesScores;
+using testing::RandomConnectedGraph;
+using testing::ValueOrDie;
+
+TEST(ExpansionPolicyTest, KindsResolveToStatelessInstances) {
+  const ExpansionPolicy* best = GetExpansionPolicy(
+      ExpansionPolicyKind::kBestFirst);
+  const ExpansionPolicy* greedy = GetExpansionPolicy(
+      ExpansionPolicyKind::kBoundGapGreedy);
+  ASSERT_NE(best, nullptr);
+  ASSERT_NE(greedy, nullptr);
+  EXPECT_NE(best, greedy);
+  EXPECT_EQ(best, GetExpansionPolicy(ExpansionPolicyKind::kBestFirst))
+      << "policies are stateless singletons";
+  EXPECT_STREQ(best->name(), "best_first");
+  EXPECT_STREQ(greedy->name(), "bound_gap_greedy");
+  EXPECT_STREQ(ExpansionPolicyKindName(ExpansionPolicyKind::kBestFirst),
+               "best_first");
+  EXPECT_STREQ(
+      ExpansionPolicyKindName(ExpansionPolicyKind::kBoundGapGreedy),
+      "bound_gap_greedy");
+}
+
+TEST(ExpansionPolicyTest, BestFirstRanksByMidpoint) {
+  const ExpansionPolicy* best =
+      GetExpansionPolicy(ExpansionPolicyKind::kBestFirst);
+  ExpansionContext context;
+  // Maximize: the higher midpoint wins.
+  EXPECT_GT(best->Priority(0.4, 0.6, context),
+            best->Priority(0.1, 0.3, context));
+  // Minimize (THT): the lower midpoint wins.
+  context.minimize = true;
+  EXPECT_GT(best->Priority(0.1, 0.3, context),
+            best->Priority(0.4, 0.6, context));
+}
+
+TEST(ExpansionPolicyTest, BoundGapGreedyPrefersContestedIntervals) {
+  const ExpansionPolicy* greedy =
+      GetExpansionPolicy(ExpansionPolicyKind::kBoundGapGreedy);
+  ExpansionContext context;
+  context.has_threshold = true;
+  context.threshold = 0.5;
+  // A wide interval straddling the threshold blocks certification; it must
+  // outrank a narrow interval sitting far below it.
+  EXPECT_GT(greedy->Priority(0.4, 0.7, context),
+            greedy->Priority(0.05, 0.10, context));
+  // Two straddling intervals: the wider one can move the proof more.
+  EXPECT_GT(greedy->Priority(0.3, 0.8, context),
+            greedy->Priority(0.45, 0.55, context));
+  // Same width, one clear of the threshold: the contested one wins.
+  EXPECT_GT(greedy->Priority(0.45, 0.55, context),
+            greedy->Priority(0.05, 0.15, context));
+}
+
+// The exactness claim, per policy and per measure, against whole-graph
+// ground truth: both schedules must certify and match the exact top-k.
+TEST(ExpansionPolicyTest, BothPoliciesCertifyTheExactTopK) {
+  const Graph graph = RandomConnectedGraph(350, 1400, 31);
+  const int k = 8;
+  MeasureParams params;
+  for (const ExpansionPolicyKind kind :
+       {ExpansionPolicyKind::kBestFirst,
+        ExpansionPolicyKind::kBoundGapGreedy}) {
+    for (const Measure measure :
+         {Measure::kPhp, Measure::kEi, Measure::kDht, Measure::kTht,
+          Measure::kRwr}) {
+      FlosOptions options;
+      options.measure = measure;
+      options.expansion_policy = kind;
+      for (const NodeId query : {NodeId{2}, NodeId{77}, NodeId{300}}) {
+        const FlosResult result =
+            ValueOrDie(FlosTopK(graph, query, k, options));
+        ASSERT_TRUE(result.stats.exact)
+            << ExpansionPolicyKindName(kind) << "/" << MeasureName(measure)
+            << " failed to certify";
+        const std::vector<double> exact =
+            ValueOrDie(ExactMeasure(graph, query, measure, params));
+        std::vector<NodeId> returned;
+        for (const ScoredNode& s : result.topk) returned.push_back(s.node);
+        ExpectTopKMatchesScores(returned, exact, query, k,
+                                MeasureDirection(measure));
+      }
+    }
+  }
+}
+
+// The policies genuinely differ: on a straightforward search they should
+// not expand identical node counts every time (a regression where both
+// kinds silently share one scoring function would pass every exactness
+// test above). Visited-count equality on EVERY query would be suspicious;
+// we only require one difference across a handful of queries.
+TEST(ExpansionPolicyTest, PoliciesProduceDifferentSchedules) {
+  const Graph graph = RandomConnectedGraph(400, 1600, 37);
+  bool any_difference = false;
+  for (const NodeId query : {NodeId{1}, NodeId{50}, NodeId{123},
+                             NodeId{222}, NodeId{333}}) {
+    FlosOptions options;
+    options.measure = Measure::kPhp;
+    options.expansion_policy = ExpansionPolicyKind::kBestFirst;
+    const FlosResult best = ValueOrDie(FlosTopK(graph, query, 5, options));
+    options.expansion_policy = ExpansionPolicyKind::kBoundGapGreedy;
+    const FlosResult greedy = ValueOrDie(FlosTopK(graph, query, 5, options));
+    if (best.stats.visited_nodes != greedy.stats.visited_nodes) {
+      any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference)
+      << "the two policies visited identical node counts on every query";
+}
+
+}  // namespace
+}  // namespace flos

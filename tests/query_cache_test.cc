@@ -1,0 +1,206 @@
+// Tests for the certified-result query cache: hit/miss semantics, the
+// certified-only admission rule, LRU eviction, exact epoch-based
+// invalidation against a mutating DynamicGraph, and the FLOS_AUDIT
+// backstop that a cache can never serve a stale graph epoch.
+
+#include "core/query_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/flos.h"
+#include "core/flos_engine.h"
+#include "graph/dynamic_graph.h"
+#include "tests/test_util.h"
+#include "util/check.h"
+
+namespace flos {
+namespace {
+
+using testing::RandomConnectedGraph;
+using testing::ValueOrDie;
+
+QueryCache::Key TestKey(NodeId query, uint64_t epoch = 0) {
+  QueryCache::Key key;
+  key.query = query;
+  key.measure = Measure::kPhp;
+  key.k = 10;
+  key.c = 0.5;
+  key.tht_length = 10;
+  key.epoch = epoch;
+  return key;
+}
+
+FlosResult CertifiedResult(NodeId top_node) {
+  FlosResult result;
+  ScoredNode s;
+  s.node = top_node;
+  s.score = 0.25;
+  s.lower = 0.24;
+  s.upper = 0.26;
+  result.topk.push_back(s);
+  result.stats.exact = true;
+  result.stats.visited_nodes = 42;
+  return result;
+}
+
+TEST(QueryCacheTest, MissThenHitReturnsStoredResult) {
+  QueryCache cache(4);
+  FlosResult out;
+  EXPECT_FALSE(cache.Lookup(TestKey(7), &out));
+  EXPECT_EQ(cache.misses(), 1u);
+
+  cache.Insert(TestKey(7), CertifiedResult(3));
+  EXPECT_EQ(cache.size(), 1u);
+  ASSERT_TRUE(cache.Lookup(TestKey(7), &out));
+  EXPECT_EQ(cache.hits(), 1u);
+  ASSERT_EQ(out.topk.size(), 1u);
+  EXPECT_EQ(out.topk[0].node, 3u);
+  EXPECT_TRUE(out.stats.exact) << "hits must stay certified";
+  EXPECT_TRUE(out.stats.cache_hit) << "hits must be marked as such";
+}
+
+TEST(QueryCacheTest, KeyFieldsAllDiscriminate) {
+  QueryCache cache(16);
+  cache.Insert(TestKey(7), CertifiedResult(3));
+  FlosResult out;
+  QueryCache::Key other = TestKey(8);
+  EXPECT_FALSE(cache.Lookup(other, &out));
+  other = TestKey(7);
+  other.measure = Measure::kRwr;
+  EXPECT_FALSE(cache.Lookup(other, &out));
+  other = TestKey(7);
+  other.k = 11;
+  EXPECT_FALSE(cache.Lookup(other, &out));
+  other = TestKey(7);
+  other.c = 0.6;
+  EXPECT_FALSE(cache.Lookup(other, &out));
+  other = TestKey(7);
+  other.epoch = 1;
+  EXPECT_FALSE(cache.Lookup(other, &out))
+      << "a bumped epoch must never match an older entry";
+}
+
+TEST(QueryCacheTest, RejectsUncertifiedResults) {
+  QueryCache cache(4);
+  FlosResult anytime = CertifiedResult(3);
+  anytime.stats.exact = false;  // deadline cut the proof short
+  cache.Insert(TestKey(7), anytime);
+  EXPECT_EQ(cache.size(), 0u) << "only certified results may be cached";
+  FlosResult out;
+  EXPECT_FALSE(cache.Lookup(TestKey(7), &out));
+}
+
+TEST(QueryCacheTest, EvictsLeastRecentlyUsed) {
+  QueryCache cache(2);
+  cache.Insert(TestKey(1), CertifiedResult(10));
+  cache.Insert(TestKey(2), CertifiedResult(20));
+  FlosResult out;
+  ASSERT_TRUE(cache.Lookup(TestKey(1), &out));  // freshen 1 -> 2 is LRU
+  cache.Insert(TestKey(3), CertifiedResult(30));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_FALSE(cache.Lookup(TestKey(2), &out))
+      << "key 2 was least recently used and must be evicted";
+  EXPECT_TRUE(cache.Lookup(TestKey(1), &out));
+  EXPECT_TRUE(cache.Lookup(TestKey(3), &out));
+}
+
+TEST(QueryCacheTest, ZeroCapacityDisablesAdmission) {
+  QueryCache cache(0);
+  cache.Insert(TestKey(1), CertifiedResult(10));
+  EXPECT_EQ(cache.size(), 0u);
+  FlosResult out;
+  EXPECT_FALSE(cache.Lookup(TestKey(1), &out));
+}
+
+TEST(QueryCacheTest, ClearEmptiesTheCache) {
+  QueryCache cache(4);
+  cache.Insert(TestKey(1), CertifiedResult(10));
+  cache.Insert(TestKey(2), CertifiedResult(20));
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  FlosResult out;
+  EXPECT_FALSE(cache.Lookup(TestKey(1), &out));
+}
+
+// The end-to-end contract: an engine with a cache serves the second
+// identical query from the cache, and a graph mutation (epoch bump)
+// exactly invalidates — the next query recomputes against the new graph.
+TEST(QueryCacheTest, EngineHitsThenEpochBumpInvalidates) {
+  DynamicGraph dyn{RandomConnectedGraph(300, 900, 11)};
+  QueryCache cache(64);
+  FlosEngine engine(&dyn);
+  engine.set_query_cache(&cache);
+
+  FlosOptions options;
+  options.measure = Measure::kPhp;
+  const FlosResult first = ValueOrDie(engine.TopK(5, 8, options));
+  ASSERT_TRUE(first.stats.exact);
+  EXPECT_FALSE(first.stats.cache_hit);
+  EXPECT_EQ(cache.size(), 1u);
+
+  const FlosResult second = ValueOrDie(engine.TopK(5, 8, options));
+  EXPECT_TRUE(second.stats.cache_hit) << "identical repeat query must hit";
+  EXPECT_TRUE(second.stats.exact);
+  ASSERT_EQ(second.topk.size(), first.topk.size());
+  for (size_t i = 0; i < first.topk.size(); ++i) {
+    EXPECT_EQ(second.topk[i].node, first.topk[i].node);
+    EXPECT_DOUBLE_EQ(second.topk[i].score, first.topk[i].score);
+  }
+
+  // Mutate the graph: the epoch bump makes every cached key unreachable,
+  // so the same query recomputes — and agrees with a cache-free engine
+  // over the updated graph.
+  const uint64_t epoch_before = dyn.Epoch();
+  FLOS_ASSERT_OK(dyn.AddEdge(5, 250, 3.0));
+  EXPECT_GT(dyn.Epoch(), epoch_before);
+  const FlosResult third = ValueOrDie(engine.TopK(5, 8, options));
+  EXPECT_FALSE(third.stats.cache_hit)
+      << "a graph update must invalidate the cached answer";
+  const FlosResult fresh = ValueOrDie(FlosTopK(&dyn, 5, 8, options));
+  ASSERT_EQ(third.topk.size(), fresh.topk.size());
+  for (size_t i = 0; i < fresh.topk.size(); ++i) {
+    EXPECT_EQ(third.topk[i].node, fresh.topk[i].node);
+    EXPECT_NEAR(third.topk[i].score, fresh.topk[i].score, 1e-12);
+  }
+
+  // And the post-update answer is itself cached under the new epoch.
+  const FlosResult fourth = ValueOrDie(engine.TopK(5, 8, options));
+  EXPECT_TRUE(fourth.stats.cache_hit);
+}
+
+TEST(QueryCacheTest, MultiSourceQueriesBypassTheCache) {
+  DynamicGraph dyn{RandomConnectedGraph(200, 600, 13)};
+  QueryCache cache(64);
+  FlosEngine engine(&dyn);
+  engine.set_query_cache(&cache);
+  FlosOptions options;
+  const std::vector<NodeId> sources = {3, 9};
+  const FlosResult a = ValueOrDie(engine.TopKSet(sources, 5, options));
+  ASSERT_TRUE(a.stats.exact);
+  EXPECT_EQ(cache.size(), 0u) << "set queries are not cacheable";
+  const FlosResult b = ValueOrDie(engine.TopKSet(sources, 5, options));
+  EXPECT_FALSE(b.stats.cache_hit);
+}
+
+#if FLOS_AUDIT_ENABLED
+
+using QueryCacheDeathTest = ::testing::Test;
+
+TEST(QueryCacheDeathTest, ServingAStaleEpochTripsTheAudit) {
+  QueryCache cache(4);
+  cache.Insert(TestKey(7), CertifiedResult(3));
+  // Simulate the impossible: an entry whose stored epoch disagrees with
+  // the key it is filed under (only corruption or an invalidation bug can
+  // produce this). The audit tier must refuse to serve it.
+  ASSERT_TRUE(cache.CorruptEpochForTest(TestKey(7), /*stored_epoch=*/99));
+  FlosResult out;
+  EXPECT_DEATH(cache.Lookup(TestKey(7), &out),
+               "query cache serving a stale graph epoch");
+}
+
+#endif  // FLOS_AUDIT_ENABLED
+
+}  // namespace
+}  // namespace flos

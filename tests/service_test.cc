@@ -136,7 +136,100 @@ TEST_F(ServiceTest, MatchesInProcessEngineForEveryMeasure) {
       EXPECT_DOUBLE_EQ(resp.topk[i].score, local.topk[i].score)
           << MeasureName(measure) << " rank " << i;
     }
+
+    // And against whole-graph ground truth, closing the loop client ->
+    // wire -> worker -> unified engine -> exact solver.
+    MeasureParams params;
+    const std::vector<double> exact = ValueOrDie(
+        ExactMeasure(graph_, 17, measure, params));
+    std::vector<NodeId> returned;
+    for (const ResponseEntry& e : resp.topk) {
+      returned.push_back(static_cast<NodeId>(e.node));
+    }
+    flos::testing::ExpectTopKMatchesScores(returned, exact, 17, 10,
+                                           MeasureDirection(measure));
   }
+}
+
+TEST_F(ServiceTest, RepeatQueryIsServedFromTheCertifiedCache) {
+  StartServer();  // default options: query cache enabled
+  ServiceClient client = Connect();
+  QueryRequest req;
+  req.measure = Measure::kRwr;
+  req.query_node = 23;
+  req.k = 10;
+  const QueryResponse first = ValueOrDie(client.Query(req));
+  ASSERT_EQ(first.status, StatusCode::kOk) << first.message;
+  ASSERT_TRUE(first.certified);
+  EXPECT_FALSE(first.cache_hit);
+
+  const QueryResponse second = ValueOrDie(client.Query(req));
+  ASSERT_EQ(second.status, StatusCode::kOk) << second.message;
+  EXPECT_TRUE(second.cache_hit) << "identical repeat query must hit";
+  EXPECT_TRUE(second.certified) << "cache hits are certified by admission";
+  ASSERT_EQ(second.topk.size(), first.topk.size());
+  for (size_t i = 0; i < first.topk.size(); ++i) {
+    EXPECT_EQ(second.topk[i].node, first.topk[i].node);
+    EXPECT_DOUBLE_EQ(second.topk[i].score, first.topk[i].score);
+    EXPECT_DOUBLE_EQ(second.topk[i].lower, first.topk[i].lower);
+    EXPECT_DOUBLE_EQ(second.topk[i].upper, first.topk[i].upper);
+  }
+  EXPECT_EQ(server_->metrics().cache_hits.value(), 1u);
+  EXPECT_EQ(server_->metrics().cache_misses.value(), 1u);
+
+  // Different parameters must not hit.
+  req.k = 5;
+  const QueryResponse third = ValueOrDie(client.Query(req));
+  ASSERT_EQ(third.status, StatusCode::kOk);
+  EXPECT_FALSE(third.cache_hit) << "k is part of the cache key";
+
+  // The cache shows up in STATS: raw counters plus the derived ratio.
+  const QueryResponse stats = ValueOrDie(client.Stats());
+  EXPECT_NE(stats.message.find("counter cache_hits 1"), std::string::npos)
+      << stats.message;
+  EXPECT_NE(stats.message.find("ratio certified_ratio"), std::string::npos)
+      << stats.message;
+}
+
+TEST_F(ServiceTest, QueryCacheCanBeDisabled) {
+  ServerOptions options;
+  options.query_cache_capacity = 0;
+  StartServer(options);
+  ServiceClient client = Connect();
+  QueryRequest req;
+  req.query_node = 23;
+  req.k = 10;
+  for (int round = 0; round < 2; ++round) {
+    const QueryResponse resp = ValueOrDie(client.Query(req));
+    ASSERT_EQ(resp.status, StatusCode::kOk);
+    EXPECT_FALSE(resp.cache_hit) << "round " << round;
+  }
+  EXPECT_EQ(server_->metrics().cache_hits.value(), 0u);
+  EXPECT_EQ(server_->metrics().cache_misses.value(), 0u)
+      << "with the cache disabled neither counter may move";
+}
+
+TEST_F(ServiceTest, UncertifiedAnswersAreNeverCached) {
+  StartServer();
+  ServiceClient client = Connect();
+  QueryRequest req;
+  req.measure = Measure::kPhp;
+  req.query_node = 3;
+  req.k = 10;
+  req.deadline_us = 1;  // expires mid-search: uncertified anytime answer
+  const QueryResponse cut = ValueOrDie(client.Query(req));
+  ASSERT_EQ(cut.status, StatusCode::kOk);
+  ASSERT_FALSE(cut.certified);
+  EXPECT_FALSE(cut.cache_hit);
+
+  // The same query without a deadline must run the real search (no stale
+  // uncertified entry to hit) and come back certified.
+  req.deadline_us = 0;
+  const QueryResponse full = ValueOrDie(client.Query(req));
+  ASSERT_EQ(full.status, StatusCode::kOk);
+  EXPECT_TRUE(full.certified);
+  EXPECT_FALSE(full.cache_hit)
+      << "an uncertified answer must not have been admitted to the cache";
 }
 
 TEST_F(ServiceTest, DeadlineExpiryReturnsRigorousUncertifiedBounds) {

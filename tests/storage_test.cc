@@ -39,6 +39,44 @@ TEST(LruBlockCacheTest, EvictsLeastRecentlyUsed) {
   EXPECT_LE(cache.used_bytes(), 10u);
 }
 
+TEST(LruBlockCacheTest, EvictionFollowsTheFullTouchOrder) {
+  // Four 4-byte blocks in a 16-byte budget; every Get reshuffles recency.
+  LruBlockCache cache(16);
+  for (uint64_t id = 1; id <= 4; ++id) {
+    cache.Put(id, std::vector<char>(4, static_cast<char>('a' + id)));
+  }
+  EXPECT_EQ(cache.num_blocks(), 4u);
+  // After touching 3, 1, 4, 2 the recency order is (oldest) 3 1 4 2.
+  ASSERT_NE(cache.Get(3), nullptr);
+  ASSERT_NE(cache.Get(1), nullptr);
+  ASSERT_NE(cache.Get(4), nullptr);
+  ASSERT_NE(cache.Get(2), nullptr);
+  cache.Put(5, std::vector<char>(4, 'e'));  // evicts 3
+  EXPECT_EQ(cache.Get(3), nullptr);
+  EXPECT_NE(cache.Get(1), nullptr);  // 1 freshened again
+  cache.Put(6, std::vector<char>(4, 'f'));  // evicts 4 (1 was re-touched)
+  EXPECT_EQ(cache.Get(4), nullptr);
+  EXPECT_NE(cache.Get(1), nullptr);
+  EXPECT_NE(cache.Get(2), nullptr);
+  EXPECT_NE(cache.Get(5), nullptr);
+  EXPECT_NE(cache.Get(6), nullptr);
+  EXPECT_LE(cache.used_bytes(), 16u);
+  EXPECT_EQ(cache.num_blocks(), 4u);
+}
+
+TEST(LruBlockCacheTest, ReinsertingAKeyReplacesItsBytes) {
+  LruBlockCache cache(64);
+  cache.Put(1, std::vector<char>(8, 'a'));
+  cache.Put(1, std::vector<char>(16, 'b'));
+  EXPECT_EQ(cache.num_blocks(), 1u);
+  EXPECT_EQ(cache.used_bytes(), 16u)
+      << "the old block's bytes must not leak into the budget";
+  const std::vector<char>* block = cache.Get(1);
+  ASSERT_NE(block, nullptr);
+  EXPECT_EQ(block->size(), 16u);
+  EXPECT_EQ((*block)[0], 'b');
+}
+
 TEST(LruBlockCacheTest, OversizedBlockIsNotCached) {
   LruBlockCache cache(4);
   cache.Put(1, std::vector<char>(16, 'x'));
@@ -115,6 +153,42 @@ TEST(DiskGraphTest, TinyCacheStillCorrect) {
   }
   EXPECT_GT(disk->stats().cache_hits, 0u);
   EXPECT_GT(disk->stats().cache_misses, 2u);
+  std::remove(path.c_str());
+}
+
+TEST(DiskGraphTest, RepeatQueriesReuseCachedBlocksWithoutNewIo) {
+  // A cache big enough for the whole adjacency region: the first query
+  // pays the I/O, every later query over the same region must be served
+  // from cached blocks — zero new bytes read. This is the storage-layer
+  // analogue of the engine's certified-result cache: repeat work hits
+  // warm state instead of the disk.
+  const Graph g = RandomConnectedGraph(400, 1200, 41);
+  const std::string path = TempPath("block_reuse.flos");
+  FLOS_ASSERT_OK(WriteDiskGraph(g, path));
+  DiskGraphOptions disk_options;
+  disk_options.cache_bytes = 1 << 22;  // 4 MiB >> the whole file
+  disk_options.block_bytes = 1 << 10;
+  auto disk = ValueOrDie(DiskGraph::Open(path, disk_options));
+
+  FlosOptions options;
+  options.measure = Measure::kPhp;
+  const FlosResult first = ValueOrDie(FlosTopK(disk.get(), 7, 10, options));
+  ASSERT_TRUE(first.stats.exact);
+  const uint64_t bytes_after_first = disk->stats().bytes_read;
+  const uint64_t misses_after_first = disk->stats().cache_misses;
+  EXPECT_GT(bytes_after_first, 0u);
+
+  const FlosResult second = ValueOrDie(FlosTopK(disk.get(), 7, 10, options));
+  ASSERT_TRUE(second.stats.exact);
+  EXPECT_EQ(disk->stats().bytes_read, bytes_after_first)
+      << "repeat query must not touch the disk";
+  EXPECT_EQ(disk->stats().cache_misses, misses_after_first);
+  EXPECT_GT(disk->stats().cache_hits, 0u);
+  ASSERT_EQ(second.topk.size(), first.topk.size());
+  for (size_t i = 0; i < first.topk.size(); ++i) {
+    EXPECT_EQ(second.topk[i].node, first.topk[i].node);
+    EXPECT_DOUBLE_EQ(second.topk[i].score, first.topk[i].score);
+  }
   std::remove(path.c_str());
 }
 
