@@ -101,6 +101,7 @@ struct SweepFixture {
     self_coeff.assign(n, 0.0);
     mesh_dummy_coeff.assign(n, 0.0);
     plain_dummy_coeff.assign(n, 0.0);
+    hidden_coeff.assign(n, 0.0);
     legacy_rows.resize(n);
     row_entries = 0;
     for (LocalId i = 0; i < n; ++i) {
@@ -251,6 +252,7 @@ struct SweepFixture {
     args.self_coeff = self_coeff.data();
     args.mesh_dummy_coeff = mesh_dummy_coeff.data();
     args.plain_dummy_coeff = plain_dummy_coeff.data();
+    args.hidden_coeff = hidden_coeff.data();
     args.alpha = kAlpha;
     args.dummy_tight = 1.0;
     args.dummy_mesh = 1.0;
@@ -276,6 +278,7 @@ struct SweepFixture {
   std::vector<double> self_coeff;
   std::vector<double> mesh_dummy_coeff;
   std::vector<double> plain_dummy_coeff;
+  std::vector<double> hidden_coeff;
   std::vector<double> audit_prev_lo;
   std::vector<double> audit_prev_hi;
   uint64_t row_entries = 0;

@@ -6,14 +6,18 @@
 // queries (--deadline-us budget) against degree>=1 nodes. Query nodes are
 // drawn uniformly or, with --zipf=s > 0, from a Zipf(s) distribution over
 // node ids — the skewed repeat-heavy shape of real query logs, which is
-// what the server's certified-result cache is for. Client-side latencies
-// feed per-outcome LatencyHistograms: certified and uncertified answers
-// get separate percentile tracks (a certified cache hit is microseconds, a
-// proof is milliseconds; one merged histogram would hide both), and
-// OVERLOADED rejections land in their own bucket so admission-control
-// pushback never pollutes the service-time percentiles. The run reports
-// QPS, per-track p50/p95/p99, and the server's own cache/certification
-// counters, and writes everything to --json (BENCH_service.json).
+// what the server's certified-result cache is for. Every client-side
+// latency is kept as a RAW sample, so the reported percentiles are exact
+// order statistics (nearest-rank over the merged samples), not histogram
+// bucket upper bounds — at a 5 ms deadline the interesting tail lives
+// inside one power-of-two bucket, where an upper bound would flatten it.
+// Certified and uncertified answers get separate percentile tracks (a
+// certified cache hit is microseconds, a proof is milliseconds; one merged
+// track would hide both), and OVERLOADED rejections land in their own
+// track so admission-control pushback never pollutes the service-time
+// percentiles. The run reports QPS, per-track p50/p95/p99, and the
+// server's own cache/certification counters, and writes everything to
+// --json (BENCH_service.json).
 //
 //   ./bench/bench_service_load --scale=1 --duration-s=5
 //   ./bench/bench_service_load --scale=1 --zipf=0.99 --measure=rwr
@@ -36,7 +40,6 @@
 
 #include "bench/harness.h"
 #include "service/client.h"
-#include "service/metrics.h"
 #include "service/server.h"
 #include "util/flags.h"
 #include "util/rng.h"
@@ -82,11 +85,12 @@ struct ClientStats {
   uint64_t cache_hits = 0;
   uint64_t overloaded = 0;
   uint64_t errors = 0;
-  // Separate tracks: certified vs anytime-uncertified service times, plus
-  // admission-control rejections in their own bucket.
-  flos::LatencyHistogram certified_us;
-  flos::LatencyHistogram uncertified_us;
-  flos::LatencyHistogram overloaded_us;
+  // Raw per-outcome latency samples (exact percentiles are computed over
+  // the merged vectors after the run): certified vs anytime-uncertified
+  // service times, plus admission-control rejections in their own track.
+  std::vector<uint64_t> certified_us;
+  std::vector<uint64_t> uncertified_us;
+  std::vector<uint64_t> overloaded_us;
 };
 
 void RunClient(const std::string& host, uint16_t port, uint64_t seed,
@@ -124,30 +128,27 @@ void RunClient(const std::string& host, uint16_t port, uint64_t seed,
       ++stats->ok;
       if (resp->certified) {
         ++stats->certified;
-        stats->certified_us.Record(micros);
+        stats->certified_us.push_back(micros);
       } else {
-        stats->uncertified_us.Record(micros);
+        stats->uncertified_us.push_back(micros);
       }
       if (resp->cache_hit) ++stats->cache_hits;
     } else if (resp->status == flos::StatusCode::kOverloaded) {
       ++stats->overloaded;
-      stats->overloaded_us.Record(micros);
+      stats->overloaded_us.push_back(micros);
     } else {
       ++stats->errors;
     }
   }
 }
 
-// Replay bucket counts at their upper bound: percentile upper bounds merge
-// exactly, which is all this report uses.
-void MergeInto(flos::LatencyHistogram* dst,
-               const flos::LatencyHistogram& src) {
-  const auto buckets = src.Snapshot();
-  const auto& bounds = flos::LatencyHistogram::BucketBounds();
-  for (size_t b = 0; b < buckets.size(); ++b) {
-    const uint64_t rep = b < bounds.size() ? bounds[b] : bounds.back() + 1;
-    for (uint64_t n = 0; n < buckets[b]; ++n) dst->Record(rep);
-  }
+/// Exact nearest-rank percentile over raw samples; the vector must be
+/// sorted. Empty track -> 0 (nothing to report).
+uint64_t Percentile(const std::vector<uint64_t>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const size_t rank = static_cast<size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  return sorted[std::min(rank > 0 ? rank - 1 : 0, sorted.size() - 1)];
 }
 
 int Run(int argc, char** argv) {
@@ -237,7 +238,7 @@ int Run(int argc, char** argv) {
                                     bench_start)
           .count();
 
-  flos::LatencyHistogram certified_us, uncertified_us, overloaded_us, all_us;
+  std::vector<uint64_t> certified_us, uncertified_us, overloaded_us, all_us;
   uint64_t ok = 0, certified = 0, cache_hits = 0, overloaded = 0, errors = 0;
   for (const ClientStats& s : stats) {
     ok += s.ok;
@@ -245,12 +246,19 @@ int Run(int argc, char** argv) {
     cache_hits += s.cache_hits;
     overloaded += s.overloaded;
     errors += s.errors;
-    MergeInto(&certified_us, s.certified_us);
-    MergeInto(&uncertified_us, s.uncertified_us);
-    MergeInto(&overloaded_us, s.overloaded_us);
-    MergeInto(&all_us, s.certified_us);
-    MergeInto(&all_us, s.uncertified_us);
+    certified_us.insert(certified_us.end(), s.certified_us.begin(),
+                        s.certified_us.end());
+    uncertified_us.insert(uncertified_us.end(), s.uncertified_us.begin(),
+                          s.uncertified_us.end());
+    overloaded_us.insert(overloaded_us.end(), s.overloaded_us.begin(),
+                         s.overloaded_us.end());
   }
+  all_us = certified_us;
+  all_us.insert(all_us.end(), uncertified_us.begin(), uncertified_us.end());
+  std::sort(certified_us.begin(), certified_us.end());
+  std::sort(uncertified_us.begin(), uncertified_us.end());
+  std::sort(overloaded_us.begin(), overloaded_us.end());
+  std::sort(all_us.begin(), all_us.end());
   const uint64_t server_cache_hits = server.metrics().cache_hits.value();
   const int64_t peak_queue = server.metrics().queue_depth.max_value();
   server.Shutdown();
@@ -276,14 +284,12 @@ int Run(int argc, char** argv) {
       static_cast<unsigned long long>(overloaded),
       static_cast<unsigned long long>(errors));
   const auto print_track = [](const char* name,
-                              const flos::LatencyHistogram& h) {
-    std::printf("%-12s count %llu  p50 <= %llu us  p95 <= %llu us  "
-                "p99 <= %llu us\n",
-                name, static_cast<unsigned long long>(h.count()),
-                static_cast<unsigned long long>(h.PercentileUpperBound(0.50)),
-                static_cast<unsigned long long>(h.PercentileUpperBound(0.95)),
-                static_cast<unsigned long long>(
-                    h.PercentileUpperBound(0.99)));
+                              const std::vector<uint64_t>& sorted) {
+    std::printf("%-12s count %zu  p50 %llu us  p95 %llu us  p99 %llu us\n",
+                name, sorted.size(),
+                static_cast<unsigned long long>(Percentile(sorted, 0.50)),
+                static_cast<unsigned long long>(Percentile(sorted, 0.95)),
+                static_cast<unsigned long long>(Percentile(sorted, 0.99)));
   };
   print_track("all_ok", all_us);
   print_track("certified", certified_us);
@@ -306,6 +312,12 @@ int Run(int argc, char** argv) {
         f,
         "{\n"
         "  \"service_load\": {\n"
+        "    \"_comment\": \"recorded config changed in PR 6: 5 ms anytime "
+        "deadline and --zipf=0.99 key skew (was a 50 us deadline over "
+        "uniform keys), so QPS/percentile trajectories before and after "
+        "are not comparable; since PR 7 the percentiles are exact order "
+        "statistics over raw client-side samples, not histogram bucket "
+        "upper bounds\",\n"
         "    \"graph\": \"%s\",\n"
         "    \"measure\": \"%s\",\n"
         "    \"workers\": %lld,\n"
@@ -336,19 +348,14 @@ int Run(int argc, char** argv) {
         static_cast<long long>(workers), static_cast<long long>(connections),
         static_cast<long long>(deadline_us), static_cast<long long>(k), zipf,
         static_cast<long long>(query_cache), elapsed_s, qps,
-        static_cast<unsigned long long>(all_us.PercentileUpperBound(0.50)),
-        static_cast<unsigned long long>(all_us.PercentileUpperBound(0.95)),
-        static_cast<unsigned long long>(all_us.PercentileUpperBound(0.99)),
-        static_cast<unsigned long long>(
-            certified_us.PercentileUpperBound(0.50)),
-        static_cast<unsigned long long>(
-            certified_us.PercentileUpperBound(0.99)),
-        static_cast<unsigned long long>(
-            uncertified_us.PercentileUpperBound(0.50)),
-        static_cast<unsigned long long>(
-            uncertified_us.PercentileUpperBound(0.99)),
-        static_cast<unsigned long long>(
-            overloaded_us.PercentileUpperBound(0.50)),
+        static_cast<unsigned long long>(Percentile(all_us, 0.50)),
+        static_cast<unsigned long long>(Percentile(all_us, 0.95)),
+        static_cast<unsigned long long>(Percentile(all_us, 0.99)),
+        static_cast<unsigned long long>(Percentile(certified_us, 0.50)),
+        static_cast<unsigned long long>(Percentile(certified_us, 0.99)),
+        static_cast<unsigned long long>(Percentile(uncertified_us, 0.50)),
+        static_cast<unsigned long long>(Percentile(uncertified_us, 0.99)),
+        static_cast<unsigned long long>(Percentile(overloaded_us, 0.50)),
         static_cast<unsigned long long>(ok), certified_ratio,
         static_cast<unsigned long long>(cache_hits),
         static_cast<unsigned long long>(server_cache_hits),

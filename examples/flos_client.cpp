@@ -10,10 +10,8 @@
 // rigorous even though the search was cut short. --connect-retries covers
 // the race against a server that is still starting (CI smoke test).
 
-#include <chrono>
 #include <cstdio>
 #include <string>
-#include <thread>
 
 #include "service/client.h"
 #include "util/flags.h"
@@ -66,13 +64,12 @@ int Run(int argc, char** argv) {
     return 1;
   }
 
-  flos::Result<flos::ServiceClient> client =
-      flos::ServiceClient::Connect(host, static_cast<uint16_t>(port));
-  for (int64_t attempt = 0; !client.ok() && attempt < connect_retries;
-       ++attempt) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(100));
-    client = flos::ServiceClient::Connect(host, static_cast<uint16_t>(port));
-  }
+  flos::ServiceClient::ConnectRetryPolicy retry;
+  retry.max_attempts = static_cast<int>(connect_retries) + 1;
+  retry.initial_backoff_ms = 100;
+  retry.max_backoff_ms = 100;
+  flos::Result<flos::ServiceClient> client = flos::ServiceClient::Connect(
+      host, static_cast<uint16_t>(port), retry);
   if (!client.ok()) {
     std::fprintf(stderr, "connect: %s\n",
                  client.status().ToString().c_str());
@@ -124,10 +121,11 @@ int Run(int argc, char** argv) {
     return 1;
   }
   std::printf(
-      "query %lld (%s, k=%lld): certified=%s%s, visited %llu, %llu us\n",
+      "query %lld (%s, k=%lld): certified=%s%s%s, visited %llu, %llu us\n",
       static_cast<long long>(node), measure_name.c_str(),
       static_cast<long long>(k), resp->certified ? "yes" : "no",
       resp->cache_hit ? " (cache hit)" : "",
+      resp->halo_truncated ? " (halo-truncated)" : "",
       static_cast<unsigned long long>(resp->visited),
       static_cast<unsigned long long>(resp->wall_us));
   for (const flos::ResponseEntry& e : resp->topk) {

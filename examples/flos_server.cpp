@@ -8,6 +8,15 @@
 // until a client sends SHUTDOWN (see flos_client --shutdown) or the
 // process receives SIGINT/SIGTERM. On exit it prints the final metrics
 // snapshot — the same text the STATS command returns.
+//
+// Shard mode (one process of a scaled-out fleet; see flos_partition and
+// flos_shard_router):
+//
+//   ./examples/flos_server --shard-map=shards/shard0.map --port=7430
+//
+// loads shard0.{map,edges} written by flos_partition and serves the shard
+// with halo-aware expansion limits; query node ids are then SHARD-LOCAL
+// (the router translates global ids).
 
 #include <csignal>
 #include <cstdio>
@@ -16,6 +25,7 @@
 
 #include "graph/edge_list_io.h"
 #include "graph/generators.h"
+#include "graph/partition.h"
 #include "graph/stats.h"
 #include "service/server.h"
 #include "util/flags.h"
@@ -39,7 +49,13 @@ int Run(int argc, char** argv) {
   int64_t query_cache = 4096;
   int64_t synthetic_nodes = 100000;
   int64_t seed = 1;
+  std::string shard_map_path;
+  std::string shard_edges_path;
   flags.AddString("graph", &graph_path, "SNAP-style edge list to serve");
+  flags.AddString("shard-map", &shard_map_path,
+                  "serve one shard: shard<i>.map from flos_partition");
+  flags.AddString("shard-edges", &shard_edges_path,
+                  "shard edge list (default: --shard-map with .edges)");
   flags.AddString("host", &host, "address to bind");
   flags.AddInt("port", &port, "TCP port (0 = ephemeral, printed on start)");
   flags.AddInt("workers", &workers, "query worker threads");
@@ -57,7 +73,38 @@ int Run(int argc, char** argv) {
   }
 
   flos::Graph graph;
-  if (!graph_path.empty()) {
+  flos::ShardMeta shard_meta;  // must outlive the server in shard mode
+  bool shard_mode = false;
+  if (!shard_map_path.empty()) {
+    auto meta = flos::ReadShardMap(shard_map_path);
+    if (!meta.ok()) {
+      std::fprintf(stderr, "shard map: %s\n",
+                   meta.status().ToString().c_str());
+      return 1;
+    }
+    shard_meta = std::move(meta).value();
+    if (shard_edges_path.empty()) {
+      const size_t dot = shard_map_path.rfind(".map");
+      shard_edges_path = (dot == shard_map_path.size() - 4)
+                             ? shard_map_path.substr(0, dot) + ".edges"
+                             : shard_map_path + ".edges";
+    }
+    auto loaded = flos::ReadShardGraph(shard_edges_path, shard_meta);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "shard edges: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    graph = std::move(loaded).value();
+    shard_mode = true;
+    std::printf("# shard %u/%u: %llu local nodes (%llu core, %llu "
+                "expandable), halo %u hops\n",
+                shard_meta.shard_index, shard_meta.num_shards,
+                static_cast<unsigned long long>(shard_meta.num_local()),
+                static_cast<unsigned long long>(shard_meta.num_core),
+                static_cast<unsigned long long>(shard_meta.num_interior),
+                shard_meta.halo_hops);
+  } else if (!graph_path.empty()) {
     auto loaded = flos::ReadEdgeList(graph_path);
     if (!loaded.ok()) {
       std::fprintf(stderr, "load: %s\n", loaded.status().ToString().c_str());
@@ -86,6 +133,7 @@ int Run(int argc, char** argv) {
   options.max_queue_depth = static_cast<size_t>(max_queue);
   options.query_cache_capacity =
       query_cache > 0 ? static_cast<size_t>(query_cache) : 0;
+  if (shard_mode) options.shard_meta = &shard_meta;
   flos::ServiceServer server(&graph, options);
   if (const flos::Status s = server.Start(); !s.ok()) {
     std::fprintf(stderr, "start: %s\n", s.ToString().c_str());

@@ -1,0 +1,270 @@
+// Cross-shard parity check: a shard-router fleet must answer exactly like
+// one process holding the whole graph.
+//
+//   ./examples/flos_shard_parity --port=<router> --synthetic-nodes=20000
+//       --seed=7 --queries=20
+//
+// Rebuilds the full graph the fleet was partitioned from (same generator
+// flags as flos_partition, or --graph for a file), runs the reference
+// FlosTopK locally for sampled seeds across all five measures, queries the
+// router for the same (seed, measure) pairs, and enforces:
+//
+//   - certified responses return the same top-k SET as the local certified
+//     run (certification separates the set from the rest; the order WITHIN
+//     the set follows interval midpoints and may legitimately differ), with
+//     per-node [lower, upper] intervals overlapping (both bracket the same
+//     exact value, up to solver tolerance), and never the halo-truncated
+//     flag; a node may differ from the local set only if its interval ties
+//     with the local k-th boundary interval;
+//   - uncertified responses carry the halo-truncated flag (with no
+//     deadline, halo clipping is the only legitimate reason not to
+//     certify) and their [lower, upper] intervals are consistent and
+//     bracket the exact scores of every locally-known node.
+//
+// Exits non-zero on the first violation; prints a certified/truncated
+// tally on success. The CI shard-smoke job runs this against a 2-shard
+// loopback fleet.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cmath>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/flos.h"
+#include "graph/edge_list_io.h"
+#include "graph/generators.h"
+#include "service/client.h"
+#include "util/flags.h"
+#include "util/rng.h"
+
+namespace {
+
+struct MeasureCase {
+  const char* name;
+  flos::Measure measure;
+};
+
+constexpr MeasureCase kMeasures[] = {
+    {"php", flos::Measure::kPhp}, {"ei", flos::Measure::kEi},
+    {"dht", flos::Measure::kDht}, {"tht", flos::Measure::kTht},
+    {"rwr", flos::Measure::kRwr},
+};
+
+// Certified rankings are exact, but the scores and bounds behind them are
+// solved iteratively (FlosOptions::tolerance, tau = 1e-5), so values from
+// two runs with different expansion sequences agree only to ~tau, not to
+// machine eps — every cross-run comparison below carries this slack.
+double Slack(double a, double b) {
+  return 1e-5 * std::max(1.0, std::max(std::abs(a), std::abs(b)));
+}
+
+int Run(int argc, char** argv) {
+  flos::FlagParser flags;
+  std::string graph_path;
+  std::string host = "127.0.0.1";
+  int64_t port = 0;
+  int64_t synthetic_nodes = 100000;
+  int64_t seed = 1;
+  int64_t queries = 20;
+  int64_t k = 10;
+  double c = 0.5;
+  int64_t tht_length = 10;
+  int64_t connect_retries = 50;
+  flags.AddString("graph", &graph_path, "full edge list the fleet serves");
+  flags.AddString("host", &host, "router address");
+  flags.AddInt("port", &port, "router TCP port");
+  flags.AddInt("synthetic-nodes", &synthetic_nodes,
+               "R-MAT size when --graph is not given (must match the "
+               "flos_partition invocation)");
+  flags.AddInt("seed", &seed, "generator seed (must match flos_partition)");
+  flags.AddInt("queries", &queries, "sampled query seeds");
+  flags.AddInt("k", &k, "neighbors per query");
+  flags.AddDouble("c", &c, "decay factor / restart probability");
+  flags.AddInt("tht-length", &tht_length, "THT truncation L");
+  flags.AddInt("connect-retries", &connect_retries,
+               "retry the connect this many times, 100 ms apart");
+  if (const flos::Status s = flags.Parse(argc, argv); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    flags.PrintUsage(argv[0]);
+    return 1;
+  }
+  if (port <= 0 || port > 65535) {
+    std::fprintf(stderr, "--port is required (1-65535)\n");
+    return 1;
+  }
+
+  flos::Graph graph;
+  if (!graph_path.empty()) {
+    auto loaded = flos::ReadEdgeList(graph_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "load: %s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    graph = std::move(loaded).value();
+  } else {
+    flos::GeneratorOptions options;
+    options.num_nodes = static_cast<uint64_t>(synthetic_nodes);
+    options.num_edges = static_cast<uint64_t>(synthetic_nodes) * 8;
+    options.seed = static_cast<uint64_t>(seed);
+    auto generated = flos::GenerateRmat(options);
+    if (!generated.ok()) {
+      std::fprintf(stderr, "generate: %s\n",
+                   generated.status().ToString().c_str());
+      return 1;
+    }
+    graph = std::move(generated).value();
+  }
+
+  flos::ServiceClient::ConnectRetryPolicy retry;
+  retry.max_attempts = static_cast<int>(connect_retries) + 1;
+  retry.initial_backoff_ms = 100;
+  retry.max_backoff_ms = 100;
+  auto client = flos::ServiceClient::Connect(
+      host, static_cast<uint16_t>(port), retry);
+  if (!client.ok()) {
+    std::fprintf(stderr, "connect: %s\n",
+                 client.status().ToString().c_str());
+    return 1;
+  }
+
+  flos::Rng rng(static_cast<uint64_t>(seed) * 0x9e3779b97f4a7c15ULL + 1);
+  uint64_t certified = 0;
+  uint64_t truncated = 0;
+  for (int64_t q = 0; q < queries; ++q) {
+    const flos::NodeId node = static_cast<flos::NodeId>(
+        rng.NextBounded(graph.NumNodes()));
+    for (const MeasureCase& mc : kMeasures) {
+      flos::FlosOptions opts;
+      opts.measure = mc.measure;
+      opts.c = c;
+      opts.tht_length = static_cast<int>(tht_length);
+      const auto local = flos::FlosTopK(graph, node,
+                                        static_cast<int>(k), opts);
+      if (!local.ok()) {
+        std::fprintf(stderr, "local %s@%llu: %s\n", mc.name,
+                     static_cast<unsigned long long>(node),
+                     local.status().ToString().c_str());
+        return 1;
+      }
+
+      flos::QueryRequest request;
+      request.measure = mc.measure;
+      request.query_node = node;
+      request.k = static_cast<uint32_t>(k);
+      request.c = c;
+      request.tht_length = static_cast<uint32_t>(tht_length);
+      const auto remote = client->Query(request);
+      if (!remote.ok()) {
+        std::fprintf(stderr, "query %s@%llu: %s\n", mc.name,
+                     static_cast<unsigned long long>(node),
+                     remote.status().ToString().c_str());
+        return 1;
+      }
+      if (remote->status != flos::StatusCode::kOk) {
+        std::fprintf(stderr, "query %s@%llu: server: %s: %s\n", mc.name,
+                     static_cast<unsigned long long>(node),
+                     flos::StatusCodeName(remote->status),
+                     remote->message.c_str());
+        return 1;
+      }
+
+      if (remote->certified) {
+        ++certified;
+        if (remote->halo_truncated) {
+          std::fprintf(stderr,
+                       "%s@%llu: certified response carries the "
+                       "halo-truncated flag\n",
+                       mc.name, static_cast<unsigned long long>(node));
+          return 1;
+        }
+        if (remote->topk.size() != local->topk.size()) {
+          std::fprintf(stderr, "%s@%llu: %zu rows, expected %zu\n",
+                       mc.name, static_cast<unsigned long long>(node),
+                       remote->topk.size(), local->topk.size());
+          return 1;
+        }
+        std::unordered_map<uint64_t, std::pair<double, double>> bracket;
+        for (const flos::ScoredNode& l : local->topk) {
+          bracket.emplace(static_cast<uint64_t>(l.node),
+                          std::make_pair(l.lower, l.upper));
+        }
+        // The k-th boundary interval: a node may replace a local pick only
+        // if it is interval-tied with this (certification cannot order
+        // exact ties, so either choice is a correct top-k set).
+        const flos::ScoredNode& edge = local->topk.back();
+        for (const flos::ResponseEntry& r : remote->topk) {
+          const auto it = bracket.find(r.node);
+          const double lo = it != bracket.end() ? it->second.first
+                                                : edge.lower;
+          const double hi = it != bracket.end() ? it->second.second
+                                                : edge.upper;
+          if (r.lower > hi + Slack(r.lower, hi) ||
+              lo > r.upper + Slack(lo, r.upper)) {
+            std::fprintf(stderr,
+                         "%s@%llu node %llu: interval [%.12g, %.12g] "
+                         "disjoint from local %s [%.12g, %.12g]\n",
+                         mc.name, static_cast<unsigned long long>(node),
+                         static_cast<unsigned long long>(r.node), r.lower,
+                         r.upper,
+                         it != bracket.end() ? "interval" : "k-th boundary",
+                         lo, hi);
+            return 1;
+          }
+        }
+      } else {
+        ++truncated;
+        if (!remote->halo_truncated) {
+          std::fprintf(stderr,
+                       "%s@%llu: uncertified without the halo-truncated "
+                       "flag (no deadline was set)\n",
+                       mc.name, static_cast<unsigned long long>(node));
+          return 1;
+        }
+        // The anytime contract: intervals stay rigorous. Check internal
+        // consistency, and bracket the exact score of every node the
+        // local certified run also ranked.
+        std::unordered_map<uint64_t, double> exact;
+        for (const flos::ScoredNode& l : local->topk) {
+          exact.emplace(static_cast<uint64_t>(l.node), l.score);
+        }
+        for (const flos::ResponseEntry& r : remote->topk) {
+          if (r.lower > r.upper + 1e-12 || r.score < r.lower - 1e-12 ||
+              r.score > r.upper + 1e-12) {
+            std::fprintf(stderr,
+                         "%s@%llu node %llu: inconsistent interval "
+                         "[%.12g, %.12g] score %.12g\n",
+                         mc.name, static_cast<unsigned long long>(node),
+                         static_cast<unsigned long long>(r.node), r.lower,
+                         r.upper, r.score);
+            return 1;
+          }
+          const auto it = exact.find(r.node);
+          if (it != exact.end() &&
+              (it->second < r.lower - Slack(it->second, r.lower) ||
+               it->second > r.upper + Slack(it->second, r.upper))) {
+            std::fprintf(stderr,
+                         "%s@%llu node %llu: exact %.12g outside "
+                         "[%.12g, %.12g]\n",
+                         mc.name, static_cast<unsigned long long>(node),
+                         static_cast<unsigned long long>(r.node),
+                         it->second, r.lower, r.upper);
+            return 1;
+          }
+        }
+      }
+    }
+  }
+  std::printf("parity ok: %llu certified, %llu halo-truncated over %lld "
+              "seeds x %zu measures\n",
+              static_cast<unsigned long long>(certified),
+              static_cast<unsigned long long>(truncated),
+              static_cast<long long>(queries), std::size(kMeasures));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

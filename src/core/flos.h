@@ -68,6 +68,16 @@ struct FlosOptions {
   /// If > 0, stop after visiting this many nodes and return the current
   /// best-effort ranking (stats.exact will be false). 0 = run to proof.
   uint64_t max_visited = 0;
+  /// Nodes with id >= this limit may be VISITED (they enter the boundary
+  /// and participate in the rigorous bounds) but never EXPANDED. Sharded
+  /// serving (graph/partition.h) sets it to the shard's interior size: the
+  /// outermost halo ring is present with possibly truncated adjacency, so
+  /// expanding it would be unsound, while merely bounding it is not. When
+  /// the only remaining frontier is past the limit and the top-k is not yet
+  /// certified, the search stops uncertified with stats.frontier_clipped
+  /// set. Certification reached before that is exact as usual — the clipped
+  /// nodes' bounds took part in the termination proof. Default: no limit.
+  uint64_t expandable_limit = UINT64_MAX;
   /// Absolute wall-clock deadline for the search (anytime termination, the
   /// serving layer's graceful-degradation hook). When the deadline passes
   /// mid-search, the engine stops expanding — including between inner
@@ -98,6 +108,11 @@ struct FlosStats {
   bool exact = false;           ///< true iff the top-k was certified
   bool exhausted_component = false;  ///< visited the query's whole component
   bool deadline_expired = false;  ///< search was cut short by the deadline
+  /// True iff the search ran out of expandable frontier because of
+  /// FlosOptions::expandable_limit before certifying (sharded serving: the
+  /// query needed to walk beyond the replicated halo). Implies !exact; the
+  /// returned bounds are still rigorous.
+  bool frontier_clipped = false;
   /// True iff the result was served from a QueryCache hit (the stats above
   /// then describe the original certifying run, not this call).
   bool cache_hit = false;

@@ -21,8 +21,13 @@ double FlosEngine::MaxUnknownDegree() {
           local_.IsOutsideAdjacent(order[degree_cursor_]))) {
     ++degree_cursor_;
   }
-  if (degree_cursor_ >= order.size()) return 0;
-  return accessor_->WeightedDegree(order[degree_cursor_]);
+  // An unknown node may also live outside the accessor entirely (sharded
+  // serving: beyond the replicated halo), so the bound must cover both the
+  // best in-accessor candidate and the off-accessor maximum.
+  const double external = accessor_->ExternalDegreeBound();
+  if (degree_cursor_ >= order.size()) return external;
+  return std::max(external,
+                  accessor_->WeightedDegree(order[degree_cursor_]));
 }
 
 Result<FlosResult> FlosEngine::TopK(NodeId query, int k,
@@ -178,11 +183,23 @@ Result<FlosResult> FlosEngine::TopKSet(const std::vector<NodeId>& queries,
       //                      maxdeg(unknown) * alpha * max_{dSbar} r-bar_v )
       const double alpha = 1.0 - options.c;
       const auto out = bounds_.ComputeOutsideUppers();
-      if (out.any) {
+      // Truncated rows hide edges that reach unvisited nodes behind NO
+      // enumerated frontier node, so the frontier-relative bound has a
+      // hole there; those nodes are instead covered by the engine's
+      // all-unvisited dummy (its capture argument never enumerates).
+      const bool truncated = local_.HasTruncatedRows();
+      if (out.any || truncated) {
         const double w_unknown = MaxUnknownDegree();
-        const double unvisited_bound =
-            std::max(out.max_degree_weighted,
-                     w_unknown * alpha * out.max_value);
+        double unvisited_bound = 0;
+        if (out.any) {
+          unvisited_bound = std::max(out.max_degree_weighted,
+                                     w_unknown * alpha * out.max_value);
+        }
+        if (truncated) {
+          unvisited_bound =
+              std::max(unvisited_bound,
+                       w_unknown * bounds_.unvisited_value_bound());
+        }
         if (threshold < unvisited_bound) return false;
       }
     }
@@ -227,15 +244,31 @@ Result<FlosResult> FlosEngine::TopKSet(const std::vector<NodeId>& queries,
   while (true) {
     // Rank the boundary by the expansion policy (Algorithm 3 is the
     // best-first default); at t=1 the only boundary node is the query.
+    // Nodes past expandable_limit stay boundary forever: their bounds keep
+    // competing in the termination check, but expanding them is unsound on
+    // a shard (their adjacency may be halo-truncated).
     frontier_.clear();
+    bool clipped = false;
     for (LocalId i = 0; i < local_.Size(); ++i) {
       if (!local_.IsBoundary(i)) continue;
+      if (static_cast<uint64_t>(local_.GlobalId(i)) >=
+          options.expandable_limit) {
+        clipped = true;
+        continue;
+      }
       const double priority =
           policy->Priority(rank_of(i, bounds_.lower(i)),
                            rank_of(i, bounds_.upper(i)), policy_context);
       frontier_.push_back({priority, i});
     }
     if (frontier_.empty()) {
+      if (clipped) {
+        // Every remaining frontier node lies beyond the halo. No further
+        // expansion is possible and the last bound update already failed
+        // to certify, so stop uncertified; the bounds remain rigorous.
+        stats.frontier_clipped = true;
+        break;
+      }
       // Component exhausted: finish with a tight solve. The solve itself
       // honors the deadline; if it was cut short the bounds are still
       // certified but not yet exact, so the result stays uncertified.
@@ -307,6 +340,10 @@ Result<FlosResult> FlosEngine::TopKSet(const std::vector<NodeId>& queries,
   // of the loop above, and the serving layer relies on it.
   FLOS_DCHECK(!(stats.deadline_expired && stats.exact),
               "deadline-expired query reported certified=true");
+  // Same contract for the halo: a clipped search stopped BECAUSE it could
+  // not certify, so it must never report exactness either.
+  FLOS_DCHECK(!(stats.frontier_clipped && stats.exact),
+              "halo-clipped query reported certified=true");
 
   // Assemble the k results. If termination selected candidates, use them;
   // otherwise (exhausted or cutoff) rank all visited non-query nodes.

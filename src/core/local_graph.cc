@@ -30,6 +30,8 @@ void LocalGraph::Reset() {
   ever_adjacent_.Reset();
   local_to_global_.clear();
   weighted_degree_.clear();
+  hidden_mass_.clear();
+  truncated_seen_ = false;
   outside_count_.clear();
   boundary_count_ = 0;
   arena_used_ = 0;  // rewind the bump pointer; arena capacity is kept
@@ -86,6 +88,7 @@ void LocalGraph::AuditBookkeeping() const {
     for (const Neighbor& nb : neighbors_[i]) {
       if (!Contains(nb.id)) ++outside;
     }
+    if (hidden_mass_[i] > 0) ++outside;  // the phantom hidden neighbor
     FLOS_CHECK_EQ(outside_count_[i], outside,
                   "maintained outside count diverged from neighbor lists");
     if (outside > 0) ++boundary;
@@ -151,9 +154,27 @@ Status LocalGraph::Add(NodeId global) {
   dirty_.push_back(local);
 
   FLOS_RETURN_IF_ERROR(accessor_->CopyNeighbors(global, &scratch_));
-  double wi = 0;
-  for (const Neighbor& nb : scratch_) wi += nb.weight;
+  // The degree comes from the accessor, NOT from summing the fetched list:
+  // on truncated rows (a ShardAccessor's halo fringe) the fetched sum is
+  // short, and normalizing transitions by it would overweight the visible
+  // edges (RowInMass -> 1) and silently delete the escaping mass the upper
+  // bounds must route to the dummy node. On complete rows the accessor
+  // degree IS the fetched sum in the same accumulation order, so
+  // whole-graph behavior is unchanged. Hidden mass below the shard map
+  // degree sidecar's own round-trip tolerance (ReadShardGraph's 1e-9
+  // cross-check) is indistinguishable from serialization noise and snaps
+  // to zero rather than leaving the row boundary forever.
+  const double wi = accessor_->WeightedDegree(global);
+  double visible = 0;
+  for (const Neighbor& nb : scratch_) visible += nb.weight;
+  double hidden = 0;
+  if (!accessor_->CompleteAdjacency(global)) {
+    hidden = wi - visible;
+    if (!(hidden > 1e-9 * wi)) hidden = 0;
+  }
   weighted_degree_.push_back(wi);
+  hidden_mass_.push_back(hidden);
+  if (hidden > 0) truncated_seen_ = true;
   degree_cache_.Insert(global, wi);
 
   // New empty row; its first append carves a slab off the arena tail.
@@ -189,6 +210,10 @@ Status LocalGraph::Add(NodeId global) {
       dirty_.push_back(j);
     }
   }
+  // Phantom outside neighbor for hidden mass: the edges behind it can
+  // never be fetched, so no future Add ever decrements it back — the node
+  // stays boundary (and the frontier stays clipped) for the whole query.
+  if (hidden > 0) ++outside;
   outside_count_.push_back(outside);
   if (outside > 0) ++boundary_count_;
 

@@ -144,6 +144,20 @@ class LocalGraph {
   /// Bitwise equal to summing Row(i) in order.
   double RowInMass(LocalId local) const { return row_in_mass_[local]; }
 
+  /// Weighted-degree mass of node i's edges the accessor cannot enumerate
+  /// (a ShardAccessor's truncated fringe rows): WeightedDegree(i) minus the
+  /// fetched list's sum. 0 on accessors with complete adjacency, so every
+  /// full-graph code path is unchanged. The transition fraction
+  /// HiddenMass(i) / WeightedDegree(i) leaves S through edges no fetched
+  /// list ever reports; the bound engines must treat it as permanently
+  /// outside mass routed to the dummy node.
+  double HiddenMass(LocalId local) const { return hidden_mass_[local]; }
+
+  /// True once any visited row had hidden mass. Bound refinements that
+  /// assume complete neighbor enumeration must degrade conservatively when
+  /// this is set.
+  bool HasTruncatedRows() const { return truncated_seen_; }
+
   /// Full neighbor list of visited node i (global ids), as fetched.
   const std::vector<Neighbor>& Neighbors(LocalId local) const {
     return neighbors_[local];
@@ -217,6 +231,13 @@ class LocalGraph {
   NodeMap<LocalId> global_to_local_;
   std::vector<NodeId> local_to_global_;
   std::vector<double> weighted_degree_;
+  /// Per-node hidden (non-enumerable) edge mass; see HiddenMass(). A node
+  /// with hidden mass carries a phantom +1 in outside_count_ that is never
+  /// decremented: its hidden neighbors can never be visited through this
+  /// accessor, so it stays boundary — and the query stays uncertifiable —
+  /// forever.
+  std::vector<double> hidden_mass_;
+  bool truncated_seen_ = false;  ///< any visited row had hidden mass
   std::vector<uint32_t> outside_count_;
   uint32_t boundary_count_ = 0;  ///< # nodes with outside_count_ > 0
   std::vector<std::vector<Neighbor>> neighbors_;

@@ -35,11 +35,13 @@ class ScalarSweepBackend final : public SweepBackend {
       const double hi = pi[1];
       const double vl =
           std::max(args.alpha * s_lo + args.self_coeff[i] * lo, lo);
-      double vu =
-          args.alpha * s_hi + args.plain_dummy_coeff[i] * args.dummy_tight;
+      const double hid = args.hidden_coeff[i] * args.dummy_mesh;
+      double vu = args.alpha * s_hi +
+                  args.plain_dummy_coeff[i] * args.dummy_tight + hid;
       if (args.self_loop) {
         vu = std::min(vu, args.alpha * s_hi + args.self_coeff[i] * hi +
-                              args.mesh_dummy_coeff[i] * args.dummy_mesh);
+                              args.mesh_dummy_coeff[i] * args.dummy_mesh +
+                              hid);
       }
       vu = std::min(vu, hi);
       delta = std::max(delta, std::max(vl - lo, hi - vu));

@@ -184,11 +184,13 @@ class Avx2SweepBackend final : public SweepBackend {
           continue;
         }
         const double hi = pi[1];
+        const double hid = args.hidden_coeff[i] * args.dummy_mesh;
         double vu = args.alpha * s_hi[lane] +
-                    args.plain_dummy_coeff[i] * args.dummy_tight;
+                    args.plain_dummy_coeff[i] * args.dummy_tight + hid;
         if (args.self_loop) {
           vu = std::min(vu, args.alpha * s_hi[lane] + args.self_coeff[i] * hi +
-                                args.mesh_dummy_coeff[i] * args.dummy_mesh);
+                                args.mesh_dummy_coeff[i] * args.dummy_mesh +
+                                hid);
         }
         vu = std::min(vu, hi);
         delta = std::max(delta, std::max(vl - lo, hi - vu));

@@ -135,6 +135,12 @@ struct FixedPointSweepArgs {
   const double* self_coeff = nullptr;
   const double* mesh_dummy_coeff = nullptr;
   const double* plain_dummy_coeff = nullptr;
+  /// Coefficient of r_d for each row's HIDDEN mass (alpha * hidden / w_i;
+  /// all-zero on complete-adjacency accessors). Hidden edges may land on
+  /// VISITED boundary nodes, so this multiplies dummy_mesh — never
+  /// dummy_tight — and, lacking known return edges, it keeps the plain
+  /// single-alpha redirect in BOTH upper constructions.
+  const double* hidden_coeff = nullptr;
   double alpha = 0.5;
   double dummy_tight = 1.0;
   double dummy_mesh = 1.0;

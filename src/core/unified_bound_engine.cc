@@ -37,6 +37,7 @@ void UnifiedBoundEngine::Reset(const UnifiedBoundOptions& options) {
   self_coeff_.clear();
   mesh_dummy_coeff_.clear();
   plain_dummy_coeff_.clear();
+  hidden_coeff_.clear();
   dummy_mesh_ = 1.0;
   dummy_tight_ = 1.0;
   OnGrowth();
@@ -60,6 +61,7 @@ void UnifiedBoundEngine::OnGrowth() {
     self_coeff_.resize(n, 0.0);
     mesh_dummy_coeff_.resize(n, 0.0);
     plain_dummy_coeff_.resize(n, 0.0);
+    hidden_coeff_.resize(n, 0.0);
   } else {
     // New nodes: a truncated hitting time lies in [0, L]; query nodes are
     // already home (0).
@@ -111,7 +113,12 @@ void UnifiedBoundEngine::CaptureDummyFromBoundary() {
     candidate = std::min(candidate, std::pow(options_.traits.alpha, hops));
     // Per-frontier-node uppers dominate every unvisited proximity too (the
     // maximum over delta-S-bar bounds deeper nodes by self-consistency).
-    if (options_.traits.frontier_dummy) {
+    // NOT valid on truncated rows: a hidden edge reaches unvisited nodes
+    // that are in no enumerated frontier, so the self-consistency argument
+    // has a hole — skip the refinement there (the alpha and hop-cap
+    // candidates above survive: hidden-mass fringe stays boundary forever,
+    // so unvisited nodes' visited neighbors are still all boundary).
+    if (options_.traits.frontier_dummy && !local_->HasTruncatedRows()) {
       const OutsideUppers out = ComputeOutsideUppers();
       if (out.any) candidate = std::min(candidate, out.max_value);
     }
@@ -149,9 +156,17 @@ UnifiedBoundEngine::OutsideUppers UnifiedBoundEngine::ComputeOutsideUppers() {
   }
   OutsideUppers out;
   const double alpha = options_.traits.alpha;
+  // The residual mass multiplies a dummy that must dominate v's neighbors
+  // NOT found in S by the scan above. With complete rows those are all
+  // unvisited (dummy_tight_). A truncated row can hide an edge from a
+  // VISITED fringe node to v, so the residual then includes visited-
+  // boundary values and needs dummy_mesh_ (hidden-mass fringe is boundary
+  // forever, so dummy_mesh_ dominates it by its capture rule).
+  const double residual_dummy =
+      local_->HasTruncatedRows() ? dummy_mesh_ : dummy_tight_;
   for (const auto& [v, ms] : acc) {
     const double residual = std::max(0.0, 1.0 - ms.first);
-    const double bound = alpha * (ms.second + residual * dummy_tight_);
+    const double bound = alpha * (ms.second + residual * residual_dummy);
     out.max_value = std::max(out.max_value, bound);
     out.max_degree_weighted =
         std::max(out.max_degree_weighted, local_->ProbeDegree(v) * bound);
@@ -169,10 +184,15 @@ void UnifiedBoundEngine::RefreshBoundaryCoefficients() {
     self_coeff_[i] = 0;
     mesh_dummy_coeff_[i] = 0;
     plain_dummy_coeff_[i] = 0;
+    hidden_coeff_[i] = 0;
     if (local_->IsQueryLocal(i) || !local_->IsBoundary(i)) continue;
     const double wi = local_->WeightedDegree(i);
     if (wi <= 0) continue;
-    double out_mass = 0;        // sum over unvisited neighbors of p_iv
+    // Hidden (non-enumerable) edge mass keeps the plain single-alpha
+    // redirect to dummy_mesh in both constructions; a node with hidden
+    // mass is boundary forever, so this branch is never skipped for it.
+    hidden_coeff_[i] = alpha * local_->HiddenMass(i) / wi;
+    double out_mass = 0;        // sum over VISIBLE unvisited nbrs of p_iv
     double loop_mass = 0;       // sum of p_iv * p_vi
     for (const Neighbor& nb : local_->Neighbors(i)) {
       if (local_->Contains(nb.id)) continue;
@@ -202,6 +222,7 @@ FixedPointSweepArgs UnifiedBoundEngine::SweepArgs() {
   args.self_coeff = self_coeff_.data();
   args.mesh_dummy_coeff = mesh_dummy_coeff_.data();
   args.plain_dummy_coeff = plain_dummy_coeff_.data();
+  args.hidden_coeff = hidden_coeff_.data();
   args.alpha = options_.traits.alpha;
   args.dummy_tight = dummy_tight_;
   args.dummy_mesh = dummy_mesh_;
@@ -314,7 +335,15 @@ void UnifiedBoundEngine::HorizonDpUpdate() {
                     }
                     const double out =
                         std::max(0.0, 1.0 - local_->RowInMass(i));
-                    next_lo_[i] = 1.0 + s_lo + out * escaped_lo;
+                    // Hidden (truncated-row) escape mass may land on a
+                    // VISITED fringe node arbitrarily close to q, so the
+                    // unvisited-hop continuation does not apply to it:
+                    // it contributes 0 to the lower. The upper's full-
+                    // horizon continuation covers it unchanged.
+                    const double wdi = local_->WeightedDegree(i);
+                    const double hid = std::min(
+                        out, wdi > 0 ? local_->HiddenMass(i) / wdi : 0.0);
+                    next_lo_[i] = 1.0 + s_lo + (out - hid) * escaped_lo;
                     next_hi_[i] = 1.0 + s_hi + out * horizon;
                   });
     work_lo_.swap(next_lo_);

@@ -164,6 +164,15 @@ class UnifiedBoundEngine {
   /// upper operators, so the pointwise minimum is too.
   double tight_dummy_value() const { return dummy_tight_; }
 
+  /// A certified upper bound on EVERY unvisited node's value, including
+  /// nodes reachable only through hidden (truncated-row) edges the frontier
+  /// scan never sees. This is exactly dummy_tight_: its capture argument
+  /// (max boundary upper with the alpha factor and hop cap) quantifies
+  /// over all unvisited nodes, enumerated or not. Termination refinements
+  /// that rely on enumerating delta-S-bar must fall back to this when the
+  /// LocalGraph has truncated rows.
+  double unvisited_value_bound() const { return dummy_tight_; }
+
   /// Certified upper bounds over the unvisited frontier delta-S-bar,
   /// computed from the boundary's uppers: for v adjacent to S,
   ///   r_v <= alpha * (sum_{u in N_v cap S} p_vu upper_u
@@ -222,6 +231,10 @@ class UnifiedBoundEngine {
   std::vector<double> mesh_dummy_coeff_;
   /// Coefficient of r_d in the plain construction (alpha * out mass).
   std::vector<double> plain_dummy_coeff_;
+  /// Coefficient of r_d for hidden (non-enumerable) row mass, multiplying
+  /// dummy_mesh_ in BOTH constructions (see FixedPointSweepArgs). All-zero
+  /// unless the accessor truncates adjacency (shard fringe rows).
+  std::vector<double> hidden_coeff_;
   /// Horizon-DP double buffers (work = step t-1, next = step t).
   std::vector<double> work_lo_;
   std::vector<double> work_hi_;

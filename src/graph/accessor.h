@@ -80,6 +80,28 @@ class GraphAccessor {
   /// match again: exact invalidation without tracking which nodes changed.
   virtual uint64_t Epoch() const { return 0; }
 
+  /// Upper bound on the weighted degree of any node that exists in the full
+  /// logical graph but is NOT represented by this accessor. Whole-graph
+  /// storage returns 0 (every node is present). A ShardAccessor
+  /// (graph/partition.h) serves only a partition's core plus its replicated
+  /// halo, so FLoS_RWR's unknown-degree bound must also cover the off-shard
+  /// remainder; returning the off-shard maximum here keeps that bound — and
+  /// therefore certification — sound on shard-local graphs.
+  virtual double ExternalDegreeBound() const { return 0; }
+
+  /// True when CopyNeighbors(u) returns u's COMPLETE adjacency in the full
+  /// logical graph. Whole-graph storage always does. A ShardAccessor's
+  /// outermost halo ring stores only the edges that lead back toward the
+  /// core, so its fringe rows are truncated: the fetched list sums to less
+  /// than WeightedDegree(u) (which is always the FULL-graph degree, from
+  /// the partition sidecar). LocalGraph uses this to track the hidden
+  /// transition mass per row, which the bound engines must route to the
+  /// dummy node for certification to stay sound on shard-local graphs.
+  virtual bool CompleteAdjacency(NodeId u) const {
+    (void)u;
+    return true;
+  }
+
   /// True when per-query workspaces over this accessor should index visited
   /// nodes with O(NumNodes())-memory dense stamp arrays (fastest lookups;
   /// right for in-memory CSR graphs). False steers them to hashing with

@@ -16,6 +16,7 @@ Result<Graph> ReadEdgeList(const std::string& path,
   }
   GraphBuilder::Options builder_options;
   builder_options.ignore_self_loops = options.ignore_self_loops;
+  builder_options.num_nodes = options.num_nodes;
   GraphBuilder builder(builder_options);
 
   // Every malformed row is a hard, line-numbered error — a silently

@@ -22,6 +22,12 @@ struct EdgeListOptions {
   bool dedup_duplicates = true;
   /// Drop self-loops instead of failing.
   bool ignore_self_loops = true;
+  /// If >= 0, the graph has exactly this many nodes: ids >= num_nodes fail,
+  /// and trailing isolated nodes survive a round-trip (an edge list alone
+  /// cannot represent them). Shard loading (graph/partition.h) passes the
+  /// node count recorded in the shard map. If < 0, the node count is
+  /// 1 + max node id seen.
+  int64_t num_nodes = -1;
 };
 
 /// Parses an edge list file into a Graph. Parsing is strict: malformed

@@ -1,6 +1,9 @@
 #include "service/client.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 namespace flos {
@@ -9,6 +12,28 @@ Result<ServiceClient> ServiceClient::Connect(const std::string& host,
                                              uint16_t port) {
   FLOS_ASSIGN_OR_RETURN(UniqueFd fd, ConnectTcp(host, port));
   return ServiceClient(std::move(fd));
+}
+
+Result<ServiceClient> ServiceClient::Connect(const std::string& host,
+                                             uint16_t port,
+                                             const ConnectRetryPolicy& retry) {
+  const int attempts = std::max(1, retry.max_attempts);
+  uint32_t backoff_ms = retry.initial_backoff_ms;
+  Status last = Status::Unavailable("connect: no attempts made");
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          std::min(backoff_ms, retry.max_backoff_ms)));
+      if (backoff_ms < retry.max_backoff_ms) backoff_ms *= 2;
+    }
+    Result<UniqueFd> fd = ConnectTcp(host, port);
+    if (fd.ok()) return ServiceClient(std::move(*fd));
+    // Only "the endpoint is not there right now" is worth waiting out;
+    // anything else (bad address, fd exhaustion) will not self-heal.
+    if (fd.status().code() != StatusCode::kUnavailable) return fd.status();
+    last = fd.status();
+  }
+  return last;
 }
 
 Result<QueryResponse> ServiceClient::Query(const QueryRequest& request) {

@@ -32,6 +32,23 @@ class ServiceClient {
   static Result<ServiceClient> Connect(const std::string& host,
                                        uint16_t port);
 
+  /// Bounded retry for TRANSIENT connect failures (kUnavailable:
+  /// connection refused/reset/timed out — typically a server that has not
+  /// finished binding yet, or a shard process restarting). Any other error
+  /// fails immediately. Sleeps `initial_backoff_ms` before the second
+  /// attempt, doubling up to `max_backoff_ms`; returns the last
+  /// kUnavailable status once attempts are exhausted.
+  struct ConnectRetryPolicy {
+    int max_attempts = 10;
+    uint32_t initial_backoff_ms = 10;
+    uint32_t max_backoff_ms = 500;
+  };
+
+  /// Connect with retry-on-unavailable. Used by the shard router's backend
+  /// pool and by clients racing a server's startup.
+  static Result<ServiceClient> Connect(const std::string& host, uint16_t port,
+                                       const ConnectRetryPolicy& retry);
+
   ServiceClient(ServiceClient&&) = default;
   ServiceClient& operator=(ServiceClient&&) = default;
 

@@ -125,6 +125,7 @@ ServiceMetrics::ServiceMetrics() {
   registry.RegisterCounter("queries_error", &queries_error);
   registry.RegisterCounter("queries_certified", &queries_certified);
   registry.RegisterCounter("queries_uncertified", &queries_uncertified);
+  registry.RegisterCounter("queries_halo_truncated", &queries_halo_truncated);
   registry.RegisterCounter("cache_hits", &cache_hits);
   registry.RegisterCounter("cache_misses", &cache_misses);
   registry.RegisterCounter("deadline_expiries", &deadline_expiries);

@@ -115,6 +115,7 @@ struct ServiceMetrics {
   Counter queries_error;
   Counter queries_certified;
   Counter queries_uncertified;
+  Counter queries_halo_truncated;  ///< stopped at a shard's halo boundary
   Counter cache_hits;               ///< answered from the certified cache
   Counter cache_misses;             ///< ran the search (cache enabled)
   Counter deadline_expiries;

@@ -100,7 +100,17 @@ Result<UniqueFd> ConnectTcp(const std::string& host, uint16_t port) {
     rc = connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
                  sizeof(addr));
   } while (rc < 0 && errno == EINTR);
-  if (rc < 0) return ErrnoStatus("connect");
+  if (rc < 0) {
+    // Distinguish "endpoint not there right now" from hard I/O failure so
+    // callers (ServiceClient, the shard router's backend pool) can apply a
+    // retry-with-backoff policy to exactly the transient class.
+    if (errno == ECONNREFUSED || errno == ECONNRESET || errno == ETIMEDOUT ||
+        errno == EHOSTUNREACH || errno == ENETUNREACH || errno == EAGAIN) {
+      return Status::Unavailable(std::string("connect: ") +
+                                 std::strerror(errno));
+    }
+    return ErrnoStatus("connect");
+  }
   SetNoDelay(fd.get());
   return fd;
 }

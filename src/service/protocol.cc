@@ -105,7 +105,9 @@ void EncodeResponse(const QueryResponse& response, std::string* out) {
   PutU8(out, static_cast<uint8_t>(response.type));
   PutU8(out, static_cast<uint8_t>(response.status));
   PutU8(out, response.certified ? 1 : 0);
-  PutU8(out, response.cache_hit ? 0x01 : 0);  // flags: bit0 = cache hit
+  // Flags: bit0 = cache hit, bit1 = halo-truncated.
+  PutU8(out, static_cast<uint8_t>((response.cache_hit ? 0x01 : 0) |
+                                  (response.halo_truncated ? 0x02 : 0)));
   PutU32(out, static_cast<uint32_t>(response.topk.size()));
   PutU64(out, response.visited);
   PutU64(out, response.wall_us);
@@ -183,12 +185,13 @@ Result<QueryResponse> DecodeResponse(const std::string& payload) {
   const auto peek = PeekMessageType(payload);
   if (!peek.ok()) return peek.status();
   resp.type = *peek;
-  if (status > static_cast<uint8_t>(StatusCode::kDeadlineExceeded)) {
+  if (status > static_cast<uint8_t>(StatusCode::kUnavailable)) {
     return Status::InvalidArgument("unknown status code in response");
   }
   resp.status = static_cast<StatusCode>(status);
   resp.certified = certified != 0;
   resp.cache_hit = (flags & 0x01) != 0;
+  resp.halo_truncated = (flags & 0x02) != 0;
   // 32 bytes per row; the cap protects against a hostile length field.
   if (count > r.remaining() / 32) {
     return Status::InvalidArgument("response row count exceeds payload");

@@ -15,8 +15,11 @@
 //
 // Response payload (one layout for every request type):
 //     u8 type (echoes the request)  u8 status (StatusCode)  u8 certified
-//     u8 flags (bit0 = answered from the certified-result cache; other
-//     bits reserved, sent as 0)  u32 topk_count  u64 visited  u64 wall_us
+//     u8 flags (bit0 = answered from the certified-result cache; bit1 =
+//     halo-truncated: the search ran out of expandable frontier at a shard
+//     replica's halo before certifying, so certified is 0 but the bounds
+//     are still rigorous; other bits reserved, sent as 0)
+//     u32 topk_count  u64 visited  u64 wall_us
 //     topk_count * { u64 node  f64 score  f64 lower  f64 upper }
 //     u32 message_length  message bytes (error text, or STATS text)
 //
@@ -84,6 +87,12 @@ struct QueryResponse {
   /// True iff the server answered from its certified-result cache instead
   /// of running the search (implies certified).
   bool cache_hit = false;
+  /// True iff a shard server stopped the search at its halo boundary
+  /// before certifying (FlosStats::frontier_clipped on the wire; implies
+  /// !certified). The bounds returned are still rigorous; re-asking a
+  /// server holding the whole graph — or a partition with a larger halo —
+  /// can certify the query.
+  bool halo_truncated = false;
   uint64_t visited = 0;
   uint64_t wall_us = 0;
   std::vector<ResponseEntry> topk;

@@ -1,7 +1,6 @@
 #include "service/server.h"
 
 #include <cstdio>
-#include <cstring>
 #include <utility>
 
 #include "core/flos.h"
@@ -19,314 +18,94 @@ uint64_t MicrosBetween(std::chrono::steady_clock::time_point from,
   return us > 0 ? static_cast<uint64_t>(us) : 0;
 }
 
+/// A worker's leased engine session, held for the worker's lifetime.
+struct EngineWorkerState final : FrameHandler::WorkerState {
+  explicit EngineWorkerState(EngineSessionPool::Lease l)
+      : lease(std::move(l)) {}
+  EngineSessionPool::Lease lease;
+};
+
 }  // namespace
 
 ServiceServer::ServiceServer(const Graph* graph, ServerOptions options)
     : graph_(graph), options_(std::move(options)) {
   if (options_.num_workers < 1) options_.num_workers = 1;
-  if (options_.max_queue_depth < 1) options_.max_queue_depth = 1;
 }
 
 ServiceServer::~ServiceServer() { Shutdown(); }
 
 Status ServiceServer::Start() {
-  if (started_) {
+  if (frames_ != nullptr) {
     return Status::FailedPrecondition("ServiceServer::Start called twice");
   }
-  FLOS_ASSIGN_OR_RETURN(listen_fd_,
-                        ListenTcp(options_.host, options_.port, 128));
-  FLOS_ASSIGN_OR_RETURN(port_, LocalPort(listen_fd_.get()));
-  FLOS_ASSIGN_OR_RETURN(Epoll ep, Epoll::Create());
-  epoll_ = std::make_unique<Epoll>(std::move(ep));
-  FLOS_ASSIGN_OR_RETURN(WakeFd wake, WakeFd::Create());
-  wake_ = std::make_unique<WakeFd>(std::move(wake));
-  FLOS_RETURN_IF_ERROR(epoll_->Add(listen_fd_.get(), /*want_read=*/true,
-                                   /*want_write=*/false));
-  FLOS_RETURN_IF_ERROR(
-      epoll_->Add(wake_->fd(), /*want_read=*/true, /*want_write=*/false));
-
   if (options_.query_cache_capacity > 0) {
     query_cache_ = std::make_unique<QueryCache>(options_.query_cache_capacity);
   }
-  sessions_ = std::make_unique<EngineSessionPool>(
-      graph_, static_cast<size_t>(options_.num_workers), query_cache_.get());
+  if (options_.shard_meta != nullptr) {
+    const Graph* const graph = graph_;
+    const ShardMeta* const meta = options_.shard_meta;
+    sessions_ = std::make_unique<EngineSessionPool>(
+        [graph, meta]() -> std::unique_ptr<GraphAccessor> {
+          return std::make_unique<ShardAccessor>(graph, meta);
+        },
+        static_cast<size_t>(options_.num_workers), query_cache_.get());
+  } else {
+    sessions_ = std::make_unique<EngineSessionPool>(
+        graph_, static_cast<size_t>(options_.num_workers),
+        query_cache_.get());
+  }
 
-  started_ = true;
-  stop_.store(false, std::memory_order_relaxed);
-  io_thread_ = std::thread([this] { IoLoop(); });
-  workers_.reserve(static_cast<size_t>(options_.num_workers));
-  for (int i = 0; i < options_.num_workers; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+  FrameServiceOptions fopts;
+  fopts.host = options_.host;
+  fopts.port = options_.port;
+  fopts.num_workers = options_.num_workers;
+  fopts.max_queue_depth = options_.max_queue_depth;
+  fopts.max_frame_bytes = options_.max_frame_bytes;
+  fopts.allow_remote_shutdown = options_.allow_remote_shutdown;
+  frames_ = std::make_unique<FrameService>(
+      std::move(fopts), static_cast<FrameHandler*>(this), &metrics_);
+  const Status started = frames_->Start();
+  if (!started.ok()) {
+    // No threads were spawned on the failure path; unwind so a caller can
+    // retry Start (e.g. with another port).
+    frames_.reset();
+    sessions_.reset();
+    query_cache_.reset();
+    return started;
   }
   return Status::OK();
 }
 
+uint16_t ServiceServer::port() const {
+  return frames_ != nullptr ? frames_->port() : 0;
+}
+
 void ServiceServer::WaitForShutdown() {
-  std::unique_lock<std::mutex> lock(shutdown_mu_);
-  shutdown_cv_.wait(lock, [this] {
-    return shutdown_requested_ || stop_.load(std::memory_order_relaxed);
-  });
+  if (frames_ != nullptr) frames_->WaitForShutdown();
 }
 
 void ServiceServer::Shutdown() {
-  if (!started_) return;
-  started_ = false;
-  stop_.store(true, std::memory_order_relaxed);
-  {
-    std::lock_guard<std::mutex> lock(shutdown_mu_);
-    shutdown_requested_ = true;
-  }
-  shutdown_cv_.notify_all();
-  queue_cv_.notify_all();
+  // Session pool first: a worker still blocked in Acquire (CreateWorkerState)
+  // gets its empty lease and exits, letting the FrameService join finish.
   if (sessions_ != nullptr) sessions_->Shutdown();
-  if (wake_ != nullptr) wake_->Signal();
-  for (std::thread& w : workers_) {
-    if (w.joinable()) w.join();
-  }
-  workers_.clear();
-  if (io_thread_.joinable()) io_thread_.join();
-  connections_.clear();
-  {
-    std::lock_guard<std::mutex> lock(queue_mu_);
-    queue_.clear();
-    metrics_.queue_depth.Set(0);
-  }
-  epoll_.reset();
-  wake_.reset();
-  listen_fd_.Close();
+  if (frames_ != nullptr) frames_->Shutdown();
 }
 
-void ServiceServer::IoLoop() {
-  std::vector<EpollEvent> events;
-  while (!stop_.load(std::memory_order_relaxed)) {
-    const Status waited = epoll_->Wait(/*timeout_ms=*/200, &events);
-    if (!waited.ok()) {
-      std::fprintf(stderr, "flos service: epoll wait failed: %s\n",
-                   waited.ToString().c_str());
-      break;
-    }
-    // A worker may have enqueued output for any connection; level-triggered
-    // EPOLLOUT is only armed lazily here, so sweep every wakeup.
-    if (stop_.load(std::memory_order_relaxed)) break;
-    for (const EpollEvent& ev : events) {
-      if (ev.fd == wake_->fd()) {
-        wake_->Drain();
-        continue;
-      }
-      if (ev.fd == listen_fd_.get()) {
-        AcceptAll();
-        continue;
-      }
-      const auto it = connections_.find(ev.fd);
-      if (it == connections_.end()) continue;
-      const std::shared_ptr<Connection> conn = it->second;
-      bool alive = !ev.error;
-      if (alive && ev.readable) alive = HandleReadable(conn);
-      if (alive && ev.writable) alive = FlushOutbox(conn);
-      if (!alive) CloseConnection(ev.fd);
-    }
-    // Arm EPOLLOUT for connections the workers filled since last pass.
-    for (auto it = connections_.begin(); it != connections_.end();) {
-      const std::shared_ptr<Connection>& conn = it->second;
-      const int fd = conn->fd.get();
-      ++it;  // FlushOutbox may CloseConnection(fd) and invalidate `it`
-      bool pending = false;
-      {
-        std::lock_guard<std::mutex> lock(conn->out_mu);
-        pending = !conn->outbox.empty();
-      }
-      if (pending && !FlushOutbox(conn)) CloseConnection(fd);
-    }
-  }
-  // Drop every connection on the way out so clients see EOF promptly.
-  for (auto& [fd, conn] : connections_) {
-    (void)conn;
-    (void)epoll_->Remove(fd);
-  }
-  connections_.clear();
-}
-
-void ServiceServer::AcceptAll() {
-  while (true) {
-    Result<UniqueFd> accepted = AcceptConnection(listen_fd_.get());
-    if (!accepted.ok()) {
-      std::fprintf(stderr, "flos service: accept failed: %s\n",
-                   accepted.status().ToString().c_str());
-      return;
-    }
-    if (!accepted->valid()) return;  // EAGAIN: drained the backlog
-    auto conn = std::make_shared<Connection>();
-    conn->fd = std::move(*accepted);
-    const int fd = conn->fd.get();
-    const Status added =
-        epoll_->Add(fd, /*want_read=*/true, /*want_write=*/false);
-    if (!added.ok()) {
-      std::fprintf(stderr, "flos service: epoll add failed: %s\n",
-                   added.ToString().c_str());
-      continue;  // conn drops here, closing the socket
-    }
-    connections_.emplace(fd, std::move(conn));
-    metrics_.connections_opened.Increment();
-    metrics_.active_connections.Add(1);
-  }
-}
-
-bool ServiceServer::HandleReadable(const std::shared_ptr<Connection>& conn) {
-  bool eof = false;
-  const Status received =
-      RecvSome(conn->fd.get(), 64 * 1024, &conn->inbuf, &eof);
-  if (!received.ok()) return false;
-  // Reassemble complete frames; track a consumed offset so pipelined
-  // bursts erase the buffer prefix once instead of per frame.
-  size_t consumed = 0;
-  bool alive = true;
-  while (alive) {
-    if (conn->inbuf.size() - consumed < kFrameHeaderBytes) break;
-    uint32_t frame_len = 0;
-    std::memcpy(&frame_len, conn->inbuf.data() + consumed,
-                sizeof(frame_len));
-    if (frame_len > options_.max_frame_bytes) {
-      // Cannot resynchronize framing after an oversized length; drop the
-      // connection.
-      metrics_.requests_malformed.Increment();
-      alive = false;
-      break;
-    }
-    if (conn->inbuf.size() - consumed < kFrameHeaderBytes + frame_len) break;
-    std::string payload = conn->inbuf.substr(
-        consumed + kFrameHeaderBytes, frame_len);
-    consumed += kFrameHeaderBytes + frame_len;
-    alive = HandleFrame(conn, std::move(payload));
-  }
-  if (consumed > 0) conn->inbuf.erase(0, consumed);
-  if (alive && eof) {
-    // Peer finished sending. Keep the connection only while responses for
-    // already-admitted work may still arrive; simplest correct policy:
-    // close once the outbox drains. Workers holding the shared_ptr write
-    // into an orphaned buffer, which is safe.
-    std::lock_guard<std::mutex> lock(conn->out_mu);
-    if (conn->outbox.empty()) alive = false;
-  }
-  return alive;
-}
-
-bool ServiceServer::HandleFrame(const std::shared_ptr<Connection>& conn,
-                                std::string payload) {
-  const Result<MessageType> type = PeekMessageType(payload);
-  if (!type.ok()) {
-    metrics_.requests_malformed.Increment();
-    EnqueueResponse(conn,
-                    MakeErrorResponse(MessageType::kQuery, type.status()),
-                    /*from_io_thread=*/true);
-    return true;  // framing is intact; the connection can continue
-  }
-  switch (*type) {
-    case MessageType::kQuery:
-      HandleQueryFrame(conn, std::move(payload));
-      return true;
-    case MessageType::kStats: {
-      metrics_.stats_requests.Increment();
-      QueryResponse resp;
-      resp.type = MessageType::kStats;
-      resp.status = StatusCode::kOk;
-      resp.message = metrics_.registry.RenderText();
-      // Derived line: fraction of ok queries whose proof finished. The
-      // raw counters stay above so dashboards can re-derive it.
-      const uint64_t certified = metrics_.queries_certified.value();
-      const uint64_t total = certified + metrics_.queries_uncertified.value();
-      char ratio_line[64];
-      std::snprintf(ratio_line, sizeof(ratio_line),
-                    "ratio certified_ratio %.4f\n",
-                    total > 0 ? static_cast<double>(certified) /
-                                    static_cast<double>(total)
-                              : 0.0);
-      resp.message += ratio_line;
-      EnqueueResponse(conn, resp, /*from_io_thread=*/true);
-      return true;
-    }
-    case MessageType::kShutdown: {
-      if (!options_.allow_remote_shutdown) {
-        EnqueueResponse(
-            conn,
-            MakeErrorResponse(MessageType::kShutdown,
-                              Status::FailedPrecondition(
-                                  "remote shutdown is disabled")),
-            /*from_io_thread=*/true);
-        return true;
-      }
-      QueryResponse resp;
-      resp.type = MessageType::kShutdown;
-      resp.status = StatusCode::kOk;
-      EnqueueResponse(conn, resp, /*from_io_thread=*/true);
-      {
-        std::lock_guard<std::mutex> lock(shutdown_mu_);
-        shutdown_requested_ = true;
-      }
-      shutdown_cv_.notify_all();
-      return true;
-    }
-  }
-  return true;
-}
-
-void ServiceServer::HandleQueryFrame(const std::shared_ptr<Connection>& conn,
-                                     std::string payload) {
-  PendingQuery work;
-  work.conn = conn;
-  work.payload = std::move(payload);
-  work.accept_time = std::chrono::steady_clock::now();
-  bool admitted = false;
-  {
-    std::lock_guard<std::mutex> lock(queue_mu_);
-    if (queue_.size() < options_.max_queue_depth) {
-      queue_.push_back(std::move(work));
-      metrics_.queue_depth.Set(static_cast<int64_t>(queue_.size()));
-      admitted = true;
-    }
-  }
-  if (admitted) {
-    metrics_.requests_accepted.Increment();
-    queue_cv_.notify_one();
-  } else {
-    metrics_.requests_rejected_overload.Increment();
-    EnqueueResponse(
-        conn,
-        MakeErrorResponse(MessageType::kQuery,
-                          Status::Overloaded(
-                              "request queue full; back off and retry")),
-        /*from_io_thread=*/true);
-  }
-}
-
-void ServiceServer::WorkerLoop() {
+std::unique_ptr<FrameHandler::WorkerState> ServiceServer::CreateWorkerState() {
   EngineSessionPool::Lease lease = sessions_->Acquire();
-  FlosEngine* const engine = lease.engine();
-  if (engine == nullptr) return;  // pool shut down before we started
-  while (true) {
-    PendingQuery work;
-    {
-      std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_cv_.wait(lock, [this] {
-        return stop_.load(std::memory_order_relaxed) || !queue_.empty();
-      });
-      if (stop_.load(std::memory_order_relaxed)) return;
-      work = std::move(queue_.front());
-      queue_.pop_front();
-      metrics_.queue_depth.Set(static_cast<int64_t>(queue_.size()));
-    }
-    ServeQuery(engine, work);
-  }
+  if (lease.engine() == nullptr) return nullptr;  // pool already shut down
+  return std::make_unique<EngineWorkerState>(std::move(lease));
 }
 
-void ServiceServer::ServeQuery(FlosEngine* engine,
-                               const PendingQuery& work) {
-  const auto dequeue_time = std::chrono::steady_clock::now();
-  metrics_.queue_wait_us.Record(
-      MicrosBetween(work.accept_time, dequeue_time));
+QueryResponse ServiceServer::HandleQuery(
+    WorkerState* state, const std::string& payload,
+    std::chrono::steady_clock::time_point dequeue_time) {
+  FlosEngine* const engine =
+      static_cast<EngineWorkerState*>(state)->lease.engine();
 
   QueryResponse resp;
   resp.type = MessageType::kQuery;
-  const Result<QueryRequest> decoded = DecodeQueryRequest(work.payload);
+  const Result<QueryRequest> decoded = DecodeQueryRequest(payload);
   Status failure;
   if (!decoded.ok()) {
     metrics_.requests_malformed.Increment();
@@ -341,11 +120,7 @@ void ServiceServer::ServeQuery(FlosEngine* engine,
   }
   if (!failure.ok()) {
     metrics_.queries_error.Increment();
-    resp = MakeErrorResponse(MessageType::kQuery, failure);
-    EnqueueResponse(work.conn, resp, /*from_io_thread=*/false);
-    metrics_.total_us.Record(MicrosBetween(
-        work.accept_time, std::chrono::steady_clock::now()));
-    return;
+    return MakeErrorResponse(MessageType::kQuery, failure);
   }
 
   FlosOptions opts;
@@ -355,6 +130,12 @@ void ServiceServer::ServeQuery(FlosEngine* engine,
   if (decoded->deadline_us > 0) {
     opts.deadline =
         dequeue_time + std::chrono::microseconds(decoded->deadline_us);
+  }
+  if (options_.shard_meta != nullptr) {
+    // Shard mode: only the interior halo (complete adjacency) may be
+    // expanded; the fringe is visit-and-bound only.
+    opts.expandable_limit =
+        static_cast<uint64_t>(options_.shard_meta->num_interior);
   }
 
   const auto serve_start = std::chrono::steady_clock::now();
@@ -371,6 +152,7 @@ void ServiceServer::ServeQuery(FlosEngine* engine,
     resp.status = StatusCode::kOk;
     resp.certified = result->stats.exact;
     resp.cache_hit = result->stats.cache_hit;
+    resp.halo_truncated = result->stats.frontier_clipped;
     if (query_cache_ != nullptr) {
       if (resp.cache_hit) {
         metrics_.cache_hits.Increment();
@@ -392,57 +174,35 @@ void ServiceServer::ServeQuery(FlosEngine* engine,
     if (result->stats.deadline_expired) {
       metrics_.deadline_expiries.Increment();
     }
+    if (resp.halo_truncated) {
+      metrics_.queries_halo_truncated.Increment();
+    }
     if (resp.certified) {
       metrics_.queries_certified.Increment();
     } else {
       metrics_.queries_uncertified.Increment();
     }
   }
-  EnqueueResponse(work.conn, resp, /*from_io_thread=*/false);
-  metrics_.total_us.Record(
-      MicrosBetween(work.accept_time, std::chrono::steady_clock::now()));
+  return resp;
 }
 
-void ServiceServer::EnqueueResponse(const std::shared_ptr<Connection>& conn,
-                                    const QueryResponse& response,
-                                    bool from_io_thread) {
-  {
-    std::lock_guard<std::mutex> lock(conn->out_mu);
-    EncodeResponse(response, &conn->outbox);
-  }
-  if (from_io_thread) {
-    if (!FlushOutbox(conn)) CloseConnection(conn->fd.get());
-  } else {
-    wake_->Signal();
-  }
-}
-
-bool ServiceServer::FlushOutbox(const std::shared_ptr<Connection>& conn) {
-  std::lock_guard<std::mutex> lock(conn->out_mu);
-  if (!conn->outbox.empty()) {
-    size_t written = 0;
-    const Status sent = SendSome(conn->fd.get(), conn->outbox.data(),
-                                 conn->outbox.size(), &written);
-    if (!sent.ok()) return false;
-    if (written > 0) conn->outbox.erase(0, written);
-  }
-  const bool want_write = !conn->outbox.empty();
-  if (want_write != conn->epoll_out) {
-    const Status modified =
-        epoll_->Modify(conn->fd.get(), /*want_read=*/true, want_write);
-    if (!modified.ok()) return false;
-    conn->epoll_out = want_write;
-  }
-  return true;
-}
-
-void ServiceServer::CloseConnection(int fd) {
-  const auto it = connections_.find(fd);
-  if (it == connections_.end()) return;
-  (void)epoll_->Remove(fd);
-  connections_.erase(it);
-  metrics_.connections_closed.Increment();
-  metrics_.active_connections.Add(-1);
+QueryResponse ServiceServer::HandleStats(WorkerState* /*state*/) {
+  QueryResponse resp;
+  resp.type = MessageType::kStats;
+  resp.status = StatusCode::kOk;
+  resp.message = metrics_.registry.RenderText();
+  // Derived line: fraction of ok queries whose proof finished. The
+  // raw counters stay above so dashboards can re-derive it.
+  const uint64_t certified = metrics_.queries_certified.value();
+  const uint64_t total = certified + metrics_.queries_uncertified.value();
+  char ratio_line[64];
+  std::snprintf(ratio_line, sizeof(ratio_line),
+                "ratio certified_ratio %.4f\n",
+                total > 0 ? static_cast<double>(certified) /
+                                static_cast<double>(total)
+                          : 0.0);
+  resp.message += ratio_line;
+  return resp;
 }
 
 }  // namespace flos

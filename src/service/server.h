@@ -1,11 +1,9 @@
 // Networked FLoS k-NN query service.
 //
-// Threading model: one epoll IO thread owns every socket (accept, frame
-// reassembly, all writes); `num_workers` worker threads run the queries on
-// leased engine sessions (session_pool.h). The two sides meet at a BOUNDED
-// request queue — when it is full, the IO thread answers `overloaded`
-// immediately instead of queuing (admission control), so queue depth, and
-// with it tail latency, stays capped no matter the offered load.
+// The transport (epoll IO thread, bounded admission queue, worker threads)
+// lives in FrameService; ServiceServer is the FrameHandler that gives the
+// frames meaning: QUERY frames run on leased engine sessions
+// (session_pool.h), STATS renders the metrics registry.
 //
 // Deadlines: a QUERY's `deadline_us` (relative, 0 = none) is anchored at
 // DEQUEUE time and handed to the engine as an absolute steady_clock
@@ -13,29 +11,27 @@
 // `certified = 0`, and the current top-k with rigorous lower/upper bounds
 // (FLoS's anytime guarantee — see FlosOptions::deadline).
 //
-// STATS and SHUTDOWN are served on the IO thread (no queue, no engine):
-// STATS returns the metrics registry text; SHUTDOWN (when enabled) acks,
-// then unblocks WaitForShutdown so the owning thread can call Shutdown().
+// Shard mode: when `shard_meta` is set the served graph is one shard of a
+// partition (graph/partition.h). Sessions then run over ShardAccessors
+// (global degrees + external-degree bound keep every bound exact), the
+// engine's expandable frontier is limited to the interior halo, and a
+// search that stops at the halo boundary answers uncertified with the
+// halo-truncated wire flag set — bounds still rigorous, so the anytime
+// contract survives partitioning.
 
 #ifndef FLOS_SERVICE_SERVER_H_
 #define FLOS_SERVICE_SERVER_H_
 
-#include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <thread>
-#include <unordered_map>
-#include <vector>
 
 #include "core/query_cache.h"
 #include "graph/graph.h"
+#include "graph/partition.h"
+#include "service/frame_service.h"
 #include "service/metrics.h"
-#include "service/net_io.h"
 #include "service/protocol.h"
 #include "service/session_pool.h"
 #include "util/status.h"
@@ -64,15 +60,19 @@ struct ServerOptions {
   /// repeat queries — the head of any Zipf-skewed workload — answer in
   /// microseconds with the same certified bounds the search produced.
   size_t query_cache_capacity = 4096;
+  /// Non-null = shard mode: `graph` is the shard-local graph described by
+  /// this metadata (must outlive the server). Query nodes are SHARD-LOCAL
+  /// ids; the router translates global ids before forwarding.
+  const ShardMeta* shard_meta = nullptr;
 };
 
 /// The query server. Start() spawns the threads; Shutdown() (or the
 /// destructor) joins them. `graph` must stay alive and immutable for the
 /// server's lifetime.
-class ServiceServer {
+class ServiceServer final : private FrameHandler {
  public:
   ServiceServer(const Graph* graph, ServerOptions options);
-  ~ServiceServer();
+  ~ServiceServer() override;
 
   ServiceServer(const ServiceServer&) = delete;
   ServiceServer& operator=(const ServiceServer&) = delete;
@@ -81,7 +81,7 @@ class ServiceServer {
   Status Start();
 
   /// Port actually bound (valid after Start; resolves ephemeral binds).
-  uint16_t port() const { return port_; }
+  uint16_t port() const;
 
   /// Blocks until a client sends SHUTDOWN or Shutdown() is called.
   void WaitForShutdown();
@@ -94,76 +94,21 @@ class ServiceServer {
   const ServiceMetrics& metrics() const { return metrics_; }
 
  private:
-  /// Per-connection state. The IO thread owns the socket and the read
-  /// side; workers only append to `outbox` (under `out_mu`) and signal the
-  /// wake fd. Held by shared_ptr so a worker finishing after a disconnect
-  /// writes into a harmlessly orphaned buffer instead of a dangling one.
-  struct Connection {
-    UniqueFd fd;
-    std::string inbuf;        // IO thread only
-    std::mutex out_mu;
-    std::string outbox;       // guarded by out_mu
-    bool epoll_out = false;   // IO thread only: EPOLLOUT currently armed
-  };
-
-  /// One admitted QUERY waiting for a worker.
-  struct PendingQuery {
-    std::shared_ptr<Connection> conn;
-    std::string payload;
-    std::chrono::steady_clock::time_point accept_time;
-  };
-
-  void IoLoop();
-  void WorkerLoop();
-
-  void AcceptAll();
-  /// Reads, reassembles, and dispatches frames; false = close connection.
-  bool HandleReadable(const std::shared_ptr<Connection>& conn);
-  /// Dispatches one complete frame payload; false = close connection.
-  bool HandleFrame(const std::shared_ptr<Connection>& conn,
-                   std::string payload);
-  void HandleQueryFrame(const std::shared_ptr<Connection>& conn,
-                        std::string payload);
-  /// Runs one admitted query on a leased engine and enqueues the response.
-  void ServeQuery(FlosEngine* engine, const PendingQuery& work);
-
-  /// Encodes `response` onto the connection's outbox. `from_io_thread`
-  /// lets the IO thread flush immediately instead of signaling itself.
-  void EnqueueResponse(const std::shared_ptr<Connection>& conn,
-                       const QueryResponse& response, bool from_io_thread);
-  /// Writes as much pending outbox as the kernel takes; arms/disarms
-  /// EPOLLOUT accordingly. IO thread only. False = connection broken.
-  bool FlushOutbox(const std::shared_ptr<Connection>& conn);
-  void CloseConnection(int fd);
+  // FrameHandler: each worker leases one engine session for its lifetime.
+  std::unique_ptr<WorkerState> CreateWorkerState() override;
+  QueryResponse HandleQuery(
+      WorkerState* state, const std::string& payload,
+      std::chrono::steady_clock::time_point dequeue_time) override;
+  QueryResponse HandleStats(WorkerState* state) override;
 
   const Graph* graph_;
   ServerOptions options_;
   ServiceMetrics metrics_;
 
-  UniqueFd listen_fd_;
-  uint16_t port_ = 0;
-  std::unique_ptr<Epoll> epoll_;
-  std::unique_ptr<WakeFd> wake_;
   std::unique_ptr<QueryCache> query_cache_;  // must outlive sessions_
   std::unique_ptr<EngineSessionPool> sessions_;
-
-  // IO-thread-only connection table.
-  std::unordered_map<int, std::shared_ptr<Connection>> connections_;
-
-  // Bounded request queue (admission control).
-  std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::deque<PendingQuery> queue_;  // guarded by queue_mu_
-
-  std::atomic<bool> stop_{false};
-  bool started_ = false;
-  std::thread io_thread_;
-  std::vector<std::thread> workers_;
-
-  // WaitForShutdown plumbing.
-  std::mutex shutdown_mu_;
-  std::condition_variable shutdown_cv_;
-  bool shutdown_requested_ = false;  // guarded by shutdown_mu_
+  // Declared after the pool: destroyed (joining worker threads) first.
+  std::unique_ptr<FrameService> frames_;
 };
 
 }  // namespace flos

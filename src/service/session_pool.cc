@@ -6,12 +6,19 @@
 namespace flos {
 
 EngineSessionPool::EngineSessionPool(const Graph* graph, size_t capacity,
+                                     QueryCache* query_cache)
+    : EngineSessionPool(
+          [graph] { return std::make_unique<InMemoryAccessor>(graph); },
+          capacity, query_cache) {}
+
+EngineSessionPool::EngineSessionPool(const AccessorFactory& factory,
+                                     size_t capacity,
                                      QueryCache* query_cache) {
   const size_t n = std::max<size_t>(1, capacity);
   sessions_.reserve(n);
   free_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    sessions_.push_back(std::make_unique<Session>(graph));
+    sessions_.push_back(std::make_unique<Session>(factory()));
     sessions_.back()->engine.set_query_cache(query_cache);
     free_.push_back(i);
   }

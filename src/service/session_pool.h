@@ -17,6 +17,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -29,6 +30,10 @@ namespace flos {
 
 class QueryCache;
 
+/// Builds one accessor per session slot. Called `capacity` times at pool
+/// construction; each returned accessor becomes private to one session.
+using AccessorFactory = std::function<std::unique_ptr<GraphAccessor>()>;
+
 /// Fixed-capacity pool of {accessor, engine} sessions over one graph.
 class EngineSessionPool {
  public:
@@ -37,6 +42,13 @@ class EngineSessionPool {
   /// (QueryCache is thread-safe), so a result certified on one session is
   /// a warm hit on all of them; the cache must outlive the pool.
   EngineSessionPool(const Graph* graph, size_t capacity,
+                    QueryCache* query_cache = nullptr);
+
+  /// Same pool, but each session's accessor comes from `factory` — the
+  /// seam that lets a shard server pool engines over ShardAccessors (global
+  /// degrees, external-degree bound) instead of plain InMemoryAccessors.
+  /// Whatever the accessors reference must outlive the pool.
+  EngineSessionPool(const AccessorFactory& factory, size_t capacity,
                     QueryCache* query_cache = nullptr);
 
   EngineSessionPool(const EngineSessionPool&) = delete;
@@ -83,9 +95,9 @@ class EngineSessionPool {
 
  private:
   struct Session {
-    explicit Session(const Graph* graph)
-        : accessor(graph), engine(&accessor) {}
-    InMemoryAccessor accessor;
+    explicit Session(std::unique_ptr<GraphAccessor> a)
+        : accessor(std::move(a)), engine(accessor.get()) {}
+    std::unique_ptr<GraphAccessor> accessor;
     FlosEngine engine;
   };
 

@@ -1,0 +1,121 @@
+// Shard router: the scale-out front-end of the FLoS query service.
+//
+// A fleet of independent flos_server processes each serves one
+// halo-replicated shard of a partitioned graph (graph/partition.h). The
+// router speaks the SAME length-prefixed wire protocol on both sides: it
+// accepts client frames through a FrameService, maps each QUERY's seed
+// node to the shard that owns it (ShardRouteTable), rewrites the seed to
+// the shard-local id, forwards the frame over a pooled persistent backend
+// connection (one ServiceClient per shard per router worker), and
+// translates result node ids back to global before answering. Clients
+// cannot tell a router from a single server — except through STATS, which
+// fans out to every shard and returns the per-shard metric text alongside
+// the router's own (forwarding counters, per-shard admission gauges).
+//
+// Because FLoS searches stay local to the seed's neighborhood (the paper's
+// central property), a BFS-grown partition with an adequate halo serves
+// almost every query entirely within one shard, certified exact — so
+// aggregate QPS scales with the number of shard processes. A query whose
+// search would leave the halo comes back uncertified with the
+// halo-truncated flag (rigorous bounds, anytime contract intact).
+//
+// Error containment: a backend that cannot be reached (or dies mid-query)
+// fails only the queries routed to it, with status `unavailable`; the
+// worker drops that connection and reconnects (with bounded backoff) on
+// the next query for that shard.
+
+#ifndef FLOS_SERVICE_SHARD_ROUTER_H_
+#define FLOS_SERVICE_SHARD_ROUTER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/partition.h"
+#include "service/client.h"
+#include "service/frame_service.h"
+#include "service/metrics.h"
+#include "service/protocol.h"
+#include "util/status.h"
+
+namespace flos {
+
+/// Network address of one shard server.
+struct ShardEndpoint {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+};
+
+struct ShardRouterOptions {
+  /// Client-facing listen address (0 = ephemeral port).
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  /// Router worker threads; each holds one persistent connection per
+  /// shard, so concurrent backend requests per shard are capped here.
+  int num_workers = 4;
+  /// Admission-control cap shared with the single-server front-end.
+  size_t max_queue_depth = 256;
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  bool allow_remote_shutdown = true;
+  /// shards[i] serves shard i of the route table. Size must equal the
+  /// route table's shard count.
+  std::vector<ShardEndpoint> shards;
+  /// Backoff for (re)connecting to a backend.
+  ServiceClient::ConnectRetryPolicy backend_retry;
+};
+
+/// The router process. Start() spawns the FrameService threads; backend
+/// connections are opened lazily by each worker on first use.
+class ShardRouter final : private FrameHandler {
+ public:
+  /// `route` comes from ShardRouteTable::Build over every shard's map.
+  ShardRouter(ShardRouteTable route, ShardRouterOptions options);
+  ~ShardRouter() override;
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  Status Start();
+  uint16_t port() const;
+  void WaitForShutdown();
+  void Shutdown();
+
+  /// Best-effort SHUTDOWN frame to every backend (fresh connections; does
+  /// not disturb the workers'). For drivers that own the whole fleet.
+  void ShutdownBackends();
+
+  /// Live metrics: the shared service counters plus, per shard i,
+  /// `shard<i>_forwarded`, `shard<i>_errors`, and the `shard<i>_inflight`
+  /// gauge (max = peak concurrent backend requests).
+  const ServiceMetrics& metrics() const { return metrics_; }
+
+ private:
+  struct BackendSet;
+
+  std::unique_ptr<WorkerState> CreateWorkerState() override;
+  QueryResponse HandleQuery(
+      WorkerState* state, const std::string& payload,
+      std::chrono::steady_clock::time_point dequeue_time) override;
+  QueryResponse HandleStats(WorkerState* state) override;
+
+  /// The worker's connection to `shard`, connecting (with backoff) if
+  /// needed. Null with the connect status on failure.
+  Result<ServiceClient*> Backend(BackendSet* set, uint32_t shard);
+
+  ShardRouteTable route_;
+  ShardRouterOptions options_;
+  ServiceMetrics metrics_;
+  // Per-shard instruments; deques because metrics pin their addresses in
+  // the registry. Sized and registered in the constructor.
+  std::deque<Counter> shard_forwarded_;
+  std::deque<Counter> shard_errors_;
+  std::deque<Gauge> shard_inflight_;
+  std::unique_ptr<FrameService> frames_;
+};
+
+}  // namespace flos
+
+#endif  // FLOS_SERVICE_SHARD_ROUTER_H_

@@ -26,6 +26,8 @@ const char* StatusCodeName(StatusCode code) {
       return "overloaded";
     case StatusCode::kDeadlineExceeded:
       return "deadline_exceeded";
+    case StatusCode::kUnavailable:
+      return "unavailable";
   }
   return "unknown";
 }

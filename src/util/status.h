@@ -33,6 +33,10 @@ enum class StatusCode {
   /// expiry is NOT an error: the engine returns its current certified
   /// bounds with stats.deadline_expired set instead.
   kDeadlineExceeded,
+  /// A remote endpoint is transiently unreachable (connection refused or
+  /// timed out). Retrying with backoff is reasonable; see
+  /// ServiceClient::Connect's retry overload.
+  kUnavailable,
 };
 
 /// Returns a stable lowercase name for `code` (e.g., "invalid_argument").
@@ -80,6 +84,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,260 @@
+// Halo-replicated partitioning: coverage/ring invariants, global-degree
+// sidecars, file round trips, the route table's validation, and the
+// ShardAccessor contract (full-graph degrees, truncated-adjacency
+// reporting) that keeps FLoS bounds sound on shard-local graphs.
+
+#include "graph/partition.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/generators.h"
+#include "tests/test_util.h"
+
+namespace flos {
+namespace {
+
+using flos::testing::ValueOrDie;
+
+Graph TestGraph(uint64_t nodes = 1500, uint64_t seed = 11) {
+  GeneratorOptions options;
+  options.num_nodes = nodes;
+  options.num_edges = nodes * 6;
+  options.seed = seed;
+  return ValueOrDie(GenerateConnected(options));
+}
+
+/// Full-graph adjacency of `global` as a sorted (neighbor, weight) list.
+std::vector<std::pair<NodeId, double>> FullAdjacency(const Graph& graph,
+                                                     NodeId global) {
+  InMemoryAccessor accessor(&graph);
+  std::vector<Neighbor> neighbors;
+  EXPECT_TRUE(accessor.CopyNeighbors(global, &neighbors).ok());
+  std::vector<std::pair<NodeId, double>> out;
+  for (const Neighbor& nb : neighbors) out.emplace_back(nb.id, nb.weight);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Shard-local adjacency of local node `local`, translated to global ids.
+std::vector<std::pair<NodeId, double>> ShardAdjacency(const ShardPart& shard,
+                                                      NodeId local) {
+  ShardAccessor accessor(&shard.graph, &shard.meta);
+  std::vector<Neighbor> neighbors;
+  EXPECT_TRUE(accessor.CopyNeighbors(local, &neighbors).ok());
+  std::vector<std::pair<NodeId, double>> out;
+  for (const Neighbor& nb : neighbors) {
+    out.emplace_back(shard.meta.local_to_global[nb.id], nb.weight);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+class PartitionTest : public ::testing::TestWithParam<PartitionMethod> {};
+
+TEST_P(PartitionTest, CoreCoversEveryNodeExactlyOnce) {
+  const Graph graph = TestGraph();
+  PartitionOptions options;
+  options.num_shards = 4;
+  options.method = GetParam();
+  const GraphPartition partition =
+      ValueOrDie(PartitionGraph(graph, options));
+  ASSERT_EQ(partition.shards.size(), 4u);
+  ASSERT_EQ(partition.owner.size(), graph.NumNodes());
+
+  std::vector<uint32_t> owned(graph.NumNodes(), 0);
+  for (const ShardPart& shard : partition.shards) {
+    const ShardMeta& meta = shard.meta;
+    EXPECT_EQ(meta.global_nodes, graph.NumNodes());
+    EXPECT_GT(meta.num_core, 0u);
+    EXPECT_LE(meta.num_core, meta.num_interior);
+    EXPECT_LE(meta.num_interior, meta.num_local());
+    EXPECT_EQ(static_cast<uint64_t>(shard.graph.NumNodes()),
+              static_cast<uint64_t>(meta.num_local()));
+    for (NodeId local = 0; local < meta.num_core; ++local) {
+      const NodeId global = meta.local_to_global[local];
+      EXPECT_EQ(partition.owner[global], meta.shard_index);
+      ++owned[global];
+    }
+  }
+  for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+    EXPECT_EQ(owned[v], 1u) << "node " << v;
+  }
+}
+
+TEST_P(PartitionTest, InteriorRowsAreCompleteFringeRowsAreSubsets) {
+  const Graph graph = TestGraph(800);
+  PartitionOptions options;
+  options.num_shards = 3;
+  options.method = GetParam();
+  options.halo_hops = 2;
+  const GraphPartition partition =
+      ValueOrDie(PartitionGraph(graph, options));
+
+  for (const ShardPart& shard : partition.shards) {
+    const ShardMeta& meta = shard.meta;
+    for (NodeId local = 0; local < meta.num_local(); ++local) {
+      const NodeId global = meta.local_to_global[local];
+      const auto full = FullAdjacency(graph, global);
+      const auto seen = ShardAdjacency(shard, local);
+      if (local < meta.num_interior) {
+        EXPECT_EQ(seen, full) << "interior row truncated: shard "
+                              << meta.shard_index << " node " << global;
+      } else {
+        // Fringe: every stored edge exists in the full graph; the full
+        // list may have more.
+        EXPECT_LE(seen.size(), full.size());
+        EXPECT_TRUE(std::includes(full.begin(), full.end(), seen.begin(),
+                                  seen.end()))
+            << "fringe row has an edge missing from the graph: shard "
+            << meta.shard_index << " node " << global;
+      }
+      // The sidecar records FULL degrees for every local node.
+      EXPECT_DOUBLE_EQ(meta.global_degree[local],
+                       graph.WeightedDegree(global));
+    }
+  }
+}
+
+TEST_P(PartitionTest, ShardAccessorServesGlobalDegreeInformation) {
+  const Graph graph = TestGraph(600);
+  PartitionOptions options;
+  options.num_shards = 2;
+  options.method = GetParam();
+  const GraphPartition partition =
+      ValueOrDie(PartitionGraph(graph, options));
+  const ShardPart& shard = partition.shards[0];
+  const ShardMeta& meta = shard.meta;
+  ShardAccessor accessor(&shard.graph, &meta);
+
+  std::set<NodeId> replicated(meta.local_to_global.begin(),
+                              meta.local_to_global.end());
+  double off_shard_max = 0;
+  for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+    if (replicated.count(v) == 0) {
+      off_shard_max = std::max(off_shard_max, graph.WeightedDegree(v));
+    }
+  }
+  EXPECT_DOUBLE_EQ(accessor.ExternalDegreeBound(), off_shard_max);
+
+  for (NodeId local = 0; local < meta.num_local(); ++local) {
+    EXPECT_DOUBLE_EQ(accessor.WeightedDegree(local),
+                     graph.WeightedDegree(meta.local_to_global[local]));
+    EXPECT_EQ(accessor.CompleteAdjacency(local), local < meta.num_interior);
+  }
+}
+
+TEST_P(PartitionTest, ShardFilesRoundTrip) {
+  const Graph graph = TestGraph(500);
+  PartitionOptions options;
+  options.num_shards = 2;
+  options.method = GetParam();
+  const GraphPartition partition =
+      ValueOrDie(PartitionGraph(graph, options));
+
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("flos_partition_test_" +
+        std::string(GetParam() == PartitionMethod::kHash ? "hash" : "bfs")))
+          .string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  ASSERT_TRUE(WriteShardFiles(partition, dir).ok());
+
+  for (const ShardPart& shard : partition.shards) {
+    const uint32_t index = shard.meta.shard_index;
+    const ShardMeta meta = ValueOrDie(ReadShardMap(ShardMapPath(dir, index)));
+    EXPECT_EQ(meta.shard_index, index);
+    EXPECT_EQ(meta.num_shards, shard.meta.num_shards);
+    EXPECT_EQ(meta.halo_hops, shard.meta.halo_hops);
+    EXPECT_EQ(meta.num_core, shard.meta.num_core);
+    EXPECT_EQ(meta.num_interior, shard.meta.num_interior);
+    EXPECT_EQ(meta.local_to_global, shard.meta.local_to_global);
+    ASSERT_EQ(meta.global_degree.size(), shard.meta.global_degree.size());
+    for (size_t i = 0; i < meta.global_degree.size(); ++i) {
+      EXPECT_NEAR(meta.global_degree[i], shard.meta.global_degree[i],
+                  1e-9 * std::max(1.0, shard.meta.global_degree[i]));
+    }
+    const Graph loaded =
+        ValueOrDie(ReadShardGraph(ShardEdgesPath(dir, index), meta));
+    EXPECT_EQ(loaded.NumNodes(), shard.graph.NumNodes());
+    EXPECT_EQ(loaded.NumEdges(), shard.graph.NumEdges());
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST_P(PartitionTest, RouteTableInvertsTheRemapTables) {
+  const Graph graph = TestGraph(700);
+  PartitionOptions options;
+  options.num_shards = 3;
+  options.method = GetParam();
+  const GraphPartition partition =
+      ValueOrDie(PartitionGraph(graph, options));
+
+  std::vector<ShardMeta> metas;
+  for (const ShardPart& shard : partition.shards) metas.push_back(shard.meta);
+  const ShardRouteTable route =
+      ValueOrDie(ShardRouteTable::Build(std::move(metas)));
+  EXPECT_EQ(route.global_nodes(), graph.NumNodes());
+  EXPECT_EQ(route.num_shards(), 3u);
+  for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+    const uint32_t shard = route.ShardOf(v);
+    EXPECT_EQ(shard, partition.owner[v]);
+    const NodeId local = route.LocalOf(v);
+    EXPECT_LT(local, partition.shards[shard].meta.num_core);
+    EXPECT_EQ(partition.shards[shard].meta.local_to_global[local], v);
+    EXPECT_EQ(ValueOrDie(route.ToGlobal(shard, local)), v);
+  }
+  // Non-core replicated ids still translate back; out-of-range ids fail.
+  const ShardMeta& m0 = partition.shards[0].meta;
+  if (m0.num_local() > m0.num_core) {
+    EXPECT_EQ(ValueOrDie(route.ToGlobal(0, m0.num_core)),
+              m0.local_to_global[m0.num_core]);
+  }
+  EXPECT_FALSE(route.ToGlobal(0, m0.num_local()).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, PartitionTest,
+                         ::testing::Values(PartitionMethod::kBfsGrow,
+                                           PartitionMethod::kHash));
+
+TEST(PartitionValidationTest, RejectsBadOptions) {
+  const Graph graph = TestGraph(50);
+  PartitionOptions options;
+  options.num_shards = 0;
+  EXPECT_FALSE(PartitionGraph(graph, options).ok());
+  options.num_shards = 2;
+  options.halo_hops = 0;
+  EXPECT_FALSE(PartitionGraph(graph, options).ok());
+}
+
+TEST(PartitionValidationTest, RouteTableRejectsNonPartitions) {
+  const Graph graph = TestGraph(200);
+  PartitionOptions options;
+  options.num_shards = 2;
+  const GraphPartition partition =
+      ValueOrDie(PartitionGraph(graph, options));
+
+  {
+    // Duplicate ownership: the same shard twice claims its core.
+    std::vector<ShardMeta> metas = {partition.shards[0].meta,
+                                    partition.shards[0].meta};
+    EXPECT_FALSE(ShardRouteTable::Build(std::move(metas)).ok());
+  }
+  {
+    // Missing coverage: one shard alone leaves core nodes unowned.
+    std::vector<ShardMeta> metas = {partition.shards[0].meta};
+    EXPECT_FALSE(ShardRouteTable::Build(std::move(metas)).ok());
+  }
+}
+
+}  // namespace
+}  // namespace flos

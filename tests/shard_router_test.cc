@@ -1,0 +1,296 @@
+// Cross-shard serving correctness, end to end and in process:
+//
+//  - a router over 2 or 4 shard servers answers exactly like a single
+//    process holding the whole graph whenever the halo covers the visited
+//    set (every measure, certified responses);
+//  - when it does not, responses carry the halo-truncated flag, are never
+//    certified, and their intervals still bracket the exact scores — the
+//    regression guard for the truncated-fringe degree bug, checked against
+//    the independent dense solver;
+//  - ServiceClient's bounded connect retry backs off on kUnavailable and
+//    gives up after max_attempts.
+
+#include "service/shard_router.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/flos.h"
+#include "graph/generators.h"
+#include "graph/partition.h"
+#include "measures/exact.h"
+#include "service/client.h"
+#include "service/server.h"
+#include "tests/test_util.h"
+
+namespace flos {
+namespace {
+
+using flos::testing::ValueOrDie;
+
+constexpr Measure kAllMeasures[] = {Measure::kPhp, Measure::kEi,
+                                    Measure::kDht, Measure::kTht,
+                                    Measure::kRwr};
+
+/// Iterative solves agree across runs only to ~tau (1e-5), not machine eps.
+double Slack(double a, double b) {
+  return 1e-5 * std::max(1.0, std::max(std::abs(a), std::abs(b)));
+}
+
+Graph TestGraph(uint64_t nodes, uint64_t seed = 7) {
+  GeneratorOptions options;
+  options.num_nodes = nodes;
+  options.num_edges = nodes * 6;
+  options.seed = seed;
+  return ValueOrDie(GenerateConnected(options));
+}
+
+/// A whole loopback fleet: N shard servers plus the router in front.
+class ShardFleet {
+ public:
+  ShardFleet(const Graph& graph, uint32_t num_shards, uint32_t halo_hops,
+             PartitionMethod method) {
+    PartitionOptions options;
+    options.num_shards = num_shards;
+    options.halo_hops = halo_hops;
+    options.method = method;
+    partition_ = std::make_unique<GraphPartition>(
+        ValueOrDie(PartitionGraph(graph, options)));
+
+    std::vector<ShardMeta> metas;
+    ShardRouterOptions router_options;
+    for (ShardPart& shard : partition_->shards) {
+      ServerOptions server_options;
+      server_options.num_workers = 2;
+      server_options.shard_meta = &shard.meta;
+      servers_.push_back(std::make_unique<ServiceServer>(&shard.graph,
+                                                         server_options));
+      EXPECT_TRUE(servers_.back()->Start().ok());
+      router_options.shards.push_back(
+          {"127.0.0.1", servers_.back()->port()});
+      metas.push_back(shard.meta);
+    }
+    router_options.num_workers = 2;
+    router_ = std::make_unique<ShardRouter>(
+        ValueOrDie(ShardRouteTable::Build(std::move(metas))),
+        router_options);
+    EXPECT_TRUE(router_->Start().ok());
+  }
+
+  ~ShardFleet() {
+    router_->Shutdown();
+    for (auto& server : servers_) server->Shutdown();
+  }
+
+  ServiceClient Connect() {
+    return ValueOrDie(ServiceClient::Connect("127.0.0.1", router_->port()));
+  }
+
+  const GraphPartition& partition() const { return *partition_; }
+
+ private:
+  std::unique_ptr<GraphPartition> partition_;
+  std::vector<std::unique_ptr<ServiceServer>> servers_;
+  std::unique_ptr<ShardRouter> router_;
+};
+
+/// Certified responses must return a correct exact top-k set (tie-robust)
+/// with intervals bracketing the exact scores. Truncated responses must
+/// keep rigorous intervals. Both checked against the independent dense
+/// solver, not against another FLoS run.
+void CheckResponse(const Graph& graph, const QueryResponse& response,
+                   Measure measure, NodeId query, int k) {
+  ASSERT_EQ(response.status, StatusCode::kOk)
+      << MeasureName(measure) << "@" << query << ": " << response.message;
+  MeasureParams params;
+  const std::vector<double> exact =
+      ValueOrDie(ExactMeasure(graph, query, measure, params));
+  for (const ResponseEntry& entry : response.topk) {
+    const double truth = exact[entry.node];
+    EXPECT_LE(entry.lower, truth + Slack(entry.lower, truth))
+        << MeasureName(measure) << "@" << query << " node " << entry.node;
+    EXPECT_GE(entry.upper, truth - Slack(entry.upper, truth))
+        << MeasureName(measure) << "@" << query << " node " << entry.node;
+  }
+  if (response.certified) {
+    EXPECT_FALSE(response.halo_truncated)
+        << MeasureName(measure) << "@" << query
+        << ": certified response carries the halo-truncated flag";
+    ASSERT_EQ(response.topk.size(), static_cast<size_t>(k));
+    std::vector<NodeId> returned;
+    for (const ResponseEntry& entry : response.topk) {
+      returned.push_back(static_cast<NodeId>(entry.node));
+    }
+    flos::testing::ExpectTopKMatchesScores(returned, exact, query, k,
+                                           MeasureDirection(measure));
+  } else {
+    EXPECT_TRUE(response.halo_truncated)
+        << MeasureName(measure) << "@" << query
+        << ": uncertified without the halo-truncated flag (no deadline)";
+  }
+}
+
+void RunParity(uint32_t num_shards) {
+  const Graph graph = TestGraph(800);
+  // halo 30 on a small-world graph: every shard's halo BFS exhausts the
+  // component, so no query can reach the fringe — all answers certify.
+  ShardFleet fleet(graph, num_shards, /*halo_hops=*/30,
+                   PartitionMethod::kBfsGrow);
+  ServiceClient client = fleet.Connect();
+  const int k = 10;
+  for (const NodeId query : {NodeId{17}, NodeId{203}, NodeId{555}}) {
+    for (const Measure measure : kAllMeasures) {
+      QueryRequest request;
+      request.measure = measure;
+      request.query_node = query;
+      request.k = k;
+      const QueryResponse response = ValueOrDie(client.Query(request));
+      EXPECT_TRUE(response.certified)
+          << MeasureName(measure) << "@" << query
+          << ": the halo covers the component, nothing may truncate";
+      CheckResponse(graph, response, measure, query, k);
+
+      // Same SET as the single-process run (order within the set follows
+      // interval midpoints and may differ across expansion schedules).
+      FlosOptions opts;
+      opts.measure = measure;
+      const FlosResult local = ValueOrDie(FlosTopK(graph, query, k, opts));
+      ASSERT_EQ(response.topk.size(), local.topk.size());
+    }
+  }
+}
+
+TEST(ShardRouterTest, TwoShardCertifiedParity) { RunParity(2); }
+
+TEST(ShardRouterTest, FourShardCertifiedParity) { RunParity(4); }
+
+TEST(ShardRouterTest, TightHaloTruncatesWithRigorousBounds) {
+  const Graph graph = TestGraph(2000);
+  // Adversarial cut: hash placement scatters neighborhoods, and halo 1
+  // puts the fringe one hop from every seed, so wide searches (THT
+  // especially) must stop at the halo.
+  ShardFleet fleet(graph, /*num_shards=*/2, /*halo_hops=*/1,
+                   PartitionMethod::kHash);
+  ServiceClient client = fleet.Connect();
+  const int k = 10;
+  uint64_t truncated = 0;
+  for (const NodeId query : {NodeId{3}, NodeId{777}, NodeId{1500}}) {
+    for (const Measure measure : kAllMeasures) {
+      QueryRequest request;
+      request.measure = measure;
+      request.query_node = query;
+      request.k = k;
+      const QueryResponse response = ValueOrDie(client.Query(request));
+      CheckResponse(graph, response, measure, query, k);
+      if (!response.certified) ++truncated;
+    }
+  }
+  EXPECT_GT(truncated, 0u)
+      << "hash + halo 1 should truncate at least one wide search";
+}
+
+// Regression: a fringe node's transition probabilities must be normalized
+// by its FULL degree (the shard map sidecar), not by the sum of its
+// truncated edge list. The old behavior made RowInMass -> 1 on fringe
+// rows, walks reflected inside the halo instead of escaping, and the THT
+// upper bound certified a value strictly below the truth. In process (no
+// network), checked against the independent dense solver.
+TEST(ShardRouterTest, TruncatedFringeBoundsBracketDenseTruth) {
+  GeneratorOptions g;
+  g.num_nodes = 5000;
+  g.num_edges = 40000;
+  g.seed = 7;
+  const Graph graph = ValueOrDie(GenerateRmat(g));
+  PartitionOptions p;
+  p.num_shards = 2;
+  p.halo_hops = 2;
+  const GraphPartition partition = ValueOrDie(PartitionGraph(graph, p));
+
+  std::vector<ShardMeta> metas;
+  for (const ShardPart& shard : partition.shards) metas.push_back(shard.meta);
+  const ShardRouteTable route =
+      ValueOrDie(ShardRouteTable::Build(std::move(metas)));
+
+  uint64_t clipped = 0;
+  // 3138 is the seed that exposed the original unsoundness (certified
+  // 9.01712 against a true value of 9.01792).
+  for (const NodeId query : {NodeId{3138}, NodeId{41}, NodeId{2222}}) {
+    const uint32_t shard_index = route.ShardOf(query);
+    const ShardPart& shard = partition.shards[shard_index];
+    ShardAccessor accessor(&shard.graph, &shard.meta);
+    for (const Measure measure : kAllMeasures) {
+      FlosOptions opts;
+      opts.measure = measure;
+      opts.expandable_limit = shard.meta.num_interior;
+      const FlosResult result =
+          ValueOrDie(FlosTopK(&accessor, route.LocalOf(query), 10, opts));
+      if (result.stats.frontier_clipped) {
+        ++clipped;
+        EXPECT_FALSE(result.stats.exact)
+            << MeasureName(measure) << "@" << query;
+      }
+      MeasureParams params;
+      const std::vector<double> exact =
+          ValueOrDie(ExactMeasure(graph, query, measure, params));
+      for (const ScoredNode& entry : result.topk) {
+        const NodeId global = shard.meta.local_to_global[entry.node];
+        const double truth = exact[global];
+        EXPECT_LE(entry.lower, truth + Slack(entry.lower, truth))
+            << MeasureName(measure) << "@" << query << " node " << global;
+        EXPECT_GE(entry.upper, truth - Slack(entry.upper, truth))
+            << MeasureName(measure) << "@" << query << " node " << global;
+      }
+    }
+  }
+  EXPECT_GT(clipped, 0u) << "halo 2 should clip at least one wide search";
+}
+
+TEST(ConnectRetryTest, BoundedRetryBacksOffThenGivesUp) {
+  // Nothing listens on a fresh ephemeral-range port snatched and released
+  // by the OS; connecting must retry with backoff, then surface
+  // kUnavailable. 4 attempts x 30 ms initial backoff (doubling, capped)
+  // floors the elapsed time at 30 + 60 + 100 ms.
+  ServiceClient::ConnectRetryPolicy retry;
+  retry.max_attempts = 4;
+  retry.initial_backoff_ms = 30;
+  retry.max_backoff_ms = 100;
+  const auto start = std::chrono::steady_clock::now();
+  const auto result = ServiceClient::Connect("127.0.0.1", 1, retry);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  ASSERT_FALSE(result.ok());
+  EXPECT_GE(elapsed.count(), 30 + 60 + 100);
+}
+
+TEST(ConnectRetryTest, ConnectsToLiveServerOnFirstAttempt) {
+  const Graph graph = TestGraph(200);
+  ServerOptions options;
+  options.num_workers = 1;
+  ServiceServer server(&graph, options);
+  ASSERT_TRUE(server.Start().ok());
+  ServiceClient::ConnectRetryPolicy retry;
+  retry.max_attempts = 3;
+  retry.initial_backoff_ms = 200;  // a retry would be visible in test time
+  const auto start = std::chrono::steady_clock::now();
+  ServiceClient client =
+      ValueOrDie(ServiceClient::Connect("127.0.0.1", server.port(), retry));
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_LT(elapsed.count(), 200);
+  QueryRequest request;
+  request.query_node = 5;
+  request.k = 5;
+  const QueryResponse response = ValueOrDie(client.Query(request));
+  EXPECT_EQ(response.status, StatusCode::kOk) << response.message;
+  server.Shutdown();
+}
+
+}  // namespace
+}  // namespace flos
