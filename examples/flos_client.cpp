@@ -121,10 +121,11 @@ int Run(int argc, char** argv) {
     return 1;
   }
   std::printf(
-      "query %lld (%s, k=%lld): certified=%s%s%s, visited %llu, %llu us\n",
+      "query %lld (%s, k=%lld): certified=%s%s%s%s, visited %llu, %llu us\n",
       static_cast<long long>(node), measure_name.c_str(),
       static_cast<long long>(k), resp->certified ? "yes" : "no",
       resp->cache_hit ? " (cache hit)" : "",
+      resp->subgraph_hit ? " (warm subgraph)" : "",
       resp->halo_truncated ? " (halo-truncated)" : "",
       static_cast<unsigned long long>(resp->visited),
       static_cast<unsigned long long>(resp->wall_us));

@@ -32,7 +32,7 @@ Enforced policy (see DESIGN.md "Correctness tooling & invariant policy"):
   no-raw-intrinsics
                   x86 SIMD intrinsics (`_mm*`, `__m128/256/512` vector
                   types, `<immintrin.h>`) are banned everywhere except the
-                  src/core/sweep_backend_avx2.cc translation unit, so every
+                  src/core/sweep_backend* translation units, so every
                   target-specific code path sits behind the SweepBackend
                   seam with its runtime dispatch and scalar parity twin.
                   A deliberate exception carries
@@ -230,7 +230,7 @@ def lint_file(path, root, findings, suppressions):
         rules += TOKEN_RULES_EVERYWHERE
     if "service/net_io" not in path.as_posix():
         rules += TOKEN_RULES_SOCKETS
-    if "core/sweep_backend_avx2" not in path.as_posix():
+    if "core/sweep_backend" not in path.as_posix():
         rules += TOKEN_RULES_INTRINSICS
 
     stripped = strip_comments_and_strings(text).splitlines()

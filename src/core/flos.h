@@ -65,6 +65,18 @@ struct FlosOptions {
   /// (core/sweep_kernel.h). kAuto picks the AVX2 blocked-ELL backend when
   /// the CPU supports it, the scalar reference kernel otherwise.
   SweepBackendKind sweep_backend = SweepBackendKind::kAuto;
+  /// Worker threads for intra-query parallel bound sweeps (block-Jacobi
+  /// across contiguous row chunks, Gauss–Seidel within — see
+  /// core/sweep_kernel.h). 1 = serial (default). With t > 1 the engine
+  /// owns a dedicated team of t - 1 workers and the calling thread runs
+  /// the remaining chunk, so t threads sweep in total. Deterministic and
+  /// certification-preserving; small visited sets stay serial (see
+  /// sweep_parallel_min_rows).
+  int sweep_threads = 1;
+  /// Visited-set size below which sweeps stay serial even when
+  /// sweep_threads > 1 (synchronization costs more than chunking saves on
+  /// small systems).
+  uint32_t sweep_parallel_min_rows = 4096;
   /// If > 0, stop after visiting this many nodes and return the current
   /// best-effort ranking (stats.exact will be false). 0 = run to proof.
   uint64_t max_visited = 0;
@@ -116,6 +128,19 @@ struct FlosStats {
   /// True iff the result was served from a QueryCache hit (the stats above
   /// then describe the original certifying run, not this call).
   bool cache_hit = false;
+  /// True iff this run resumed from a warm-subgraph cache hit
+  /// (core/subgraph_cache.h): expansion restarted from the cached visited
+  /// set and the sweeps from its converged bounds. The answer itself was
+  /// still computed (and certified) by THIS run — contrast cache_hit.
+  bool subgraph_hit = false;
+  /// Coarse per-phase wall-clock breakdown, accumulated at outer-iteration
+  /// granularity: frontier ranking + expansion fetches + growth, bound
+  /// solves (sweeps / horizon DP), and termination checks + result
+  /// assembly. On a result-cache hit these describe the original
+  /// certifying run, like the rest of the stats.
+  uint64_t expand_ns = 0;
+  uint64_t solve_ns = 0;
+  uint64_t select_ns = 0;
 };
 
 /// Result of a FLoS query: top-k nodes, closest first.

@@ -77,10 +77,47 @@ Result<FlosResult> FlosEngine::TopKSet(const std::vector<NodeId>& queries,
   const RankMode mode = traits.rank_mode;
   const bool minimize = mode == RankMode::kMinimizeValue;
 
+  // Warm-subgraph tier (core/subgraph_cache.h), consulted only after a
+  // result-cache miss. Eligibility mirrors what a snapshot can soundly
+  // represent: single-source (the key is one seed), no best-effort
+  // max_visited cutoff, and no shard expandable_limit (a snapshot taken
+  // under clipping could embed a frontier this configuration may not
+  // have).
+  const bool subgraph_eligible =
+      subgraph_cache_ != nullptr && queries.size() == 1 &&
+      options.expandable_limit == UINT64_MAX && options.max_visited == 0;
+  SubgraphCache::Key subgraph_key;
+  std::shared_ptr<const SubgraphSnapshot> warm;
+  if (subgraph_eligible) {
+    subgraph_key =
+        SubgraphCache::MakeKey(queries[0], traits, accessor_->Epoch());
+    warm = subgraph_cache_->Lookup(subgraph_key);
+  }
+  const bool warm_hit = warm != nullptr;
+
+  // Per-engine sweep team for intra-query parallel sweeps: t threads total
+  // = t - 1 pool workers + the calling thread running its own chunk.
+  // Lazily (re)created only when the requested count changes, so
+  // steady-state serving keeps one warm team per session.
+  const int want_workers = std::max(0, options.sweep_threads - 1);
+  if (want_workers == 0) {
+    sweep_pool_.reset();
+  } else if (!sweep_pool_ || sweep_pool_->num_threads() != want_workers) {
+    sweep_pool_ = std::make_unique<ThreadPool>(want_workers);
+  }
+
   // Rewind the workspace for this query; an error return leaves it ready
-  // to be rewound again, so failed calls don't poison the engine.
+  // to be rewound again, so failed calls don't poison the engine. On a
+  // warm-subgraph hit the expansion state is restored from the snapshot
+  // instead of re-Init'd, and the bound engine resumes from the cached
+  // converged bounds (sound: the dummies are non-increasing and the
+  // bounds are certified facts of (seed, family, alpha, epoch)).
   local_.Reset();
-  FLOS_RETURN_IF_ERROR(local_.Init(queries));
+  if (warm_hit) {
+    local_.RestoreSnapshot(warm->local);
+  } else {
+    FLOS_RETURN_IF_ERROR(local_.Init(queries));
+  }
   {
     UnifiedBoundOptions ub;
     ub.traits = traits;
@@ -88,8 +125,14 @@ Result<FlosResult> FlosEngine::TopKSet(const std::vector<NodeId>& queries,
     ub.max_inner_iterations = options.max_inner_iterations;
     ub.self_loop_tightening = options.self_loop_tightening;
     ub.backend = options.sweep_backend;
+    ub.sweep_pool = sweep_pool_.get();
+    ub.parallel_min_rows = options.sweep_parallel_min_rows;
     ub.deadline = options.deadline;
     bounds_.Reset(ub);
+  }
+  if (warm_hit) {
+    bounds_.RestoreBounds(warm->bounds.data(), warm->bounds.size() / 2,
+                          warm->dummy_mesh, warm->dummy_tight);
   }
   degree_cursor_ = 0;
 
@@ -107,6 +150,19 @@ Result<FlosResult> FlosEngine::TopKSet(const std::vector<NodeId>& queries,
 
   FlosResult result;
   FlosStats& stats = result.stats;
+  stats.subgraph_hit = warm_hit;
+
+  // Coarse per-phase timers (FlosStats::{expand,solve,select}_ns): a
+  // handful of clock reads per OUTER iteration, so the inner hot loops
+  // stay free of timing code.
+  auto phase_mark = std::chrono::steady_clock::now();
+  const auto phase_lap = [&phase_mark](uint64_t* acc) {
+    const auto now = std::chrono::steady_clock::now();
+    *acc += static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now - phase_mark)
+            .count());
+    phase_mark = now;
+  };
 
   // Rank value of node i given one of its bounds.
   const auto rank_of = [&](LocalId i, double value) {
@@ -241,7 +297,14 @@ Result<FlosResult> FlosEngine::TopKSet(const std::vector<NodeId>& queries,
   // Main loop (Algorithm 2, with optional batched LocalExpansion).
   bool certified = false;
   bool expired = false;
-  while (true) {
+  // A warm-subgraph hit restored a state that certified once before, so
+  // for a k it can already prove the loop below never runs: check first.
+  if (warm_hit) {
+    phase_lap(&stats.expand_ns);  // restore cost books as expansion work
+    if (check_termination()) certified = true;
+    phase_lap(&stats.select_ns);
+  }
+  while (!certified) {
     // Rank the boundary by the expansion policy (Algorithm 3 is the
     // best-first default); at t=1 the only boundary node is the query.
     // Nodes past expandable_limit stay boundary forever: their bounds keep
@@ -272,8 +335,10 @@ Result<FlosResult> FlosEngine::TopKSet(const std::vector<NodeId>& queries,
       // Component exhausted: finish with a tight solve. The solve itself
       // honors the deadline; if it was cut short the bounds are still
       // certified but not yet exact, so the result stays uncertified.
+      phase_lap(&stats.expand_ns);
       stats.inner_iterations += bounds_.FinalizeExhausted(
           options.final_tolerance);
+      phase_lap(&stats.solve_ns);
       if (bounds_.deadline_hit()) {
         expired = true;
         break;
@@ -318,9 +383,13 @@ Result<FlosResult> FlosEngine::TopKSet(const std::vector<NodeId>& queries,
     // [0, L] intervals); the update after it is deadline-aware and exits
     // after at most a few sweeps.
     bounds_.OnGrowth();
+    phase_lap(&stats.expand_ns);
     stats.inner_iterations += bounds_.UpdateBounds();
+    phase_lap(&stats.solve_ns);
 
-    if (!expired && check_termination()) {
+    const bool done = !expired && check_termination();
+    phase_lap(&stats.select_ns);
+    if (done) {
       certified = true;
       break;
     }
@@ -433,7 +502,21 @@ Result<FlosResult> FlosEngine::TopKSet(const std::vector<NodeId>& queries,
     out.score = 0.5 * (out.lower + out.upper);
     result.topk.push_back(out);
   }
+  phase_lap(&stats.select_ns);
   if (cacheable && stats.exact) query_cache_->Insert(cache_key, result);
+  // Deposit the expanded state for future warm starts. Only certified
+  // completions (their bounds are reusable facts, like QueryCache's rule),
+  // and only when this run actually advanced past the snapshot it resumed
+  // from — a warm hit that certified instantly would only churn the LRU.
+  if (subgraph_eligible && stats.exact &&
+      (!warm_hit || stats.expansions > 0 || stats.inner_iterations > 0)) {
+    auto snap = std::make_shared<SubgraphSnapshot>();
+    local_.SaveSnapshot(&snap->local);
+    bounds_.SaveBounds(&snap->bounds);
+    snap->dummy_mesh = bounds_.dummy_value();
+    snap->dummy_tight = bounds_.tight_dummy_value();
+    subgraph_cache_->Insert(subgraph_key, std::move(snap));
+  }
   return result;
 }
 

@@ -25,16 +25,19 @@
 #define FLOS_CORE_FLOS_ENGINE_H_
 
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include "core/flos.h"
 #include "core/local_graph.h"
 #include "core/query_cache.h"
+#include "core/subgraph_cache.h"
 #include "core/unified_bound_engine.h"
 #include "graph/accessor.h"
 #include "graph/graph.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace flos {
 
@@ -65,6 +68,16 @@ class FlosEngine {
   void set_query_cache(QueryCache* cache) { query_cache_ = cache; }
   QueryCache* query_cache() const { return query_cache_; }
 
+  /// Attaches a shared warm-subgraph cache (core/subgraph_cache.h), or
+  /// detaches with nullptr. Not owned; must outlive the engine while
+  /// attached. On a result-cache miss, eligible single-source queries
+  /// (no max_visited / expandable_limit clipping) look up a snapshot for
+  /// (seed, bound family, alpha/horizon, epoch): a hit skips expansion and
+  /// resumes sweeping from the cached converged bounds; certified
+  /// completions deposit their expanded state back.
+  void set_subgraph_cache(SubgraphCache* cache) { subgraph_cache_ = cache; }
+  SubgraphCache* subgraph_cache() const { return subgraph_cache_; }
+
   GraphAccessor* accessor() const { return accessor_; }
 
  private:
@@ -85,6 +98,11 @@ class FlosEngine {
   LocalGraph local_;
   UnifiedBoundEngine bounds_;
   QueryCache* query_cache_ = nullptr;
+  SubgraphCache* subgraph_cache_ = nullptr;
+  /// Worker team for FlosOptions::sweep_threads > 1, owned by the engine
+  /// and dedicated to its sweeps (the backend uses ThreadPool::Wait as its
+  /// barrier). Lazily (re)created when the requested thread count changes.
+  std::unique_ptr<ThreadPool> sweep_pool_;
   size_t degree_cursor_ = 0;
 
   // Per-query scratch, reused across calls.

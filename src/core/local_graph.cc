@@ -328,4 +328,88 @@ double LocalGraph::ProbeDegree(NodeId global) {
   return w;
 }
 
+void LocalGraph::SaveSnapshot(LocalGraphSnapshot* out) const {
+  FLOS_CHECK(query_ != kInvalidNode, "SaveSnapshot needs an Init'd graph");
+  const uint32_t n = Size();
+  out->query = query_;
+  out->query_count = query_count_;
+  out->local_to_global = local_to_global_;
+  out->weighted_degree = weighted_degree_;
+  out->hidden_mass = hidden_mass_;
+  out->truncated_seen = truncated_seen_;
+  out->outside_count = outside_count_;
+  out->boundary_count = boundary_count_;
+  // Only the first n neighbor slots are live; slots past the high-water
+  // mark belong to earlier queries.
+  out->neighbors.assign(neighbors_.begin(), neighbors_.begin() + n);
+  // Only the used arena prefix: slab capacities never extend past the bump
+  // pointer (AuditBookkeeping checks exactly this).
+  out->arena_idx.assign(arena_idx_.begin(), arena_idx_.begin() + arena_used_);
+  out->arena_weight.assign(arena_weight_.begin(),
+                           arena_weight_.begin() + arena_used_);
+  out->arena_used = arena_used_;
+  out->row_start = row_start_;
+  out->row_len = row_len_;
+  out->row_cap = row_cap_;
+  out->row_in_mass = row_in_mass_;
+  out->hop_dist = hop_dist_;
+  out->outside_degree_heap = outside_degree_heap_;
+  out->heap_compact_size = heap_compact_size_;
+}
+
+void LocalGraph::RestoreSnapshot(const LocalGraphSnapshot& snap) {
+  FLOS_CHECK(query_ == kInvalidNode,
+             "RestoreSnapshot requires the pre-Init state (call Reset)");
+  const uint32_t n = snap.Size();
+  query_ = snap.query;
+  query_count_ = snap.query_count;
+  local_to_global_ = snap.local_to_global;
+  weighted_degree_ = snap.weighted_degree;
+  hidden_mass_ = snap.hidden_mass;
+  truncated_seen_ = snap.truncated_seen;
+  outside_count_ = snap.outside_count;
+  boundary_count_ = snap.boundary_count;
+  // Copy the live neighbor lists slot by slot so slots keep their reusable
+  // buffers; slots past n stay as high-water scratch.
+  if (neighbors_.size() < n) neighbors_.resize(n);
+  for (uint32_t i = 0; i < n; ++i) neighbors_[i] = snap.neighbors[i];
+  if (arena_idx_.size() < snap.arena_used) {
+    arena_idx_.resize(snap.arena_used);
+    arena_weight_.resize(snap.arena_used);
+  }
+  std::copy_n(snap.arena_idx.begin(), snap.arena_used, arena_idx_.begin());
+  std::copy_n(snap.arena_weight.begin(), snap.arena_used,
+              arena_weight_.begin());
+  arena_used_ = snap.arena_used;
+  row_start_ = snap.row_start;
+  row_len_ = snap.row_len;
+  row_cap_ = snap.row_cap;
+  row_in_mass_ = snap.row_in_mass;
+  hop_dist_ = snap.hop_dist;
+  outside_degree_heap_ = snap.outside_degree_heap;
+  heap_compact_size_ = snap.heap_compact_size;
+  // Rebuild the epoch-keyed indexes. Visit order reproduces the dense
+  // local ids; the degree cache is primed from known degrees (anything
+  // else re-probes the accessor on demand); the ever-adjacent set is
+  // rebuilt from the heap, which covers every unvisited ever-adjacent
+  // node — pushes happen exactly on first adjacency and compaction only
+  // drops visited entries (visited members only matter through
+  // IsOutsideAdjacent, which excludes them anyway).
+  for (LocalId i = 0; i < n; ++i) {
+    global_to_local_.Insert(local_to_global_[i], i);
+    degree_cache_.Insert(local_to_global_[i], weighted_degree_[i]);
+  }
+  for (const auto& [degree, node] : outside_degree_heap_) {
+    ever_adjacent_.Insert(node, 1);
+    degree_cache_.Insert(node, degree);
+  }
+  // Every node dirty: the consuming bound engine recomputes all boundary
+  // coefficients on its next refresh instead of trusting any prior state.
+  dirty_.resize(n);
+  for (LocalId i = 0; i < n; ++i) dirty_[i] = i;
+  dirty_out_.clear();
+  in_dirty_.assign(n, true);
+  FLOS_AUDIT_SCOPE { AuditBookkeeping(); }
+}
+
 }  // namespace flos

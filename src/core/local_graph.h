@@ -58,6 +58,41 @@ struct LocalRow {
   uint32_t size() const { return len; }
 };
 
+/// Deep, self-contained copy of a LocalGraph's per-query state, for the
+/// warm-subgraph cache (core/subgraph_cache.h). Holds everything a resumed
+/// query needs that cannot be rebuilt locally: the visited set in visit
+/// order, the compacted local CSR (used arena prefix + spines), neighbor
+/// lists, boundary/hidden-mass bookkeeping, hop distances, and the
+/// delta-S-bar degree heap. The epoch-keyed node indexes
+/// (global_to_local, degree cache, ever-adjacent set) are NOT stored —
+/// RestoreSnapshot rebuilds them from the visit order and the heap, which
+/// provably covers every unvisited ever-adjacent node (heap entries are
+/// pushed exactly when a node first becomes adjacent and compaction only
+/// drops visited ones).
+struct LocalGraphSnapshot {
+  NodeId query = kInvalidNode;
+  uint32_t query_count = 0;
+  std::vector<NodeId> local_to_global;
+  std::vector<double> weighted_degree;
+  std::vector<double> hidden_mass;
+  bool truncated_seen = false;
+  std::vector<uint32_t> outside_count;
+  uint32_t boundary_count = 0;
+  std::vector<std::vector<Neighbor>> neighbors;
+  std::vector<LocalId> arena_idx;
+  std::vector<double> arena_weight;
+  uint32_t arena_used = 0;
+  std::vector<uint32_t> row_start;
+  std::vector<uint32_t> row_len;
+  std::vector<uint32_t> row_cap;
+  std::vector<double> row_in_mass;
+  std::vector<uint32_t> hop_dist;
+  std::vector<std::pair<double, NodeId>> outside_degree_heap;
+  uint32_t heap_compact_size = 0;
+
+  uint32_t Size() const { return static_cast<uint32_t>(local_to_global.size()); }
+};
+
 /// The visited subgraph S with its boundary bookkeeping.
 class LocalGraph {
  public:
@@ -207,6 +242,18 @@ class LocalGraph {
   /// True iff `local` is one of the query nodes (they are added first, so
   /// this is an index comparison).
   bool IsQueryLocal(LocalId local) const { return local < query_count_; }
+
+  /// Deep-copies this query's state into `out` (see LocalGraphSnapshot).
+  /// Must be Init'd. The snapshot is independent of this workspace and
+  /// stays valid across Reset.
+  void SaveSnapshot(LocalGraphSnapshot* out) const;
+
+  /// Rebuilds the Init'd state captured by SaveSnapshot into this
+  /// workspace. Must be called in the pre-Init state (after Reset), on a
+  /// LocalGraph over the SAME graph the snapshot was taken from (the
+  /// caller keys snapshots by graph epoch). All nodes come back dirty so
+  /// the bound engine's next coefficient refresh recomputes everything.
+  void RestoreSnapshot(const LocalGraphSnapshot& snap);
 
  private:
   Status Add(NodeId global);

@@ -1,0 +1,96 @@
+#include "core/subgraph_cache.h"
+
+#include <bit>
+#include <utility>
+
+#include "util/check.h"
+
+namespace flos {
+
+size_t SubgraphCache::KeyHash::operator()(const Key& key) const {
+  // splitmix64-style mix over the key fields; alpha hashes by bit pattern
+  // (keys are compared exactly, so -0.0 vs 0.0 costing a miss is fine).
+  uint64_t h = 0x9e3779b97f4a7c15ull;
+  const auto mix = [&h](uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    h *= 0xff51afd7ed558ccdull;
+    h ^= h >> 33;
+  };
+  mix(key.seed);
+  mix(static_cast<uint64_t>(key.family));
+  mix(std::bit_cast<uint64_t>(key.alpha));
+  mix(static_cast<uint64_t>(key.horizon));
+  mix(key.epoch);
+  return static_cast<size_t>(h);
+}
+
+std::shared_ptr<const SubgraphSnapshot> SubgraphCache::Lookup(const Key& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  // The stale-epoch ground truth: an entry can only be found under a key
+  // built from the CURRENT graph epoch, so its stored epoch must agree.
+  // Disagreement means a subgraph expanded against an older topology is
+  // about to seed bounds as current — corruption, never a legal state.
+  FLOS_AUDIT(it->second->stored_epoch == key.epoch,
+             "subgraph cache serving a stale graph epoch");
+  entries_.splice(entries_.begin(), entries_, it->second);
+  ++hits_;
+  return it->second->snap;
+}
+
+void SubgraphCache::Insert(const Key& key,
+                           std::shared_ptr<const SubgraphSnapshot> snap) {
+  if (capacity_ == 0 || snap == nullptr) return;
+  FLOS_DCHECK(snap->bounds.size() ==
+                  2 * static_cast<size_t>(snap->local.Size()),
+              "snapshot bound vector does not match its visited set");
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->snap = std::move(snap);
+    it->second->stored_epoch = key.epoch;
+    entries_.splice(entries_.begin(), entries_, it->second);
+    return;
+  }
+  entries_.push_front(Entry{key, key.epoch, std::move(snap)});
+  index_[key] = entries_.begin();
+  while (entries_.size() > capacity_) {
+    index_.erase(entries_.back().key);
+    entries_.pop_back();
+  }
+}
+
+void SubgraphCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  index_.clear();
+}
+
+size_t SubgraphCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+uint64_t SubgraphCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+uint64_t SubgraphCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+bool SubgraphCache::CorruptEpochForTest(const Key& key, uint64_t stored_epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  it->second->stored_epoch = stored_epoch;
+  return true;
+}
+
+}  // namespace flos

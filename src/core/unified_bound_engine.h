@@ -84,6 +84,18 @@ struct UnifiedBoundOptions {
   /// termination needs the frontier bound anyway).
   /// Which sweep-kernel implementation runs the fixed-point hot loop.
   SweepBackendKind backend = SweepBackendKind::kAuto;
+  /// Worker team for intra-sweep parallelism (block-Jacobi across
+  /// contiguous row chunks, Gauss–Seidel within; see FixedPointSweepArgs).
+  /// The pool must be DEDICATED to this engine while a solve runs — the
+  /// backend uses ThreadPool::Wait as its sweep barrier. nullptr = serial.
+  /// Not used by the horizon-DP family (its Jacobi double buffer is pinned
+  /// to bit-exact scalar evaluation).
+  ThreadPool* sweep_pool = nullptr;
+  /// Visited-set size below which solves stay serial even with a pool
+  /// attached (small systems lose more to submit/wait synchronization than
+  /// chunking saves). The decision is a pure function of the visited size,
+  /// so it can only flip at growth — never mid-structure.
+  uint32_t parallel_min_rows = 4096;
   /// Anytime hook: solves stop between sweeps once this instant passes
   /// (checked at the amortized convergence checkpoints). Every completed
   /// fixed-point sweep leaves certified bounds, so an interrupted solve is
@@ -187,6 +199,19 @@ class UnifiedBoundEngine {
   };
   OutsideUppers ComputeOutsideUppers();
 
+  /// Copies the live (lower, upper) pairs — 2 * Size() doubles — into
+  /// `out`, for the warm-subgraph cache. Pair the vector with
+  /// dummy_value()/tight_dummy_value() when snapshotting.
+  void SaveBounds(std::vector<double>* out) const;
+
+  /// Overwrites the live bounds with a previously saved vector (RestoreBounds
+  /// is the warm-start entry: call after Reset() + the LocalGraph restore,
+  /// so Size() matches the saved state). The dummies are restored too —
+  /// they are non-increasing across a query, so resuming from them is
+  /// sound. Invalidates any backend-cached layout.
+  void RestoreBounds(const double* data, size_t nodes, double dummy_mesh,
+                     double dummy_tight);
+
   /// Test-only: overwrites node i's stored bounds, bypassing every
   /// certification rule. Exists so tests/check_test.cc can prove the
   /// FLOS_AUDIT sandwich/monotonicity checks actually fire on corrupted
@@ -201,6 +226,13 @@ class UnifiedBoundEngine {
   /// one-ulp-scale slack for the fused fp evaluation). `where` names the
   /// call site in the failure message.
   void AuditBoundSandwich(const char* where) const;
+
+  /// Audit tier: recomputes the clamped Jacobi iterate from `prev` with the
+  /// scalar row operator and aborts if any live bound is looser than it —
+  /// the tightness floor every sweep (serial Gauss–Seidel, reordered SIMD,
+  /// parallel block) must clear by the monotone-mixture argument.
+  void AuditNoLooserThanJacobi(const std::vector<double>& prev,
+                               bool lower_only) const;
 
   void RefreshBoundaryCoefficients();
 
@@ -223,7 +255,14 @@ class UnifiedBoundEngine {
   UnifiedBoundOptions options_;
   std::unique_ptr<SweepBackend> backend_;
   SweepBackendKind backend_kind_ = SweepBackendKind::kAuto;
-  /// Interleaved (lower, upper) per LocalId.
+  /// Number of live nodes (== local_->Size() after OnGrowth). bounds_ may
+  /// hold MORE than 2 * nodes_ doubles — with a sweep pool attached it is
+  /// sized 4n so [2n, 4n) can hold the per-sweep snapshot — so node counts
+  /// must come from here, never from bounds_.size().
+  size_t nodes_ = 0;
+  /// Interleaved (lower, upper) per LocalId in [0, 2 * nodes_); the
+  /// parallel-sweep snapshot half in [2 * nodes_, 4 * nodes_) when a sweep
+  /// pool is attached (see FixedPointSweepArgs layout contract).
   std::vector<double> bounds_;
   /// Coefficient of r_i itself (self-loop) in the mesh construction.
   std::vector<double> self_coeff_;

@@ -128,6 +128,8 @@ ServiceMetrics::ServiceMetrics() {
   registry.RegisterCounter("queries_halo_truncated", &queries_halo_truncated);
   registry.RegisterCounter("cache_hits", &cache_hits);
   registry.RegisterCounter("cache_misses", &cache_misses);
+  registry.RegisterCounter("subgraph_hits", &subgraph_hits);
+  registry.RegisterCounter("subgraph_misses", &subgraph_misses);
   registry.RegisterCounter("deadline_expiries", &deadline_expiries);
   registry.RegisterCounter("stats_requests", &stats_requests);
   registry.RegisterGauge("queue_depth", &queue_depth);

@@ -118,6 +118,8 @@ struct ServiceMetrics {
   Counter queries_halo_truncated;  ///< stopped at a shard's halo boundary
   Counter cache_hits;               ///< answered from the certified cache
   Counter cache_misses;             ///< ran the search (cache enabled)
+  Counter subgraph_hits;    ///< searches resumed from a warm subgraph
+  Counter subgraph_misses;  ///< searches expanded from scratch (cache on)
   Counter deadline_expiries;
   Counter stats_requests;
   Gauge queue_depth;

@@ -105,9 +105,10 @@ void EncodeResponse(const QueryResponse& response, std::string* out) {
   PutU8(out, static_cast<uint8_t>(response.type));
   PutU8(out, static_cast<uint8_t>(response.status));
   PutU8(out, response.certified ? 1 : 0);
-  // Flags: bit0 = cache hit, bit1 = halo-truncated.
+  // Flags: bit0 = cache hit, bit1 = halo-truncated, bit2 = warm subgraph.
   PutU8(out, static_cast<uint8_t>((response.cache_hit ? 0x01 : 0) |
-                                  (response.halo_truncated ? 0x02 : 0)));
+                                  (response.halo_truncated ? 0x02 : 0) |
+                                  (response.subgraph_hit ? 0x04 : 0)));
   PutU32(out, static_cast<uint32_t>(response.topk.size()));
   PutU64(out, response.visited);
   PutU64(out, response.wall_us);
@@ -192,6 +193,7 @@ Result<QueryResponse> DecodeResponse(const std::string& payload) {
   resp.certified = certified != 0;
   resp.cache_hit = (flags & 0x01) != 0;
   resp.halo_truncated = (flags & 0x02) != 0;
+  resp.subgraph_hit = (flags & 0x04) != 0;
   // 32 bytes per row; the cap protects against a hostile length field.
   if (count > r.remaining() / 32) {
     return Status::InvalidArgument("response row count exceeds payload");

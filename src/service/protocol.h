@@ -18,7 +18,10 @@
 //     u8 flags (bit0 = answered from the certified-result cache; bit1 =
 //     halo-truncated: the search ran out of expandable frontier at a shard
 //     replica's halo before certifying, so certified is 0 but the bounds
-//     are still rigorous; other bits reserved, sent as 0)
+//     are still rigorous; bit2 = warm-subgraph hit: the search resumed
+//     from a cached expanded subgraph instead of expanding from scratch —
+//     the answer was still computed and certified by this run; other bits
+//     reserved, sent as 0)
 //     u32 topk_count  u64 visited  u64 wall_us
 //     topk_count * { u64 node  f64 score  f64 lower  f64 upper }
 //     u32 message_length  message bytes (error text, or STATS text)
@@ -93,6 +96,11 @@ struct QueryResponse {
   /// server holding the whole graph — or a partition with a larger halo —
   /// can certify the query.
   bool halo_truncated = false;
+  /// True iff the search resumed from the server's warm-subgraph cache
+  /// (core/subgraph_cache.h) instead of expanding from scratch. Unlike
+  /// cache_hit the answer was still computed — and certified — by this
+  /// run; the flag only explains why the expansion phase was cheap.
+  bool subgraph_hit = false;
   uint64_t visited = 0;
   uint64_t wall_us = 0;
   std::vector<ResponseEntry> topk;

@@ -41,6 +41,10 @@ Status ServiceServer::Start() {
   if (options_.query_cache_capacity > 0) {
     query_cache_ = std::make_unique<QueryCache>(options_.query_cache_capacity);
   }
+  if (options_.subgraph_cache_capacity > 0) {
+    subgraph_cache_ =
+        std::make_unique<SubgraphCache>(options_.subgraph_cache_capacity);
+  }
   if (options_.shard_meta != nullptr) {
     const Graph* const graph = graph_;
     const ShardMeta* const meta = options_.shard_meta;
@@ -48,11 +52,12 @@ Status ServiceServer::Start() {
         [graph, meta]() -> std::unique_ptr<GraphAccessor> {
           return std::make_unique<ShardAccessor>(graph, meta);
         },
-        static_cast<size_t>(options_.num_workers), query_cache_.get());
+        static_cast<size_t>(options_.num_workers), query_cache_.get(),
+        subgraph_cache_.get());
   } else {
     sessions_ = std::make_unique<EngineSessionPool>(
         graph_, static_cast<size_t>(options_.num_workers),
-        query_cache_.get());
+        query_cache_.get(), subgraph_cache_.get());
   }
 
   FrameServiceOptions fopts;
@@ -70,6 +75,7 @@ Status ServiceServer::Start() {
     // retry Start (e.g. with another port).
     frames_.reset();
     sessions_.reset();
+    subgraph_cache_.reset();
     query_cache_.reset();
     return started;
   }
@@ -127,6 +133,7 @@ QueryResponse ServiceServer::HandleQuery(
   opts.measure = decoded->measure;
   opts.c = decoded->c;
   opts.tht_length = static_cast<int>(decoded->tht_length);
+  opts.sweep_threads = options_.sweep_threads;
   if (decoded->deadline_us > 0) {
     opts.deadline =
         dequeue_time + std::chrono::microseconds(decoded->deadline_us);
@@ -153,11 +160,22 @@ QueryResponse ServiceServer::HandleQuery(
     resp.certified = result->stats.exact;
     resp.cache_hit = result->stats.cache_hit;
     resp.halo_truncated = result->stats.frontier_clipped;
+    // A result-cache hit never ran the search, so its stats describe the
+    // original run; only searches that actually executed count toward the
+    // warm-subgraph flag and counters.
+    resp.subgraph_hit = result->stats.subgraph_hit && !resp.cache_hit;
     if (query_cache_ != nullptr) {
       if (resp.cache_hit) {
         metrics_.cache_hits.Increment();
       } else {
         metrics_.cache_misses.Increment();
+      }
+    }
+    if (subgraph_cache_ != nullptr && !resp.cache_hit) {
+      if (resp.subgraph_hit) {
+        metrics_.subgraph_hits.Increment();
+      } else {
+        metrics_.subgraph_misses.Increment();
       }
     }
     resp.visited = result->stats.visited_nodes;
@@ -201,6 +219,16 @@ QueryResponse ServiceServer::HandleStats(WorkerState* /*state*/) {
                 total > 0 ? static_cast<double>(certified) /
                                 static_cast<double>(total)
                           : 0.0);
+  resp.message += ratio_line;
+  // Same idea for the warm-subgraph tier: fraction of executed searches
+  // (result-cache misses) that resumed from a cached subgraph.
+  const uint64_t sub_hits = metrics_.subgraph_hits.value();
+  const uint64_t sub_total = sub_hits + metrics_.subgraph_misses.value();
+  std::snprintf(ratio_line, sizeof(ratio_line),
+                "ratio subgraph_hit_ratio %.4f\n",
+                sub_total > 0 ? static_cast<double>(sub_hits) /
+                                    static_cast<double>(sub_total)
+                              : 0.0);
   resp.message += ratio_line;
   return resp;
 }

@@ -28,6 +28,7 @@
 #include <string>
 
 #include "core/query_cache.h"
+#include "core/subgraph_cache.h"
 #include "graph/graph.h"
 #include "graph/partition.h"
 #include "service/frame_service.h"
@@ -60,6 +61,22 @@ struct ServerOptions {
   /// repeat queries — the head of any Zipf-skewed workload — answer in
   /// microseconds with the same certified bounds the search produced.
   size_t query_cache_capacity = 4096;
+  /// Warm-subgraph cache entries shared by every worker session
+  /// (core/subgraph_cache.h); 0 disables the tier. The second cache tier
+  /// under the result cache: a repeat seed whose exact (k, measure, c)
+  /// combination misses the result cache still skips the expansion phase
+  /// by resuming from its cached expanded subgraph and converged bounds —
+  /// the dominant cost of a cold certified query. Entries hold whole
+  /// visited-set snapshots, so capacities are much smaller than
+  /// query_cache_capacity.
+  size_t subgraph_cache_capacity = 64;
+  /// Threads per query for parallel bound sweeps
+  /// (FlosOptions::sweep_threads); 1 = serial. Each worker session owns
+  /// its own sweep team, so total sweep threads = num_workers *
+  /// sweep_threads; raise it when workers outnumber concurrent queries
+  /// (latency mode), not when the box is already saturated (throughput
+  /// mode).
+  int sweep_threads = 1;
   /// Non-null = shard mode: `graph` is the shard-local graph described by
   /// this metadata (must outlive the server). Query nodes are SHARD-LOCAL
   /// ids; the router translates global ids before forwarding.
@@ -106,6 +123,7 @@ class ServiceServer final : private FrameHandler {
   ServiceMetrics metrics_;
 
   std::unique_ptr<QueryCache> query_cache_;  // must outlive sessions_
+  std::unique_ptr<SubgraphCache> subgraph_cache_;  // must outlive sessions_
   std::unique_ptr<EngineSessionPool> sessions_;
   // Declared after the pool: destroyed (joining worker threads) first.
   std::unique_ptr<FrameService> frames_;

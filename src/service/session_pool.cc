@@ -6,20 +6,23 @@
 namespace flos {
 
 EngineSessionPool::EngineSessionPool(const Graph* graph, size_t capacity,
-                                     QueryCache* query_cache)
+                                     QueryCache* query_cache,
+                                     SubgraphCache* subgraph_cache)
     : EngineSessionPool(
           [graph] { return std::make_unique<InMemoryAccessor>(graph); },
-          capacity, query_cache) {}
+          capacity, query_cache, subgraph_cache) {}
 
 EngineSessionPool::EngineSessionPool(const AccessorFactory& factory,
                                      size_t capacity,
-                                     QueryCache* query_cache) {
+                                     QueryCache* query_cache,
+                                     SubgraphCache* subgraph_cache) {
   const size_t n = std::max<size_t>(1, capacity);
   sessions_.reserve(n);
   free_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
     sessions_.push_back(std::make_unique<Session>(factory()));
     sessions_.back()->engine.set_query_cache(query_cache);
+    sessions_.back()->engine.set_subgraph_cache(subgraph_cache);
     free_.push_back(i);
   }
 }

@@ -29,6 +29,7 @@
 namespace flos {
 
 class QueryCache;
+class SubgraphCache;
 
 /// Builds one accessor per session slot. Called `capacity` times at pool
 /// construction; each returned accessor becomes private to one session.
@@ -40,16 +41,20 @@ class EngineSessionPool {
   /// One warm session per slot. `graph` must stay immutable and outlive
   /// the pool. When `query_cache` is non-null every engine shares it
   /// (QueryCache is thread-safe), so a result certified on one session is
-  /// a warm hit on all of them; the cache must outlive the pool.
+  /// a warm hit on all of them; likewise `subgraph_cache` (the warm
+  /// expanded-subgraph tier, core/subgraph_cache.h) is shared by every
+  /// engine when non-null. Both caches must outlive the pool.
   EngineSessionPool(const Graph* graph, size_t capacity,
-                    QueryCache* query_cache = nullptr);
+                    QueryCache* query_cache = nullptr,
+                    SubgraphCache* subgraph_cache = nullptr);
 
   /// Same pool, but each session's accessor comes from `factory` — the
   /// seam that lets a shard server pool engines over ShardAccessors (global
   /// degrees, external-degree bound) instead of plain InMemoryAccessors.
   /// Whatever the accessors reference must outlive the pool.
   EngineSessionPool(const AccessorFactory& factory, size_t capacity,
-                    QueryCache* query_cache = nullptr);
+                    QueryCache* query_cache = nullptr,
+                    SubgraphCache* subgraph_cache = nullptr);
 
   EngineSessionPool(const EngineSessionPool&) = delete;
   EngineSessionPool& operator=(const EngineSessionPool&) = delete;

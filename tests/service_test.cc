@@ -112,7 +112,14 @@ class ServiceTest : public ::testing::Test {
 };
 
 TEST_F(ServiceTest, MatchesInProcessEngineForEveryMeasure) {
-  StartServer();
+  // Bit-parity with a cold in-process run needs the warm-subgraph tier
+  // off: measures sharing a fixed point would otherwise resume from the
+  // first measure's converged bounds and certify the same set with
+  // slightly different interval midpoints (tests/subgraph_cache_test.cc
+  // covers that path against ground truth).
+  ServerOptions cold;
+  cold.subgraph_cache_capacity = 0;
+  StartServer(cold);
   ServiceClient client = Connect();
   for (const Measure measure : {Measure::kPhp, Measure::kEi, Measure::kDht,
                                 Measure::kTht, Measure::kRwr}) {
@@ -188,6 +195,48 @@ TEST_F(ServiceTest, RepeatQueryIsServedFromTheCertifiedCache) {
   EXPECT_NE(stats.message.find("counter cache_hits 1"), std::string::npos)
       << stats.message;
   EXPECT_NE(stats.message.find("ratio certified_ratio"), std::string::npos)
+      << stats.message;
+}
+
+TEST_F(ServiceTest, RepeatSeedResumesFromTheWarmSubgraphTier) {
+  StartServer();  // default options: both cache tiers enabled
+  ServiceClient client = Connect();
+  QueryRequest req;
+  req.measure = Measure::kPhp;
+  req.query_node = 23;
+  req.k = 10;
+  const QueryResponse first = ValueOrDie(client.Query(req));
+  ASSERT_EQ(first.status, StatusCode::kOk) << first.message;
+  ASSERT_TRUE(first.certified);
+  EXPECT_FALSE(first.subgraph_hit) << "cold seed cannot be warm";
+
+  // Same seed, different k: misses the result cache (k is in its key)
+  // but resumes from the warm subgraph — and the wire flag says so.
+  req.k = 5;
+  const QueryResponse second = ValueOrDie(client.Query(req));
+  ASSERT_EQ(second.status, StatusCode::kOk) << second.message;
+  EXPECT_FALSE(second.cache_hit);
+  EXPECT_TRUE(second.subgraph_hit)
+      << "repeat seed must resume from the warm-subgraph tier";
+  EXPECT_TRUE(second.certified);
+  EXPECT_EQ(server_->metrics().subgraph_hits.value(), 1u);
+  EXPECT_EQ(server_->metrics().subgraph_misses.value(), 1u);
+
+  // A result-cache hit reports only cache_hit: the stored answer is
+  // returned outright, no search resumed, and neither subgraph counter
+  // moves.
+  const QueryResponse third = ValueOrDie(client.Query(req));
+  ASSERT_EQ(third.status, StatusCode::kOk);
+  EXPECT_TRUE(third.cache_hit);
+  EXPECT_FALSE(third.subgraph_hit);
+  EXPECT_EQ(server_->metrics().subgraph_hits.value(), 1u);
+  EXPECT_EQ(server_->metrics().subgraph_misses.value(), 1u);
+
+  const QueryResponse stats = ValueOrDie(client.Stats());
+  EXPECT_NE(stats.message.find("counter subgraph_hits 1"), std::string::npos)
+      << stats.message;
+  EXPECT_NE(stats.message.find("ratio subgraph_hit_ratio"),
+            std::string::npos)
       << stats.message;
 }
 
