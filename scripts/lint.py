@@ -37,12 +37,23 @@ Enforced policy (see DESIGN.md "Correctness tooling & invariant policy"):
                   seam with its runtime dispatch and scalar parity twin.
                   A deliberate exception carries
                   `// lint:allow(no-raw-intrinsics) <reason>`.
+  no-raw-mutex    raw standard locking primitives (`std::mutex` and
+                  friends, `std::lock_guard`/`std::unique_lock`/...,
+                  `std::condition_variable[_any]`, and their headers) are
+                  banned everywhere except the src/util/mutex.h wrappers,
+                  so every lock in the tree carries Clang thread-safety
+                  capability annotations (util/thread_annotations.h) and
+                  `-Wthread-safety -Werror` sees the whole locking story.
+                  A deliberate exception carries
+                  `// lint:allow(no-raw-mutex) <reason>`.
   header-guards   every header uses a classic include guard named
                   FLOS_<PATH>_H_ (no #pragma once), matching its path so
                   moved files cannot silently collide.
 
 Suppression: append `// lint:allow(<rule>)` to the offending line with a
 reason. Suppressions are themselves counted and printed so they stay rare.
+A `lint:allow` naming an unknown rule, or one that no longer suppresses
+anything on its line, is itself a violation — suppressions cannot rot.
 """
 
 import argparse
@@ -104,6 +115,31 @@ TOKEN_RULES_SOCKETS = [
 ]
 
 
+# Applied everywhere EXCEPT src/util/mutex.h, the one header allowed to
+# touch the standard locking primitives (it wraps them with thread-safety
+# capability annotations). Catches the types, the RAII lockers, the
+# condition variables, and the header includes, so an unannotated lock
+# cannot enter the tree — the capability analysis only proves what it can
+# see. <shared_mutex> has no wrapper yet; add an annotated one to
+# util/mutex.h before reaching for it.
+TOKEN_RULES_MUTEX = [
+    (
+        "no-raw-mutex",
+        re.compile(
+            r"std::(mutex|shared_mutex|recursive_mutex|timed_mutex|"
+            r"recursive_timed_mutex|shared_timed_mutex|lock_guard|"
+            r"unique_lock|scoped_lock|shared_lock|condition_variable_any|"
+            r"condition_variable)\b|"
+            r"#\s*include\s*<(mutex|shared_mutex|condition_variable)>"
+        ),
+        "raw standard mutex/lock/condvar; use the annotated flos::Mutex / "
+        "MutexLock / CondVar wrappers (util/mutex.h) so the Clang "
+        "thread-safety analysis sees the lock, or annotate a deliberate "
+        "exception with lint:allow(no-raw-mutex)",
+    ),
+]
+
+
 # Applied everywhere EXCEPT src/core/sweep_backend_avx2.cc, the one TU
 # allowed to speak AVX2. Catches the intrinsic calls, the vector types,
 # and the header include, so a second SIMD island cannot grow silently.
@@ -120,6 +156,17 @@ TOKEN_RULES_INTRINSICS = [
         "lint:allow(no-raw-intrinsics)",
     ),
 ]
+
+
+# Every rule name a lint:allow may legitimately reference (header-guards
+# deliberately absent: structural guard violations have no escape hatch).
+KNOWN_RULES = frozenset(
+    name
+    for rules in (TOKEN_RULES_LIBRARY, TOKEN_RULES_EVERYWHERE,
+                  TOKEN_RULES_SOCKETS, TOKEN_RULES_INTRINSICS,
+                  TOKEN_RULES_MUTEX)
+    for name, _, _ in rules
+)
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -232,16 +279,33 @@ def lint_file(path, root, findings, suppressions):
         rules += TOKEN_RULES_SOCKETS
     if "core/sweep_backend" not in path.as_posix():
         rules += TOKEN_RULES_INTRINSICS
+    if "util/mutex" not in path.as_posix():
+        rules += TOKEN_RULES_MUTEX
 
+    consumed = set()  # (line, rule) pairs whose lint:allow suppressed a hit
     stripped = strip_comments_and_strings(text).splitlines()
     for ln, line in enumerate(stripped, 1):
         for name, rx, msg in rules:
             if not rx.search(line):
                 continue
             if name in allow.get(ln, ()):
+                consumed.add((ln, name))
                 suppressions.append((path, ln, name))
                 continue
             findings.append((path, ln, name, msg))
+
+    # A suppression must name a real rule AND actually suppress something;
+    # otherwise the tag is noise that would hide a future regression.
+    for ln, names in sorted(allow.items()):
+        for name in sorted(names):
+            if name not in KNOWN_RULES:
+                findings.append((path, ln, "lint-allow",
+                                 f"unknown rule '{name}' in lint:allow "
+                                 f"(known: {', '.join(sorted(KNOWN_RULES))})"))
+            elif (ln, name) not in consumed:
+                findings.append((path, ln, "lint-allow",
+                                 f"stale suppression: lint:allow({name}) "
+                                 "matches nothing on this line; delete it"))
 
     if path.suffix == ".h" and rel_root in HEADER_DIRS:
         check_header_guard(path, root, text, findings)

@@ -3,10 +3,10 @@
 #include <algorithm>
 #include <atomic>
 #include <cstddef>
-#include <mutex>
 #include <utility>
 
 #include "core/flos_engine.h"
+#include "util/mutex.h"
 #include "util/thread_pool.h"
 
 namespace flos {
@@ -22,11 +22,11 @@ Result<std::vector<FlosResult>> BatchTopK(const AccessorFactory& make_accessor,
   std::vector<FlosResult> results(queries.size());
   std::atomic<size_t> next{0};
   std::atomic<bool> failed{false};
-  std::mutex error_mu;
+  Mutex error_mu;
   Status first_error;  // guarded by error_mu; `failed` is the fast flag
 
   const auto record_error = [&](const Status& status) {
-    std::lock_guard<std::mutex> lock(error_mu);
+    MutexLock lock(error_mu);
     if (first_error.ok()) first_error = status;
     failed.store(true, std::memory_order_release);
   };

@@ -25,7 +25,7 @@ size_t QueryCache::KeyHash::operator()(const Key& key) const {
 }
 
 bool QueryCache::Lookup(const Key& key, FlosResult* out) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = index_.find(key);
   if (it == index_.end()) {
     ++misses_;
@@ -50,7 +50,7 @@ void QueryCache::Insert(const Key& key, const FlosResult& result) {
   if (!result.stats.exact) return;
   FLOS_DCHECK(!result.stats.deadline_expired,
               "certified result flagged deadline_expired");
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = index_.find(key);
   if (it != index_.end()) {
     it->second->result = result;
@@ -67,28 +67,28 @@ void QueryCache::Insert(const Key& key, const FlosResult& result) {
 }
 
 void QueryCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   entries_.clear();
   index_.clear();
 }
 
 size_t QueryCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return entries_.size();
 }
 
 uint64_t QueryCache::hits() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return hits_;
 }
 
 uint64_t QueryCache::misses() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return misses_;
 }
 
 bool QueryCache::CorruptEpochForTest(const Key& key, uint64_t stored_epoch) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = index_.find(key);
   if (it == index_.end()) return false;
   it->second->stored_epoch = stored_epoch;

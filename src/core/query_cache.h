@@ -27,9 +27,11 @@
 // tightenings, expansion policy) — the serving layer's situation, where
 // ServerOptions fixes them; the per-request knobs are all in the key.
 //
-// Thread-safe: one mutex guards the map + LRU list. The critical section
-// is a hash probe plus a list splice and a FlosResult copy (k entries), so
-// contention is negligible next to even a warm-path network round trip.
+// Thread-safe: one mutex guards the map + LRU list (a leaf lock in the
+// concurrency contract — see DESIGN.md; the FLOS_GUARDED_BY annotations
+// make the compiler enforce it). The critical section is a hash probe plus
+// a list splice and a FlosResult copy (k entries), so contention is
+// negligible next to even a warm-path network round trip.
 
 #ifndef FLOS_CORE_QUERY_CACHE_H_
 #define FLOS_CORE_QUERY_CACHE_H_
@@ -37,12 +39,13 @@
 #include <cstddef>
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <unordered_map>
 
 #include "core/flos.h"
 #include "graph/graph.h"
 #include "measures/measure.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace flos {
 
@@ -71,26 +74,27 @@ class QueryCache {
 
   /// On a hit copies the cached result into `*out`, marks it as a cache
   /// hit, and freshens the entry's LRU position. Counts hits/misses.
-  bool Lookup(const Key& key, FlosResult* out);
+  bool Lookup(const Key& key, FlosResult* out) FLOS_EXCLUDES(mu_);
 
   /// Admits a certified result. Rejects (and counts) non-certified
   /// results; replaces an existing entry for the same key.
-  void Insert(const Key& key, const FlosResult& result);
+  void Insert(const Key& key, const FlosResult& result) FLOS_EXCLUDES(mu_);
 
   /// Drops every entry (counters are kept).
-  void Clear();
+  void Clear() FLOS_EXCLUDES(mu_);
 
-  size_t size() const;
+  size_t size() const FLOS_EXCLUDES(mu_);
   size_t capacity() const { return capacity_; }
-  uint64_t hits() const;
-  uint64_t misses() const;
+  uint64_t hits() const FLOS_EXCLUDES(mu_);
+  uint64_t misses() const FLOS_EXCLUDES(mu_);
 
   /// Test-only: overwrites the stored redundant epoch of the entry for
   /// `key`, desynchronizing it from the key it is filed under, so
   /// tests/query_cache_test.cc can prove the FLOS_AUDIT stale-epoch check
   /// fires. Returns false when the entry does not exist. Never call it
   /// from library or application code.
-  bool CorruptEpochForTest(const Key& key, uint64_t stored_epoch);
+  bool CorruptEpochForTest(const Key& key, uint64_t stored_epoch)
+      FLOS_EXCLUDES(mu_);
 
  private:
   struct KeyHash {
@@ -104,12 +108,13 @@ class QueryCache {
   };
 
   size_t capacity_;
-  mutable std::mutex mu_;
-  std::list<Entry> entries_;  // front = most recent; guarded by mu_
-  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash>
-      index_;                 // guarded by mu_
-  uint64_t hits_ = 0;         // guarded by mu_
-  uint64_t misses_ = 0;       // guarded by mu_
+  mutable Mutex mu_;
+  /// front = most recent
+  std::list<Entry> entries_ FLOS_GUARDED_BY(mu_);
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_
+      FLOS_GUARDED_BY(mu_);
+  uint64_t hits_ FLOS_GUARDED_BY(mu_) = 0;
+  uint64_t misses_ FLOS_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace flos

@@ -25,7 +25,7 @@ size_t SubgraphCache::KeyHash::operator()(const Key& key) const {
 }
 
 std::shared_ptr<const SubgraphSnapshot> SubgraphCache::Lookup(const Key& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = index_.find(key);
   if (it == index_.end()) {
     ++misses_;
@@ -48,7 +48,7 @@ void SubgraphCache::Insert(const Key& key,
   FLOS_DCHECK(snap->bounds.size() ==
                   2 * static_cast<size_t>(snap->local.Size()),
               "snapshot bound vector does not match its visited set");
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = index_.find(key);
   if (it != index_.end()) {
     it->second->snap = std::move(snap);
@@ -65,28 +65,28 @@ void SubgraphCache::Insert(const Key& key,
 }
 
 void SubgraphCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   entries_.clear();
   index_.clear();
 }
 
 size_t SubgraphCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return entries_.size();
 }
 
 uint64_t SubgraphCache::hits() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return hits_;
 }
 
 uint64_t SubgraphCache::misses() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return misses_;
 }
 
 bool SubgraphCache::CorruptEpochForTest(const Key& key, uint64_t stored_epoch) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = index_.find(key);
   if (it == index_.end()) return false;
   it->second->stored_epoch = stored_epoch;

@@ -42,8 +42,9 @@
 // Snapshots are immutable once inserted and handed out as
 // shared_ptr<const>, so a reader never blocks an evictor: the LRU can drop
 // an entry while an engine is still restoring from it. Thread-safe: one
-// mutex guards the map + LRU list; the critical section is a hash probe
-// plus a shared_ptr copy.
+// mutex guards the map + LRU list (a leaf lock in the concurrency
+// contract — see DESIGN.md; FLOS_GUARDED_BY makes the compiler enforce
+// it); the critical section is a hash probe plus a shared_ptr copy.
 
 #ifndef FLOS_CORE_SUBGRAPH_CACHE_H_
 #define FLOS_CORE_SUBGRAPH_CACHE_H_
@@ -52,13 +53,14 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "core/local_graph.h"
 #include "core/measure_traits.h"
 #include "graph/graph.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace flos {
 
@@ -111,25 +113,28 @@ class SubgraphCache {
 
   /// On a hit returns the immutable snapshot and freshens the entry's LRU
   /// position; nullptr on a miss. Counts hits/misses.
-  std::shared_ptr<const SubgraphSnapshot> Lookup(const Key& key);
+  std::shared_ptr<const SubgraphSnapshot> Lookup(const Key& key)
+      FLOS_EXCLUDES(mu_);
 
   /// Admits a snapshot (replaces an existing entry for the same key).
-  void Insert(const Key& key, std::shared_ptr<const SubgraphSnapshot> snap);
+  void Insert(const Key& key, std::shared_ptr<const SubgraphSnapshot> snap)
+      FLOS_EXCLUDES(mu_);
 
   /// Drops every entry (counters are kept).
-  void Clear();
+  void Clear() FLOS_EXCLUDES(mu_);
 
-  size_t size() const;
+  size_t size() const FLOS_EXCLUDES(mu_);
   size_t capacity() const { return capacity_; }
-  uint64_t hits() const;
-  uint64_t misses() const;
+  uint64_t hits() const FLOS_EXCLUDES(mu_);
+  uint64_t misses() const FLOS_EXCLUDES(mu_);
 
   /// Test-only: overwrites the stored redundant epoch of the entry for
   /// `key`, desynchronizing it from the key it is filed under, so
   /// tests/subgraph_cache_test.cc can prove the FLOS_AUDIT stale-epoch
   /// check fires. Returns false when the entry does not exist. Never call
   /// it from library or application code.
-  bool CorruptEpochForTest(const Key& key, uint64_t stored_epoch);
+  bool CorruptEpochForTest(const Key& key, uint64_t stored_epoch)
+      FLOS_EXCLUDES(mu_);
 
  private:
   struct KeyHash {
@@ -143,12 +148,13 @@ class SubgraphCache {
   };
 
   size_t capacity_;
-  mutable std::mutex mu_;
-  std::list<Entry> entries_;  // front = most recent; guarded by mu_
-  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash>
-      index_;                 // guarded by mu_
-  uint64_t hits_ = 0;         // guarded by mu_
-  uint64_t misses_ = 0;       // guarded by mu_
+  mutable Mutex mu_;
+  /// front = most recent
+  std::list<Entry> entries_ FLOS_GUARDED_BY(mu_);
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_
+      FLOS_GUARDED_BY(mu_);
+  uint64_t hits_ FLOS_GUARDED_BY(mu_) = 0;
+  uint64_t misses_ FLOS_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace flos

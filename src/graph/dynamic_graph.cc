@@ -52,7 +52,7 @@ Status DynamicGraph::AddEdge(NodeId u, NodeId v, double w) {
   weighted_degree_[v] += w;
   max_weighted_degree_ = std::max(
       {max_weighted_degree_, weighted_degree_[u], weighted_degree_[v]});
-  degree_order_dirty_ = true;
+  MarkDegreeOrderDirty();
   ++epoch_;
   return Status::OK();
 }
@@ -61,7 +61,7 @@ NodeId DynamicGraph::AddNode() {
   const auto id = static_cast<NodeId>(num_nodes_++);
   delta_.emplace_back();
   weighted_degree_.push_back(0.0);
-  degree_order_dirty_ = true;
+  MarkDegreeOrderDirty();
   ++epoch_;
   return id;
 }
@@ -111,7 +111,18 @@ Status DynamicGraph::CopyNeighbors(NodeId u, std::vector<Neighbor>* out) {
   return Status::OK();
 }
 
+void DynamicGraph::MarkDegreeOrderDirty() {
+  MutexLock lock(degree_order_mu_);
+  degree_order_dirty_ = true;
+}
+
 const std::vector<NodeId>& DynamicGraph::DegreeOrder() const {
+  // Serialized refresh: without the lock, two concurrent readers of a
+  // quiescent graph would both see the dirty flag and race on resorting
+  // the shared cache — the one reader-side mutation in the class. The
+  // reference is returned while the lock is still held; it stays valid
+  // afterwards because only a (externally serialized) writer re-dirties.
+  MutexLock lock(degree_order_mu_);
   if (degree_order_dirty_) {
     degree_order_.resize(num_nodes_);
     std::iota(degree_order_.begin(), degree_order_.end(), NodeId{0});
@@ -155,7 +166,7 @@ Status DynamicGraph::Compact() {
   base_ = std::move(merged);
   delta_.assign(num_nodes_, {});
   delta_edge_count_ = 0;
-  degree_order_dirty_ = true;
+  MarkDegreeOrderDirty();
   return Status::OK();
 }
 

@@ -23,11 +23,22 @@
 
 #include "graph/accessor.h"
 #include "graph/graph.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace flos {
 
 /// Mutable graph: immutable CSR base + per-node insertion deltas.
+///
+/// Threading: single-writer. Mutations (AddEdge/AddNode/Compact) must be
+/// externally serialized against each other AND against reads — the
+/// ROADMAP's epoch-based lock-free reader design is the planned
+/// replacement. The one exception is DegreeOrder(): it is a lazily
+/// recomputed cache behind a `const` accessor, so two concurrent READERS
+/// would otherwise race on refreshing it; that refresh is serialized
+/// internally under `degree_order_mu_` (annotated below), making
+/// all-reader sharing of a quiescent DynamicGraph safe.
 class DynamicGraph final : public GraphAccessor {
  public:
   /// Starts from `base` (may be an empty Graph).
@@ -56,7 +67,8 @@ class DynamicGraph final : public GraphAccessor {
   uint64_t NumEdges() const override;
   double WeightedDegree(NodeId u) override;
   Status CopyNeighbors(NodeId u, std::vector<Neighbor>* out) override;
-  const std::vector<NodeId>& DegreeOrder() const override;
+  const std::vector<NodeId>& DegreeOrder() const override
+      FLOS_EXCLUDES(degree_order_mu_);
   double MaxWeightedDegree() const override { return max_weighted_degree_; }
   /// Bumped on every successful AddEdge/AddNode. Compact() does not bump:
   /// it changes the representation, never the served topology.
@@ -66,6 +78,9 @@ class DynamicGraph final : public GraphAccessor {
   /// Returns the delta adjacency row of `u` (sorted by neighbor id).
   std::vector<Neighbor>& DeltaRow(NodeId u) { return delta_[u]; }
 
+  /// Writer-side invalidation of the lazy degree-order cache.
+  void MarkDegreeOrderDirty() FLOS_EXCLUDES(degree_order_mu_);
+
   Graph base_;
   uint64_t num_nodes_ = 0;
   uint64_t delta_edge_count_ = 0;
@@ -74,9 +89,14 @@ class DynamicGraph final : public GraphAccessor {
   std::vector<double> weighted_degree_;        // merged, maintained online
   double max_weighted_degree_ = 0;
   /// Degree order is a lazily recomputed cache (mutable so the logically
-  /// const DegreeOrder() accessor can refresh it after updates).
-  mutable bool degree_order_dirty_ = true;
-  mutable std::vector<NodeId> degree_order_;
+  /// const DegreeOrder() accessor can refresh it after updates). The
+  /// refresh is the one reader-side mutation in the class, so it runs
+  /// under its own leaf mutex; the returned reference stays valid until
+  /// the next mutation, per the single-writer contract above.
+  mutable Mutex degree_order_mu_;
+  mutable bool degree_order_dirty_ FLOS_GUARDED_BY(degree_order_mu_) = true;
+  mutable std::vector<NodeId> degree_order_
+      FLOS_GUARDED_BY(degree_order_mu_);
 };
 
 }  // namespace flos

@@ -54,10 +54,10 @@ Status FrameService::Start() {
 }
 
 void FrameService::WaitForShutdown() {
-  std::unique_lock<std::mutex> lock(shutdown_mu_);
-  shutdown_cv_.wait(lock, [this] {
-    return shutdown_requested_ || stop_.load(std::memory_order_relaxed);
-  });
+  MutexLock lock(shutdown_mu_);
+  while (!shutdown_requested_ && !stop_.load(std::memory_order_relaxed)) {
+    shutdown_cv_.Wait(shutdown_mu_);
+  }
 }
 
 void FrameService::Shutdown() {
@@ -65,11 +65,11 @@ void FrameService::Shutdown() {
   started_ = false;
   stop_.store(true, std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(shutdown_mu_);
+    MutexLock lock(shutdown_mu_);
     shutdown_requested_ = true;
   }
-  shutdown_cv_.notify_all();
-  queue_cv_.notify_all();
+  shutdown_cv_.NotifyAll();
+  queue_cv_.NotifyAll();
   if (wake_ != nullptr) wake_->Signal();
   for (std::thread& w : workers_) {
     if (w.joinable()) w.join();
@@ -78,7 +78,7 @@ void FrameService::Shutdown() {
   if (io_thread_.joinable()) io_thread_.join();
   connections_.clear();
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    MutexLock lock(queue_mu_);
     queue_.clear();
     metrics_->queue_depth.Set(0);
   }
@@ -123,7 +123,7 @@ void FrameService::IoLoop() {
       ++it;  // FlushOutbox may CloseConnection(fd) and invalidate `it`
       bool pending = false;
       {
-        std::lock_guard<std::mutex> lock(conn->out_mu);
+        MutexLock lock(conn->out_mu);
         pending = !conn->outbox.empty();
       }
       if (pending && !FlushOutbox(conn)) CloseConnection(fd);
@@ -195,7 +195,7 @@ bool FrameService::HandleReadable(const std::shared_ptr<Connection>& conn) {
     // already-admitted work may still arrive; simplest correct policy:
     // close once the outbox drains. Workers holding the shared_ptr write
     // into an orphaned buffer, which is safe.
-    std::lock_guard<std::mutex> lock(conn->out_mu);
+    MutexLock lock(conn->out_mu);
     if (conn->outbox.empty()) alive = false;
   }
   return alive;
@@ -234,10 +234,10 @@ bool FrameService::HandleFrame(const std::shared_ptr<Connection>& conn,
       resp.status = StatusCode::kOk;
       EnqueueResponse(conn, resp, /*from_io_thread=*/true);
       {
-        std::lock_guard<std::mutex> lock(shutdown_mu_);
+        MutexLock lock(shutdown_mu_);
         shutdown_requested_ = true;
       }
-      shutdown_cv_.notify_all();
+      shutdown_cv_.NotifyAll();
       return true;
     }
   }
@@ -253,7 +253,7 @@ void FrameService::AdmitFrame(const std::shared_ptr<Connection>& conn,
   work.accept_time = std::chrono::steady_clock::now();
   bool admitted = false;
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    MutexLock lock(queue_mu_);
     if (queue_.size() < options_.max_queue_depth) {
       queue_.push_back(std::move(work));
       metrics_->queue_depth.Set(static_cast<int64_t>(queue_.size()));
@@ -262,7 +262,7 @@ void FrameService::AdmitFrame(const std::shared_ptr<Connection>& conn,
   }
   if (admitted) {
     if (type == MessageType::kQuery) metrics_->requests_accepted.Increment();
-    queue_cv_.notify_one();
+    queue_cv_.NotifyOne();
   } else {
     metrics_->requests_rejected_overload.Increment();
     EnqueueResponse(
@@ -281,10 +281,10 @@ void FrameService::WorkerLoop() {
   while (true) {
     PendingFrame work;
     {
-      std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_cv_.wait(lock, [this] {
-        return stop_.load(std::memory_order_relaxed) || !queue_.empty();
-      });
+      MutexLock lock(queue_mu_);
+      while (!stop_.load(std::memory_order_relaxed) && queue_.empty()) {
+        queue_cv_.Wait(queue_mu_);
+      }
       if (stop_.load(std::memory_order_relaxed)) return;
       work = std::move(queue_.front());
       queue_.pop_front();
@@ -310,7 +310,7 @@ void FrameService::EnqueueResponse(const std::shared_ptr<Connection>& conn,
                                    const QueryResponse& response,
                                    bool from_io_thread) {
   {
-    std::lock_guard<std::mutex> lock(conn->out_mu);
+    MutexLock lock(conn->out_mu);
     EncodeResponse(response, &conn->outbox);
   }
   if (from_io_thread) {
@@ -321,7 +321,7 @@ void FrameService::EnqueueResponse(const std::shared_ptr<Connection>& conn,
 }
 
 bool FrameService::FlushOutbox(const std::shared_ptr<Connection>& conn) {
-  std::lock_guard<std::mutex> lock(conn->out_mu);
+  MutexLock lock(conn->out_mu);
   if (!conn->outbox.empty()) {
     size_t written = 0;
     const Status sent = SendSome(conn->fd.get(), conn->outbox.data(),

@@ -19,11 +19,9 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -32,7 +30,9 @@
 #include "service/metrics.h"
 #include "service/net_io.h"
 #include "service/protocol.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace flos {
 
@@ -100,13 +100,13 @@ class FrameService {
   uint16_t port() const { return port_; }
 
   /// Blocks until a client sends SHUTDOWN or Shutdown() is called.
-  void WaitForShutdown();
+  void WaitForShutdown() FLOS_EXCLUDES(shutdown_mu_);
 
   /// Stops accepting, drains threads, closes every connection. Idempotent;
   /// safe to call whether or not Start succeeded. Callers whose worker
   /// state blocks on an external resource (the engine session pool) must
   /// release that resource first so the worker join can finish.
-  void Shutdown();
+  void Shutdown() FLOS_EXCLUDES(shutdown_mu_, queue_mu_);
 
  private:
   /// Per-connection state. The IO thread owns the socket and the read
@@ -116,8 +116,8 @@ class FrameService {
   struct Connection {
     UniqueFd fd;
     std::string inbuf;        // IO thread only
-    std::mutex out_mu;
-    std::string outbox;       // guarded by out_mu
+    Mutex out_mu;
+    std::string outbox FLOS_GUARDED_BY(out_mu);
     bool epoll_out = false;   // IO thread only: EPOLLOUT currently armed
   };
 
@@ -140,7 +140,7 @@ class FrameService {
                    std::string payload);
   /// Admission control for QUERY/STATS frames headed to the workers.
   void AdmitFrame(const std::shared_ptr<Connection>& conn, MessageType type,
-                  std::string payload);
+                  std::string payload) FLOS_EXCLUDES(queue_mu_);
 
   /// Encodes `response` onto the connection's outbox. `from_io_thread`
   /// lets the IO thread flush immediately instead of signaling itself.
@@ -164,19 +164,19 @@ class FrameService {
   std::unordered_map<int, std::shared_ptr<Connection>> connections_;
 
   // Bounded request queue (admission control).
-  std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::deque<PendingFrame> queue_;  // guarded by queue_mu_
+  Mutex queue_mu_;
+  CondVar queue_cv_;
+  std::deque<PendingFrame> queue_ FLOS_GUARDED_BY(queue_mu_);
 
   std::atomic<bool> stop_{false};
-  bool started_ = false;
+  bool started_ = false;  // Start/Shutdown controlling thread only
   std::thread io_thread_;
   std::vector<std::thread> workers_;
 
   // WaitForShutdown plumbing.
-  std::mutex shutdown_mu_;
-  std::condition_variable shutdown_cv_;
-  bool shutdown_requested_ = false;  // guarded by shutdown_mu_
+  Mutex shutdown_mu_;
+  CondVar shutdown_cv_;
+  bool shutdown_requested_ FLOS_GUARDED_BY(shutdown_mu_) = false;
 };
 
 }  // namespace flos

@@ -14,14 +14,22 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <system_error>
 #include <utility>
 
 namespace flos {
 
 namespace {
 
+// std::strerror is MT-unsafe (shared static buffer) and this file runs on
+// the IO thread AND every worker; std::system_category().message() is the
+// thread-safe spelling of the same text.
+std::string ErrnoText(int err) {
+  return std::system_category().message(err);
+}
+
 Status ErrnoStatus(const std::string& what) {
-  return Status::IoError(what + ": " + std::strerror(errno));
+  return Status::IoError(what + ": " + ErrnoText(errno));
 }
 
 Status ResolveIpv4(const std::string& host, uint16_t port,
@@ -106,8 +114,7 @@ Result<UniqueFd> ConnectTcp(const std::string& host, uint16_t port) {
     // retry-with-backoff policy to exactly the transient class.
     if (errno == ECONNREFUSED || errno == ECONNRESET || errno == ETIMEDOUT ||
         errno == EHOSTUNREACH || errno == ENETUNREACH || errno == EAGAIN) {
-      return Status::Unavailable(std::string("connect: ") +
-                                 std::strerror(errno));
+      return Status::Unavailable("connect: " + ErrnoText(errno));
     }
     return ErrnoStatus("connect");
   }

@@ -28,8 +28,8 @@ EngineSessionPool::EngineSessionPool(const AccessorFactory& factory,
 }
 
 EngineSessionPool::Lease EngineSessionPool::Acquire() {
-  std::unique_lock<std::mutex> lock(mu_);
-  available_.wait(lock, [this] { return shutdown_ || !free_.empty(); });
+  MutexLock lock(mu_);
+  while (!shutdown_ && free_.empty()) available_.Wait(mu_);
   if (shutdown_) return Lease();
   const size_t index = free_.back();
   free_.pop_back();
@@ -38,18 +38,18 @@ EngineSessionPool::Lease EngineSessionPool::Acquire() {
 
 void EngineSessionPool::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  available_.notify_all();
+  available_.NotifyAll();
 }
 
 void EngineSessionPool::Return(size_t index) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     free_.push_back(index);
   }
-  available_.notify_one();
+  available_.NotifyOne();
 }
 
 EngineSessionPool::Lease& EngineSessionPool::Lease::operator=(

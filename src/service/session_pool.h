@@ -15,16 +15,16 @@
 #ifndef FLOS_SERVICE_SESSION_POOL_H_
 #define FLOS_SERVICE_SESSION_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "core/flos_engine.h"
 #include "graph/accessor.h"
 #include "graph/graph.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace flos {
 
@@ -63,12 +63,12 @@ class EngineSessionPool {
 
   /// Blocks until a session is free; returns an empty lease (engine() ==
   /// nullptr) once Shutdown has been called.
-  Lease Acquire();
+  Lease Acquire() FLOS_EXCLUDES(mu_);
 
   /// Wakes every blocked Acquire with an empty lease and makes future
   /// Acquires return empty immediately. Outstanding leases stay valid
   /// until released.
-  void Shutdown();
+  void Shutdown() FLOS_EXCLUDES(mu_);
 
   size_t capacity() const { return sessions_.size(); }
 
@@ -106,13 +106,14 @@ class EngineSessionPool {
     FlosEngine engine;
   };
 
-  void Return(size_t index);
+  void Return(size_t index) FLOS_EXCLUDES(mu_);
 
   std::vector<std::unique_ptr<Session>> sessions_;
-  std::mutex mu_;
-  std::condition_variable available_;
-  std::vector<size_t> free_;  // indexes of idle sessions (guarded by mu_)
-  bool shutdown_ = false;     // guarded by mu_
+  Mutex mu_;
+  CondVar available_;
+  /// Indexes of idle sessions.
+  std::vector<size_t> free_ FLOS_GUARDED_BY(mu_);
+  bool shutdown_ FLOS_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace flos

@@ -29,7 +29,12 @@ Result<std::unique_ptr<DiskGraph>> DiskGraph::Open(
   // make_unique cannot reach the private constructor; ownership is taken
   // on the same line.
   std::unique_ptr<DiskGraph> g(new DiskGraph(options));  // lint:allow(no-naked-new)
-  g->file_ = f;
+  {
+    // No other thread can see `g` yet; the lock just satisfies the
+    // capability analysis for this one guarded write.
+    MutexLock lock(g->io_mu_);
+    g->file_ = f;
+  }
 
   DiskHeader header{};
   FLOS_RETURN_IF_ERROR(ReadExact(f, 0, &header, sizeof(header), "header"));
@@ -123,6 +128,9 @@ Status DiskGraph::CopyNeighbors(NodeId u, std::vector<Neighbor>* out) {
   const uint64_t byte_offset =
       adjacency_offset_ + first * kAdjacencyEntryBytes;
   const uint64_t byte_count = (last - first) * kAdjacencyEntryBytes;
+  // One critical section spans the cached read AND the decode loop:
+  // range_scratch_ must not be overwritten by another reader mid-decode.
+  MutexLock lock(io_mu_);
   FLOS_RETURN_IF_ERROR(ReadRange(byte_offset, byte_count, &range_scratch_));
   out->clear();
   out->reserve(last - first);

@@ -16,7 +16,9 @@
 
 #include "graph/accessor.h"
 #include "storage/lru_cache.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace flos {
 
@@ -30,11 +32,18 @@ struct DiskGraphOptions {
 };
 
 /// Read-only disk graph. The instance is thread-compatible, not
-/// thread-safe (it owns a file handle, a block cache, and scratch
-/// buffers); the FILE ITSELF is immutable and may be shared. For
-/// concurrent queries, Open the same path once per worker thread — each
-/// accessor then has its own handle and cache, per the GraphAccessor
-/// thread-safety contract.
+/// thread-safe (the access counters are per-instance and unsynchronized);
+/// the FILE ITSELF is immutable and may be shared. For concurrent
+/// queries, Open the same path once per worker thread — each accessor
+/// then has its own handle and cache, per the GraphAccessor thread-safety
+/// contract.
+///
+/// Defense in depth: the one resource a contract violation would corrupt
+/// SILENTLY — the seek+read pair on the shared file handle and the LRU
+/// block cache it fills — is serialized internally under `io_mu_`
+/// (annotated, compiler-enforced). Sharing an instance across threads
+/// therefore skews counters and thrashes the cache, but can never decode
+/// adjacency bytes from a torn seek.
 class DiskGraph final : public GraphAccessor {
  public:
   static Result<std::unique_ptr<DiskGraph>> Open(const std::string& path,
@@ -58,11 +67,12 @@ class DiskGraph final : public GraphAccessor {
       : options_(options), cache_(options.cache_bytes) {}
 
   /// Reads `bytes` at `offset` (relative to file start) into `out`,
-  /// through the block cache.
-  Status ReadRange(uint64_t offset, uint64_t bytes, std::vector<char>* out);
+  /// through the block cache. Caller holds io_mu_ (the seek+read pair and
+  /// the cache update must be atomic with respect to other readers).
+  Status ReadRange(uint64_t offset, uint64_t bytes, std::vector<char>* out)
+      FLOS_REQUIRES(io_mu_);
 
   DiskGraphOptions options_;
-  std::FILE* file_ = nullptr;
   uint64_t num_nodes_ = 0;
   uint64_t num_directed_edges_ = 0;
   double max_weighted_degree_ = 0;
@@ -70,8 +80,12 @@ class DiskGraph final : public GraphAccessor {
   std::vector<uint64_t> offsets_;
   std::vector<double> degrees_;
   std::vector<NodeId> degree_order_;
-  LruBlockCache cache_;
-  std::vector<char> range_scratch_;
+  /// Guards the stateful read path: handle position, block cache, and the
+  /// decode scratch. Open/~DiskGraph touch file_ pre/post concurrency.
+  Mutex io_mu_;
+  std::FILE* file_ FLOS_GUARDED_BY(io_mu_) = nullptr;
+  LruBlockCache cache_ FLOS_GUARDED_BY(io_mu_);
+  std::vector<char> range_scratch_ FLOS_GUARDED_BY(io_mu_);
 };
 
 }  // namespace flos

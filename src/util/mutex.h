@@ -1,0 +1,112 @@
+// Annotated synchronization primitives: the only mutex the library uses.
+//
+// `flos::Mutex`, `flos::MutexLock`, and `flos::CondVar` are zero-cost
+// wrappers over `std::mutex` / `std::condition_variable` that carry the
+// Clang thread-safety capability annotations (util/thread_annotations.h).
+// With them, the locking contract is part of the type system: declare a
+// field `FLOS_GUARDED_BY(mu_)` and the `thread-safety` CI job rejects any
+// access that does not hold `mu_` — at compile time, on every build.
+//
+// Raw `std::mutex` / `std::lock_guard` / `std::unique_lock` /
+// `std::condition_variable` are banned everywhere outside this header
+// (scripts/lint.py rule `no-raw-mutex`), so no lock can silently opt out
+// of the analysis.
+//
+// Zero-cost: every method is an inline forward to the std primitive; under
+// -O2 the wrappers compile to the identical code (the annotations are pure
+// metadata, erased on non-Clang builds). CondVar::Wait adopts the Mutex's
+// underlying std::mutex rather than going through condition_variable_any,
+// so waiting costs exactly what std::condition_variable costs.
+//
+// No predicate-wait overload is provided on purpose: the capability
+// analysis cannot see through a predicate lambda (it would analyze the
+// lambda body without the caller's capability and reject guarded reads),
+// so waits are written as explicit loops in the locked scope —
+//
+//     MutexLock lock(mu_);
+//     while (!condition_using_guarded_state()) cv_.Wait(mu_);
+//
+// which reads the guarded state exactly where the analysis can prove the
+// lock is held.
+//
+// Lock discipline (enforced by convention, documented in DESIGN.md
+// "Concurrency contract"): every flos::Mutex in the tree is a LEAF lock —
+// no code path acquires a second flos::Mutex while holding one, so
+// lock-order inversion is impossible by construction. Use FLOS_EXCLUDES on
+// functions that callers might otherwise invoke with the lock held.
+
+#ifndef FLOS_UTIL_MUTEX_H_
+#define FLOS_UTIL_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace flos {
+
+class CondVar;
+
+/// Standard exclusive mutex carrying the `mutex` capability. Prefer
+/// locking through MutexLock (RAII); Lock/Unlock exist for the rare
+/// split-scope case and for the wrappers themselves.
+class FLOS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() FLOS_ACQUIRE() { mu_.lock(); }
+  void Unlock() FLOS_RELEASE() { mu_.unlock(); }
+  bool TryLock() FLOS_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock over a Mutex; the annotated replacement for std::lock_guard
+/// and scope-long std::unique_lock.
+class FLOS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) FLOS_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() FLOS_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable paired with Mutex. Wait REQUIRES the mutex (the
+/// analysis rejects a wait outside the locked scope — the "cond-var wait
+/// with wrong capability" bug class); it releases the capability while
+/// blocked and reacquires before returning, exactly like the std wait.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu` and blocks until notified (spurious wakeups
+  /// possible — always wait in a condition loop).
+  void Wait(Mutex& mu) FLOS_REQUIRES(mu) {
+    // Adopt the already-held std::mutex for the duration of the wait, then
+    // release ownership back without unlocking: the capability stays with
+    // the caller, matching the REQUIRES contract.
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace flos
+
+#endif  // FLOS_UTIL_MUTEX_H_

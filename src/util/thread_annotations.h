@@ -1,0 +1,75 @@
+// Clang thread-safety capability annotations (no-ops elsewhere).
+//
+// These macros expose Clang's `-Wthread-safety` capability analysis — the
+// STATIC complement to ThreadSanitizer. TSAN observes the interleavings a
+// test happens to schedule; the capability analysis proves, on every
+// compile, that each access to a `FLOS_GUARDED_BY(mu)` field happens with
+// `mu` held and that every `FLOS_REQUIRES(mu)` caller actually holds it.
+// A race that TSAN would need the right schedule (and minutes of runtime)
+// to catch becomes a compile error in seconds.
+//
+// The annotations attach to `flos::Mutex` / `flos::MutexLock` /
+// `flos::CondVar` (util/mutex.h), which are the ONLY synchronization
+// primitives library code may use — scripts/lint.py bans raw `std::mutex`
+// and friends outside util/mutex.h (rule `no-raw-mutex`), so every lock in
+// the tree participates in the analysis.
+//
+// Under GCC (or any compiler without the attributes) every macro expands
+// to nothing and the wrappers compile to exactly the std primitives they
+// wrap; the analysis gate is CI's `thread-safety` job (pinned clang++,
+// `-Wthread-safety -Werror`). The negative-compile harness
+// (tests/compile_fail/) proves the analysis actually fires.
+//
+// Macro reference (mirrors the Clang documentation's vocabulary):
+//   FLOS_CAPABILITY(x)        class declares capability x (a mutex type)
+//   FLOS_SCOPED_CAPABILITY    RAII class acquiring in ctor, releasing in dtor
+//   FLOS_GUARDED_BY(mu)       field may only be touched with mu held
+//   FLOS_PT_GUARDED_BY(mu)    pointee may only be touched with mu held
+//   FLOS_REQUIRES(mu)         caller must hold mu (and keeps holding it)
+//   FLOS_ACQUIRE(mu)          function acquires mu, caller must not hold it
+//   FLOS_RELEASE(mu)          function releases mu, caller must hold it
+//   FLOS_TRY_ACQUIRE(b, mu)   acquires mu iff the function returns b
+//   FLOS_EXCLUDES(mu)         caller must NOT hold mu (deadlock guard)
+//   FLOS_ASSERT_CAPABILITY(mu) runtime assertion that mu is held
+//   FLOS_RETURN_CAPABILITY(mu) function returns a reference to mu
+//   FLOS_ACQUIRED_BEFORE/AFTER declare lock-ordering edges (hierarchy)
+//   FLOS_NO_THREAD_SAFETY_ANALYSIS  opt a definition out (last resort)
+
+#ifndef FLOS_UTIL_THREAD_ANNOTATIONS_H_
+#define FLOS_UTIL_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define FLOS_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef FLOS_THREAD_ANNOTATION
+#define FLOS_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+#define FLOS_CAPABILITY(x) FLOS_THREAD_ANNOTATION(capability(x))
+#define FLOS_SCOPED_CAPABILITY FLOS_THREAD_ANNOTATION(scoped_lockable)
+#define FLOS_GUARDED_BY(x) FLOS_THREAD_ANNOTATION(guarded_by(x))
+#define FLOS_PT_GUARDED_BY(x) FLOS_THREAD_ANNOTATION(pt_guarded_by(x))
+#define FLOS_ACQUIRED_BEFORE(...) \
+  FLOS_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define FLOS_ACQUIRED_AFTER(...) \
+  FLOS_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define FLOS_REQUIRES(...) \
+  FLOS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define FLOS_REQUIRES_SHARED(...) \
+  FLOS_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define FLOS_ACQUIRE(...) \
+  FLOS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define FLOS_RELEASE(...) \
+  FLOS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define FLOS_TRY_ACQUIRE(...) \
+  FLOS_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define FLOS_EXCLUDES(...) FLOS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define FLOS_ASSERT_CAPABILITY(x) \
+  FLOS_THREAD_ANNOTATION(assert_capability(x))
+#define FLOS_RETURN_CAPABILITY(x) FLOS_THREAD_ANNOTATION(lock_returned(x))
+#define FLOS_NO_THREAD_SAFETY_ANALYSIS \
+  FLOS_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // FLOS_UTIL_THREAD_ANNOTATIONS_H_

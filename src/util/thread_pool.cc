@@ -17,10 +17,10 @@ ThreadPool::~ThreadPool() { Shutdown(); }
 
 void ThreadPool::Shutdown() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  work_ready_.notify_all();
+  work_ready_.NotifyAll();
   // Workers exit only once the queue is drained, so every task submitted
   // before Shutdown — queued or in flight — still runs to completion.
   for (std::thread& w : workers_) {
@@ -30,7 +30,7 @@ void ThreadPool::Shutdown() {
 
 Status ThreadPool::Submit(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (shutdown_) {
       return Status::FailedPrecondition(
           "ThreadPool::Submit after Shutdown: task rejected");
@@ -38,13 +38,13 @@ Status ThreadPool::Submit(std::function<void()> task) {
     queue_.push_back(std::move(task));
     ++pending_;
   }
-  work_ready_.notify_one();
+  work_ready_.NotifyOne();
   return Status::OK();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  all_idle_.wait(lock, [this] { return pending_ == 0; });
+  MutexLock lock(mu_);
+  while (pending_ != 0) all_idle_.Wait(mu_);
 }
 
 int ThreadPool::DefaultNumThreads() {
@@ -56,16 +56,16 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_ready_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!shutdown_ && queue_.empty()) work_ready_.Wait(mu_);
       if (queue_.empty()) return;  // shutdown with a drained queue
       task = std::move(queue_.front());
       queue_.pop_front();
     }
     task();
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      if (--pending_ == 0) all_idle_.notify_all();
+      MutexLock lock(mu_);
+      if (--pending_ == 0) all_idle_.NotifyAll();
     }
   }
 }

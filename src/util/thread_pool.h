@@ -10,15 +10,15 @@
 #ifndef FLOS_UTIL_THREAD_POOL_H_
 #define FLOS_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace flos {
 
@@ -38,15 +38,15 @@ class ThreadPool {
 
   /// Enqueues a task. Never blocks (unbounded queue). After Shutdown has
   /// begun the task is rejected with kFailedPrecondition and never runs.
-  Status Submit(std::function<void()> task);
+  Status Submit(std::function<void()> task) FLOS_EXCLUDES(mu_);
 
   /// Blocks until every submitted task has finished running.
-  void Wait();
+  void Wait() FLOS_EXCLUDES(mu_);
 
   /// Graceful shutdown: stops accepting new tasks, lets every already
   /// submitted task (queued or in flight) run to completion, then joins
   /// the workers. Idempotent; the destructor calls it implicitly.
-  void Shutdown();
+  void Shutdown() FLOS_EXCLUDES(mu_);
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
@@ -57,12 +57,12 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
-  std::condition_variable work_ready_;   // queue non-empty or shutdown
-  std::condition_variable all_idle_;     // pending_ reached zero
-  std::deque<std::function<void()>> queue_;
-  uint64_t pending_ = 0;  // queued + running tasks
-  bool shutdown_ = false;
+  Mutex mu_;
+  CondVar work_ready_;   // queue non-empty or shutdown
+  CondVar all_idle_;     // pending_ reached zero
+  std::deque<std::function<void()>> queue_ FLOS_GUARDED_BY(mu_);
+  uint64_t pending_ FLOS_GUARDED_BY(mu_) = 0;  // queued + running tasks
+  bool shutdown_ FLOS_GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

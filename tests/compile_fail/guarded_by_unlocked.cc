@@ -1,0 +1,35 @@
+// Negative-compile case: touching a FLOS_GUARDED_BY field without holding
+// its mutex must be rejected by clang's -Wthread-safety (promoted to an
+// error by -Werror). tests/compile_fail/CMakeLists.txt compiles this file
+// twice: as-is it must FAIL, and with -DFLOS_COMPILE_FAIL_FIXED (the
+// correctly locked variant) it must SUCCEED — proving the failure comes
+// from the capability analysis and not an unrelated build problem.
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(long amount) {
+#ifdef FLOS_COMPILE_FAIL_FIXED
+    flos::MutexLock lock(mu_);
+    balance_ += amount;
+#else
+    balance_ += amount;  // BUG: guarded write without mu_ held
+#endif
+  }
+
+ private:
+  flos::Mutex mu_;
+  long balance_ FLOS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.Deposit(1);
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Negative-compile case: calling a FLOS_REQUIRES(mu) function without
+// holding mu must be rejected by clang's -Wthread-safety (promoted to an
+// error by -Werror). tests/compile_fail/CMakeLists.txt compiles this file
+// twice: as-is it must FAIL, and with -DFLOS_COMPILE_FAIL_FIXED (the
+// correctly locked variant) it must SUCCEED — proving the failure comes
+// from the capability analysis and not an unrelated build problem.
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Ledger {
+ public:
+  long TotalLocked() const FLOS_REQUIRES(mu_) { return total_; }
+
+  long ReadTotal() const {
+#ifdef FLOS_COMPILE_FAIL_FIXED
+    flos::MutexLock lock(mu_);
+    return TotalLocked();
+#else
+    return TotalLocked();  // BUG: REQUIRES(mu_) callee, mu_ not held
+#endif
+  }
+
+ private:
+  mutable flos::Mutex mu_;
+  long total_ FLOS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Ledger ledger;
+  return ledger.ReadTotal() == 0 ? 0 : 1;
+}

@@ -1,0 +1,149 @@
+// Positive coverage for the annotated locking wrappers (util/mutex.h).
+//
+// These tests prove the wrappers BEHAVE like the std primitives they wrap:
+// mutual exclusion, TryLock semantics, condition-variable handoff under
+// the mandatory while-loop wait pattern, and correct use of the annotation
+// macros on a guarded struct. Runs under the TSAN CI job — TSAN checks the
+// dynamic schedules here, while the clang `-Wthread-safety` CI job checks
+// the static lock discipline (tests/compile_fail/ proves the analysis
+// actually fires). Together they are the two halves of the concurrency
+// contract in DESIGN.md.
+
+#include "util/mutex.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "util/thread_annotations.h"
+
+namespace flos {
+namespace {
+
+TEST(MutexTest, MutexLockProvidesMutualExclusion) {
+  Mutex mu;
+  int64_t counter = 0;  // deliberately NOT atomic; the lock is the fence
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&mu, &counter] {
+      for (int i = 0; i < kIncrements; ++i) {
+        MutexLock lock(mu);
+        ++counter;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter, static_cast<int64_t>(kThreads) * kIncrements);
+}
+
+TEST(MutexTest, TryLockReflectsOwnership) {
+  Mutex mu;
+  ASSERT_TRUE(mu.TryLock());
+  // A second thread must see the mutex as busy while we hold it.
+  bool contended_acquire = true;
+  std::thread prober([&mu, &contended_acquire] {
+    contended_acquire = mu.TryLock();
+    if (contended_acquire) mu.Unlock();
+  });
+  prober.join();
+  EXPECT_FALSE(contended_acquire);
+  mu.Unlock();
+  ASSERT_TRUE(mu.TryLock());
+  mu.Unlock();
+}
+
+TEST(MutexTest, CondVarHandsOffThroughWhileLoopWait) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  int observed = 0;
+  std::thread waiter([&] {
+    MutexLock lock(mu);
+    while (!ready) cv.Wait(mu);
+    observed = 42;
+  });
+  // Unsynchronized delay to make the waiter actually block first in most
+  // schedules; correctness never depends on it (hence the while loop).
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  {
+    MutexLock lock(mu);
+    ready = true;
+  }
+  cv.NotifyOne();
+  waiter.join();
+  EXPECT_EQ(observed, 42);
+}
+
+TEST(MutexTest, CondVarNotifyAllReleasesEveryWaiter) {
+  Mutex mu;
+  CondVar cv;
+  bool go = false;
+  std::atomic<int> released{0};
+  constexpr int kWaiters = 6;
+  std::vector<std::thread> waiters;
+  waiters.reserve(kWaiters);
+  for (int t = 0; t < kWaiters; ++t) {
+    waiters.emplace_back([&] {
+      MutexLock lock(mu);
+      while (!go) cv.Wait(mu);
+      released.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  {
+    MutexLock lock(mu);
+    go = true;
+  }
+  cv.NotifyAll();
+  for (auto& th : waiters) th.join();
+  EXPECT_EQ(released.load(), kWaiters);
+}
+
+// A miniature of the pattern every annotated class in src/ follows: the
+// capability lives next to the data it guards, accessors document their
+// lock requirements, and the compile_fail/ harness proves misuse is a
+// build error under clang.
+class GuardedCounter {
+ public:
+  void Add(int64_t delta) FLOS_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    value_ += delta;
+  }
+  int64_t Snapshot() const FLOS_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return value_;
+  }
+  int64_t ValueLocked() const FLOS_REQUIRES(mu_) { return value_; }
+  Mutex& mu() FLOS_RETURN_CAPABILITY(mu_) { return mu_; }
+
+ private:
+  mutable Mutex mu_;
+  int64_t value_ FLOS_GUARDED_BY(mu_) = 0;
+};
+
+TEST(MutexTest, AnnotatedGuardedStructBehaves) {
+  GuardedCounter counter;
+  constexpr int kThreads = 4;
+  constexpr int kAdds = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kAdds; ++i) counter.Add(1);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter.Snapshot(), static_cast<int64_t>(kThreads) * kAdds);
+  // REQUIRES-annotated accessor, called with the capability held.
+  counter.mu().Lock();
+  EXPECT_EQ(counter.ValueLocked(), static_cast<int64_t>(kThreads) * kAdds);
+  counter.mu().Unlock();
+}
+
+}  // namespace
+}  // namespace flos
