@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <string>
 
+#include "core/predicate.h"
 #include "service/client.h"
 #include "util/flags.h"
 
@@ -39,6 +40,7 @@ int Run(int argc, char** argv) {
   int64_t tht_length = 10;
   int64_t deadline_us = 0;
   int64_t connect_retries = 0;
+  std::string predicate_text = "none";
   bool stats = false;
   bool shutdown = false;
   flags.AddString("host", &host, "server address");
@@ -52,6 +54,9 @@ int Run(int argc, char** argv) {
                "server-side budget in microseconds (0 = run to proof)");
   flags.AddInt("connect-retries", &connect_retries,
                "retry the connect this many times, 100 ms apart");
+  flags.AddString("predicate", &predicate_text,
+                  "label filter: none | <eq|contain|overlap>:<id>,... "
+                  "(numeric label ids; server needs a label store)");
   flags.AddBool("stats", &stats, "fetch the metrics snapshot instead");
   flags.AddBool("shutdown", &shutdown, "ask the server to shut down");
   if (const flos::Status s = flags.Parse(argc, argv); !s.ok()) {
@@ -109,6 +114,14 @@ int Run(int argc, char** argv) {
   request.c = c;
   request.tht_length = static_cast<uint32_t>(tht_length);
   request.deadline_us = static_cast<uint64_t>(deadline_us);
+  // Numeric ids only: the client has no label table to resolve names.
+  const auto predicate = flos::ParsePredicate(predicate_text, nullptr);
+  if (!predicate.ok()) {
+    std::fprintf(stderr, "predicate: %s\n",
+                 predicate.status().ToString().c_str());
+    return 1;
+  }
+  request.predicate = *predicate;
 
   const auto resp = client->Query(request);
   if (!resp.ok()) {

@@ -25,6 +25,7 @@
 
 #include "graph/edge_list_io.h"
 #include "graph/generators.h"
+#include "graph/labels.h"
 #include "graph/partition.h"
 #include "graph/stats.h"
 #include "service/server.h"
@@ -53,6 +54,9 @@ int Run(int argc, char** argv) {
   int64_t seed = 1;
   std::string shard_map_path;
   std::string shard_edges_path;
+  std::string label_file;
+  int64_t synthetic_labels = 0;
+  int64_t labels_per_node = 3;
   flags.AddString("graph", &graph_path, "SNAP-style edge list to serve");
   flags.AddString("shard-map", &shard_map_path,
                   "serve one shard: shard<i>.map from flos_partition");
@@ -72,6 +76,14 @@ int Run(int argc, char** argv) {
   flags.AddInt("synthetic-nodes", &synthetic_nodes,
                "R-MAT size when --graph is not given");
   flags.AddInt("seed", &seed, "generator seed");
+  flags.AddString("label-file", &label_file,
+                  "per-node label file (GLOBAL ids; enables filtered "
+                  "queries)");
+  flags.AddInt("synthetic-labels", &synthetic_labels,
+               "generate a Zipf label universe of this size when "
+               "--label-file is not given (0 = no labels)");
+  flags.AddInt("labels-per-node", &labels_per_node,
+               "labels per node for --synthetic-labels");
   if (const flos::Status s = flags.Parse(argc, argv); !s.ok()) {
     std::fprintf(stderr, "%s\n", s.ToString().c_str());
     flags.PrintUsage(argv[0]);
@@ -132,6 +144,44 @@ int Run(int argc, char** argv) {
   }
   std::printf("# %s\n", flos::StatsToString(flos::ComputeStats(graph)).c_str());
 
+  // Label store for filtered queries. The store covers the GLOBAL graph;
+  // in shard mode Start() projects it onto the shard's replicated nodes.
+  flos::LabelStore labels;
+  bool have_labels = false;
+  const uint64_t global_nodes =
+      shard_mode ? shard_meta.global_nodes : graph.NumNodes();
+  if (!label_file.empty()) {
+    auto loaded =
+        flos::ReadLabelFile(label_file, static_cast<int64_t>(global_nodes));
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "labels: %s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    labels = std::move(loaded).value();
+    have_labels = true;
+  } else if (synthetic_labels > 0) {
+    flos::LabelGenOptions gen;
+    gen.num_nodes = global_nodes;
+    gen.num_labels = static_cast<uint32_t>(synthetic_labels);
+    gen.labels_per_node = static_cast<uint32_t>(labels_per_node);
+    // Same derivation as knn_cli so a generated graph + generated labels
+    // reproduce across tools given the same --seed.
+    gen.seed = static_cast<uint64_t>(seed) + 7;
+    auto generated = flos::GenerateZipfLabels(gen);
+    if (!generated.ok()) {
+      std::fprintf(stderr, "labels: %s\n",
+                   generated.status().ToString().c_str());
+      return 1;
+    }
+    labels = std::move(generated).value();
+    have_labels = true;
+  }
+  if (have_labels) {
+    std::printf("# labels: %llu assignments over %u labels\n",
+                static_cast<unsigned long long>(labels.NumAssignments()),
+                static_cast<unsigned>(labels.NumLabels()));
+  }
+
   flos::ServerOptions options;
   options.host = host;
   options.port = static_cast<uint16_t>(port);
@@ -143,6 +193,7 @@ int Run(int argc, char** argv) {
       subgraph_cache > 0 ? static_cast<size_t>(subgraph_cache) : 0;
   options.sweep_threads = static_cast<int>(sweep_threads);
   if (shard_mode) options.shard_meta = &shard_meta;
+  if (have_labels) options.labels = &labels;
   flos::ServiceServer server(&graph, options);
   if (const flos::Status s = server.Start(); !s.ok()) {
     std::fprintf(stderr, "start: %s\n", s.ToString().c_str());

@@ -19,8 +19,10 @@
 
 #include "core/batch_topk.h"
 #include "core/flos.h"
+#include "core/predicate.h"
 #include "graph/edge_list_io.h"
 #include "graph/generators.h"
+#include "graph/labels.h"
 #include "graph/stats.h"
 #include "util/flags.h"
 #include "util/rng.h"
@@ -81,6 +83,10 @@ int Run(int argc, char** argv) {
   bool show_bounds = false;
   std::string batch_file;
   int64_t threads = 0;
+  std::string label_file;
+  std::string predicate_text = "none";
+  int64_t synthetic_labels = 0;
+  int64_t labels_per_node = 3;
   flags.AddString("graph", &graph_path, "SNAP-style edge list to load");
   flags.AddString("batch-file", &batch_file,
                   "file of query node ids, one per line");
@@ -94,6 +100,15 @@ int Run(int argc, char** argv) {
                "R-MAT size when --graph is not given");
   flags.AddInt("seed", &seed, "seed for generation / query sampling");
   flags.AddBool("bounds", &show_bounds, "print certified score intervals");
+  flags.AddString("label-file", &label_file,
+                  "per-node label file (line i = labels of node i)");
+  flags.AddString("predicate", &predicate_text,
+                  "label filter: none | <eq|contain|overlap>:<label>,...");
+  flags.AddInt("synthetic-labels", &synthetic_labels,
+               "generate a Zipf label universe of this size when "
+               "--label-file is not given (0 = no labels)");
+  flags.AddInt("labels-per-node", &labels_per_node,
+               "labels per node for --synthetic-labels");
   if (const flos::Status s = flags.Parse(argc, argv); !s.ok()) {
     std::fprintf(stderr, "%s\n", s.ToString().c_str());
     flags.PrintUsage(argv[0]);
@@ -132,6 +147,55 @@ int Run(int argc, char** argv) {
   options.measure = *measure;
   options.c = c;
   options.tht_length = static_cast<int>(tht_length);
+
+  // Filtered queries: attach a label store (from file or generated) and
+  // the parsed predicate.
+  flos::LabelStore labels;
+  bool have_labels = false;
+  if (!label_file.empty()) {
+    auto loaded =
+        flos::ReadLabelFile(label_file, static_cast<int64_t>(graph.NumNodes()));
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "labels: %s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    labels = std::move(loaded).value();
+    have_labels = true;
+  } else if (synthetic_labels > 0) {
+    flos::LabelGenOptions gen;
+    gen.num_nodes = graph.NumNodes();
+    gen.num_labels = static_cast<uint32_t>(synthetic_labels);
+    gen.labels_per_node = static_cast<uint32_t>(labels_per_node);
+    gen.seed = static_cast<uint64_t>(seed) + 7;
+    auto generated = flos::GenerateZipfLabels(gen);
+    if (!generated.ok()) {
+      std::fprintf(stderr, "labels: %s\n",
+                   generated.status().ToString().c_str());
+      return 1;
+    }
+    labels = std::move(generated).value();
+    have_labels = true;
+  }
+  auto predicate = flos::ParsePredicate(predicate_text,
+                                        have_labels ? &labels.table() : nullptr);
+  if (!predicate.ok()) {
+    std::fprintf(stderr, "predicate: %s\n",
+                 predicate.status().ToString().c_str());
+    return 1;
+  }
+  if (!predicate->empty()) {
+    if (!have_labels) {
+      std::fprintf(stderr,
+                   "--predicate needs --label-file or --synthetic-labels\n");
+      return 1;
+    }
+    options.labels = &labels;
+    options.predicate = *predicate;
+    std::printf("# filter %s (at most %llu matching nodes)\n",
+                predicate->ToString().c_str(),
+                static_cast<unsigned long long>(
+                    predicate->MaxMatches(labels)));
+  }
 
   if (!batch_file.empty()) {
     auto batch = ReadBatchFile(batch_file, graph.NumNodes());

@@ -25,9 +25,11 @@
 #include <vector>
 
 #include "core/expansion_policy.h"
+#include "core/predicate.h"
 #include "core/sweep_kernel.h"
 #include "graph/accessor.h"
 #include "graph/graph.h"
+#include "graph/labels.h"
 #include "measures/measure.h"
 #include "util/status.h"
 
@@ -90,6 +92,18 @@ struct FlosOptions {
   /// set. Certification reached before that is exact as usual — the clipped
   /// nodes' bounds took part in the termination proof. Default: no limit.
   uint64_t expandable_limit = UINT64_MAX;
+  /// Label-constrained ("filtered") search. When `predicate` is non-kNone,
+  /// `labels` must be a store covering the accessor's nodes, and the query
+  /// returns the exact top-k among MATCHING nodes only. Non-matching
+  /// visited nodes are transit-only: they stay in the local subgraph and
+  /// the bound sweeps (conducting probability mass exactly as before), but
+  /// they never enter the candidate set and the certified-termination test
+  /// re-derives over matching nodes — see DESIGN.md "Filtered top-k" for
+  /// the soundness argument. When the predicate can match fewer than k
+  /// nodes, all reachable matching nodes are returned (certified). The
+  /// store is not owned and must outlive the call.
+  const LabelStore* labels = nullptr;
+  LabelPredicate predicate;
   /// Absolute wall-clock deadline for the search (anytime termination, the
   /// serving layer's graceful-degradation hook). When the deadline passes
   /// mid-search, the engine stops expanding — including between inner

@@ -58,6 +58,19 @@ Result<FlosResult> FlosEngine::TopKSet(const std::vector<NodeId>& queries,
       return Status::OutOfRange("query node out of range");
     }
   }
+  const bool filtered = !options.predicate.empty();
+  if (filtered) {
+    if (options.labels == nullptr) {
+      return Status::InvalidArgument(
+          "filtered query (non-none predicate) needs FlosOptions::labels");
+    }
+    if (options.labels->NumNodes() != accessor_->NumNodes()) {
+      return Status::InvalidArgument(
+          "label store covers " + std::to_string(options.labels->NumNodes()) +
+          " nodes but the accessor has " +
+          std::to_string(accessor_->NumNodes()));
+    }
+  }
 
   // A certified answer is exact, so an unchanged-epoch repeat query needs
   // no search at all. Multi-source queries bypass the cache (the key would
@@ -65,11 +78,32 @@ Result<FlosResult> FlosEngine::TopKSet(const std::vector<NodeId>& queries,
   QueryCache::Key cache_key;
   const bool cacheable = query_cache_ != nullptr && queries.size() == 1;
   if (cacheable) {
-    cache_key = {queries[0],          options.measure, k,
-                 options.c,           options.tht_length,
-                 accessor_->Epoch()};
+    cache_key = {queries[0],          options.measure,
+                 k,                   options.c,
+                 options.tht_length,  accessor_->Epoch(),
+                 options.predicate.Fingerprint()};
     FlosResult cached;
     if (query_cache_->Lookup(cache_key, &cached)) return cached;
+  }
+
+  // Filtered early exit: the per-label counts bound how many nodes can
+  // match graph-wide. Zero means the empty top-k is already certified
+  // (nothing to search); fewer than k means k itself is unreachable, so
+  // the termination test targets the clamped k_eff instead — otherwise a
+  // selective predicate could never certify and every query would expand
+  // the whole component.
+  int k_eff = k;
+  if (filtered) {
+    const uint64_t max_matches =
+        options.predicate.MaxMatches(*options.labels);
+    if (max_matches == 0) {
+      FlosResult empty;
+      empty.stats.exact = true;
+      if (cacheable) query_cache_->Insert(cache_key, empty);
+      return empty;
+    }
+    k_eff = static_cast<int>(
+        std::min<uint64_t>(static_cast<uint64_t>(k), max_matches));
   }
 
   const BoundTraits traits =
@@ -136,6 +170,23 @@ Result<FlosResult> FlosEngine::TopKSet(const std::vector<NodeId>& queries,
   }
   degree_cursor_ = 0;
 
+  // Filtered queries: per-local match flags, filled incrementally (local
+  // ids are append-only within a query, and a restored snapshot's nodes
+  // are flagged on the first refresh). One predicate evaluation per
+  // visited node per query, outside every inner loop.
+  match_.clear();
+  const auto refresh_matches = [&]() {
+    if (!filtered) return;
+    for (LocalId i = static_cast<LocalId>(match_.size());
+         i < local_.Size(); ++i) {
+      match_.push_back(options.predicate.Matches(
+                           options.labels->Labels(local_.GlobalId(i)))
+                           ? 1
+                           : 0);
+    }
+  };
+  const auto is_match = [&](LocalId i) { return !filtered || match_[i] != 0; };
+
   // Anytime deadline (the serving layer's graceful-degradation hook). The
   // check is threaded through every long-running stretch: the expansion
   // loop, the inner solves (via the bound-engine options above), and the
@@ -182,24 +233,32 @@ Result<FlosResult> FlosEngine::TopKSet(const std::vector<NodeId>& queries,
   policy_context.minimize = minimize;
 
   // Termination check (Algorithm 6 + the RWR extension). Fills `selected_`
-  // with the current top-k interior candidates either way.
+  // with the current top-k interior candidates either way. Filtered
+  // queries rank MATCHING interior nodes only; non-matching visited nodes
+  // are transit-only (they conduct mass through the sweeps but never
+  // compete), and the boundary keeps competing regardless of match status
+  // because its optimistic values are the certified proxy for everything
+  // unvisited — including unvisited matching nodes (DESIGN.md, "Filtered
+  // top-k").
   const auto check_termination = [&]() -> bool {
+    refresh_matches();
     interior_.clear();
     for (LocalId i = 0; i < local_.Size(); ++i) {
       if (local_.IsQueryLocal(i) || local_.IsBoundary(i)) continue;
+      if (!is_match(i)) continue;
       interior_.push_back(
           {i, rank_of(i, bounds_.lower(i)), rank_of(i, bounds_.upper(i))});
     }
-    if (interior_.size() < static_cast<size_t>(k)) return false;
+    if (interior_.size() < static_cast<size_t>(k_eff)) return false;
     // For maximize modes, pick k largest guaranteed (lower) rank values;
     // for minimize (THT), pick k smallest guaranteed (upper) values.
     const auto better = [&](const Candidate& a, const Candidate& b) {
       return minimize ? a.rank_upper < b.rank_upper
                       : a.rank_lower > b.rank_lower;
     };
-    std::nth_element(interior_.begin(), interior_.begin() + (k - 1),
+    std::nth_element(interior_.begin(), interior_.begin() + (k_eff - 1),
                      interior_.end(), better);
-    selected_.assign(interior_.begin(), interior_.begin() + k);
+    selected_.assign(interior_.begin(), interior_.begin() + k_eff);
     // Threshold: worst guaranteed value inside K.
     double threshold = minimize ? -1e300 : 1e300;
     for (const Candidate& c : selected_) {
@@ -208,9 +267,10 @@ Result<FlosResult> FlosEngine::TopKSet(const std::vector<NodeId>& queries,
     }
     policy_context.has_threshold = true;
     policy_context.threshold = threshold;
-    // Opponents: every other visited node's optimistic value.
+    // Opponents: every other candidate's optimistic value, plus the whole
+    // boundary's (filtered or not — see the lambda comment above).
     double best_other = minimize ? 1e300 : -1e300;
-    for (size_t i = k; i < interior_.size(); ++i) {
+    for (size_t i = static_cast<size_t>(k_eff); i < interior_.size(); ++i) {
       best_other = minimize ? std::min(best_other, interior_[i].rank_lower)
                             : std::max(best_other, interior_[i].rank_upper);
     }
@@ -278,6 +338,9 @@ Result<FlosResult> FlosEngine::TopKSet(const std::vector<NodeId>& queries,
       };
       for (LocalId i = 0; i < local_.Size(); ++i) {
         if (local_.IsQueryLocal(i) || is_selected(i)) continue;
+        // Non-matching interior nodes are transit-only: not candidates,
+        // and (unlike the boundary) not proxies for anything unvisited.
+        if (!local_.IsBoundary(i) && !is_match(i)) continue;
         const double opt = minimize ? rank_of(i, bounds_.lower(i))
                                     : rank_of(i, bounds_.upper(i));
         if (minimize) {
@@ -417,11 +480,12 @@ Result<FlosResult> FlosEngine::TopKSet(const std::vector<NodeId>& queries,
   // Assemble the k results. If termination selected candidates, use them;
   // otherwise (exhausted or cutoff) rank all visited non-query nodes.
   pool_.clear();
+  refresh_matches();  // deadline/cutoff exits may skip the last check
   if (certified && !stats.exhausted_component && !selected_.empty()) {
     pool_ = selected_;
   } else {
     for (LocalId i = 0; i < local_.Size(); ++i) {
-      if (local_.IsQueryLocal(i)) continue;
+      if (local_.IsQueryLocal(i) || !is_match(i)) continue;
       pool_.push_back(
           {i, rank_of(i, bounds_.lower(i)), rank_of(i, bounds_.upper(i))});
     }

@@ -110,6 +110,10 @@ class FlosEngine {
   std::vector<Candidate> selected_;
   std::vector<Candidate> pool_;
   std::vector<std::pair<double, LocalId>> frontier_;
+  /// Filtered queries: match_[local] == 1 iff the node satisfies the
+  /// request predicate. Filled incrementally (local ids are append-only
+  /// within a query); empty and unused for unfiltered queries.
+  std::vector<uint8_t> match_;
 };
 
 }  // namespace flos

@@ -1,0 +1,206 @@
+#include "core/predicate.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace flos {
+
+const char* PredicateTypeName(PredicateType type) {
+  switch (type) {
+    case PredicateType::kNone:
+      return "none";
+    case PredicateType::kEquality:
+      return "equality";
+    case PredicateType::kContainment:
+      return "containment";
+    case PredicateType::kOverlap:
+      return "overlap";
+  }
+  return "unknown";
+}
+
+Result<LabelPredicate> LabelPredicate::Make(PredicateType type,
+                                            std::vector<LabelId> labels) {
+  std::sort(labels.begin(), labels.end());
+  labels.erase(std::unique(labels.begin(), labels.end()), labels.end());
+  if (type == PredicateType::kNone) {
+    if (!labels.empty()) {
+      return Status::InvalidArgument(
+          "predicate type none cannot carry labels");
+    }
+  } else if (labels.empty()) {
+    return Status::InvalidArgument("predicate needs at least one label");
+  }
+  for (const LabelId l : labels) {
+    if (l == kInvalidLabel) {
+      return Status::InvalidArgument("invalid label id in predicate");
+    }
+  }
+  LabelPredicate p;
+  p.type_ = type;
+  p.labels_ = std::move(labels);
+  return p;
+}
+
+bool LabelPredicate::Matches(std::span<const LabelId> node_labels) const {
+  switch (type_) {
+    case PredicateType::kNone:
+      return true;
+    case PredicateType::kEquality:
+      return node_labels.size() == labels_.size() &&
+             std::equal(node_labels.begin(), node_labels.end(),
+                        labels_.begin());
+    case PredicateType::kContainment:
+      // Every predicate label must appear in the node's (sorted) set.
+      return std::includes(node_labels.begin(), node_labels.end(),
+                           labels_.begin(), labels_.end());
+    case PredicateType::kOverlap: {
+      size_t i = 0;
+      size_t j = 0;
+      while (i < node_labels.size() && j < labels_.size()) {
+        if (node_labels[i] == labels_[j]) return true;
+        if (node_labels[i] < labels_[j]) {
+          ++i;
+        } else {
+          ++j;
+        }
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+uint64_t LabelPredicate::MaxMatches(const LabelStore& store) const {
+  const auto count = [&](LabelId l) -> uint64_t {
+    return l < store.NumLabels() ? store.LabelNodeCount(l) : 0;
+  };
+  switch (type_) {
+    case PredicateType::kNone:
+      return store.NumNodes();
+    case PredicateType::kEquality:
+    case PredicateType::kContainment: {
+      // A match carries EVERY predicate label, so no label's node count
+      // can be exceeded.
+      uint64_t bound = store.NumNodes();
+      for (const LabelId l : labels_) bound = std::min(bound, count(l));
+      return bound;
+    }
+    case PredicateType::kOverlap: {
+      // A match carries SOME predicate label; the union is at most the sum.
+      uint64_t bound = 0;
+      for (const LabelId l : labels_) bound += count(l);
+      return std::min<uint64_t>(bound, store.NumNodes());
+    }
+  }
+  return store.NumNodes();
+}
+
+uint64_t LabelPredicate::Fingerprint() const {
+  if (type_ == PredicateType::kNone) return 0;
+  // FNV-1a over the type byte then each label id's 4 bytes.
+  uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](uint8_t byte) {
+    h ^= byte;
+    h *= 0x100000001b3ULL;
+  };
+  mix(static_cast<uint8_t>(type_));
+  for (const LabelId l : labels_) {
+    mix(static_cast<uint8_t>(l));
+    mix(static_cast<uint8_t>(l >> 8));
+    mix(static_cast<uint8_t>(l >> 16));
+    mix(static_cast<uint8_t>(l >> 24));
+  }
+  // 0 is reserved for "no predicate"; remap the (astronomically unlikely)
+  // natural 0 so the reservation is airtight.
+  return h == 0 ? 1 : h;
+}
+
+std::string LabelPredicate::ToString() const {
+  if (type_ == PredicateType::kNone) return "none";
+  std::string out;
+  switch (type_) {
+    case PredicateType::kEquality:
+      out = "eq:";
+      break;
+    case PredicateType::kContainment:
+      out = "contain:";
+      break;
+    case PredicateType::kOverlap:
+      out = "overlap:";
+      break;
+    case PredicateType::kNone:
+      break;  // unreachable
+  }
+  for (size_t i = 0; i < labels_.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(labels_[i]);
+  }
+  return out;
+}
+
+Result<LabelPredicate> ParsePredicate(std::string_view text,
+                                      const LabelTable* table) {
+  if (text == "none" || text.empty()) return LabelPredicate();
+  const size_t colon = text.find(':');
+  if (colon == std::string_view::npos) {
+    return Status::InvalidArgument(
+        "predicate must be 'none' or '<type>:<label>[,<label>...]', got '" +
+        std::string(text) + "'");
+  }
+  const std::string_view type_name = text.substr(0, colon);
+  PredicateType type;
+  if (type_name == "eq" || type_name == "equality") {
+    type = PredicateType::kEquality;
+  } else if (type_name == "contain" || type_name == "containment") {
+    type = PredicateType::kContainment;
+  } else if (type_name == "overlap" || type_name == "any") {
+    type = PredicateType::kOverlap;
+  } else {
+    return Status::InvalidArgument("unknown predicate type '" +
+                                   std::string(type_name) + "'");
+  }
+  std::vector<LabelId> labels;
+  std::string_view rest = text.substr(colon + 1);
+  while (!rest.empty()) {
+    const size_t comma = rest.find(',');
+    const std::string_view token = rest.substr(0, comma);
+    if (comma == std::string_view::npos) {
+      rest = {};
+    } else {
+      rest.remove_prefix(comma + 1);
+    }
+    if (token.empty()) {
+      return Status::InvalidArgument("empty label in predicate '" +
+                                     std::string(text) + "'");
+    }
+    const std::string token_str(token);
+    char* end = nullptr;
+    const unsigned long long id = std::strtoull(token_str.c_str(), &end, 10);
+    if (end != nullptr && *end == '\0' && end != token_str.c_str()) {
+      if (id >= kInvalidLabel) {
+        return Status::OutOfRange("label id exceeds 32-bit range: " +
+                                  token_str);
+      }
+      labels.push_back(static_cast<LabelId>(id));
+      continue;
+    }
+    if (table == nullptr) {
+      return Status::InvalidArgument(
+          "non-numeric label '" + token_str +
+          "' needs a label table to resolve names");
+    }
+    const LabelId named = table->Find(token_str);
+    if (named == kInvalidLabel) {
+      return Status::NotFound("unknown label name '" + token_str + "'");
+    }
+    labels.push_back(named);
+  }
+  if (labels.empty()) {
+    return Status::InvalidArgument("predicate '" + std::string(text) +
+                                   "' has no labels");
+  }
+  return LabelPredicate::Make(type, std::move(labels));
+}
+
+}  // namespace flos

@@ -1,0 +1,100 @@
+// Label predicates for filtered top-k queries.
+//
+// A filtered query asks for the top-k nodes MATCHING a predicate over the
+// per-node label sets (graph/labels.h). The three predicate types mirror
+// UNG's filtered-ANN semantics, with f_v the candidate node's label set
+// and f_q the predicate's label set:
+//
+//   Equality     f_v == f_q          (exactly these labels)
+//   Containment  f_q is a subset of f_v   (all of these labels)
+//   Overlap      f_q intersects f_v  (any of these labels)
+//
+// `Matches` is the per-node fast path the engine calls inside its
+// termination check: one linear merge over two short sorted arrays, no
+// allocation. `Fingerprint` condenses (type, labels) into 64 bits for the
+// query-cache key — two requests with different predicates must never
+// share a cached answer (see core/query_cache.h and DESIGN.md).
+
+#ifndef FLOS_CORE_PREDICATE_H_
+#define FLOS_CORE_PREDICATE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/labels.h"
+#include "util/status.h"
+
+namespace flos {
+
+/// Wire-stable predicate discriminant (serialized as one byte in the
+/// binary protocol's QUERY frame — values must never be renumbered).
+enum class PredicateType : uint8_t {
+  kNone = 0,         ///< unfiltered query (matches everything)
+  kEquality = 1,     ///< f_v == f_q
+  kContainment = 2,  ///< f_q subset of f_v
+  kOverlap = 3,      ///< f_q intersects f_v
+};
+
+/// Returns a stable lowercase name ("none", "equality", ...).
+const char* PredicateTypeName(PredicateType type);
+
+/// A label predicate: a type plus a sorted, deduplicated label-id set.
+/// Default-constructed (kNone) matches every node and is what unfiltered
+/// code paths carry — `empty()` is the "no filtering requested" test.
+class LabelPredicate {
+ public:
+  LabelPredicate() = default;
+
+  /// Builds a predicate; `labels` is sorted + deduplicated internally.
+  /// A non-kNone type requires at least one label (InvalidArgument
+  /// otherwise); kNone requires none.
+  static Result<LabelPredicate> Make(PredicateType type,
+                                     std::vector<LabelId> labels);
+
+  PredicateType type() const { return type_; }
+  std::span<const LabelId> labels() const { return labels_; }
+  bool empty() const { return type_ == PredicateType::kNone; }
+
+  /// True iff a node carrying `node_labels` (sorted ascending, the
+  /// LabelStore::Labels contract) satisfies the predicate. kNone matches
+  /// everything, including label-less nodes.
+  bool Matches(std::span<const LabelId> node_labels) const;
+
+  /// Upper bound on how many nodes of `store` can match: min (eq /
+  /// containment) or sum (overlap) of the per-label node counts. Exact
+  /// only for single-label predicates; always an upper bound, which is
+  /// what the engine's k clamp and certified-empty early exit need.
+  /// Labels outside the store's universe contribute 0.
+  uint64_t MaxMatches(const LabelStore& store) const;
+
+  /// 64-bit digest of (type, labels) for cache keying. kNone digests to 0;
+  /// distinct predicates collide with probability ~2^-64 (FNV-1a over the
+  /// type byte and the sorted id array).
+  uint64_t Fingerprint() const;
+
+  /// Renders "none" or "<type>:<id>,<id>,..." (numeric ids). ParsePredicate
+  /// accepts the output.
+  std::string ToString() const;
+
+  friend bool operator==(const LabelPredicate&,
+                         const LabelPredicate&) = default;
+
+ private:
+  PredicateType type_ = PredicateType::kNone;
+  std::vector<LabelId> labels_;  ///< sorted ascending, deduplicated
+};
+
+/// Parses "none", or "<type>:<label>[,<label>...]" where <type> is one of
+/// eq | equality | contain | containment | overlap | any, and each <label>
+/// is a numeric label id — or, when `table` is non-null, a label name
+/// looked up in it (unknown names fail with NotFound). Used by the CLI
+/// flags and the bench harness.
+Result<LabelPredicate> ParsePredicate(std::string_view text,
+                                      const LabelTable* table = nullptr);
+
+}  // namespace flos
+
+#endif  // FLOS_CORE_PREDICATE_H_

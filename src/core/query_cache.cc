@@ -21,6 +21,7 @@ size_t QueryCache::KeyHash::operator()(const Key& key) const {
   mix(std::bit_cast<uint64_t>(key.c));
   mix(static_cast<uint64_t>(key.tht_length));
   mix(key.epoch);
+  mix(key.predicate_fp);
   return static_cast<size_t>(h);
 }
 

@@ -61,6 +61,12 @@ class QueryCache {
     double c = 0;
     int tht_length = 0;
     uint64_t epoch = 0;
+    /// LabelPredicate::Fingerprint() of the request's predicate (0 for
+    /// unfiltered queries). A filtered answer is exact only relative to
+    /// its predicate, so two requests with different predicates must
+    /// never share an entry; the subgraph cache, by contrast, stays
+    /// predicate-independent by design (see DESIGN.md "Filtered top-k").
+    uint64_t predicate_fp = 0;
 
     friend bool operator==(const Key&, const Key&) = default;
   };

@@ -1,0 +1,178 @@
+// Per-node label store for filtered (label-constrained) top-k queries.
+//
+// Production graph workloads rarely ask for the unconstrained top-k: a
+// request carries a predicate over node attributes ("top-k products in
+// category X", "top-k authors with both tags"). This module provides the
+// attribute side of that workload as a first-class structure, modeled on
+// UNG's filtered-ANN label model: every node carries a small sorted set of
+// label ids, label names are interned once in a `LabelTable`, and the
+// per-node sets live in one CSR-style arena (offsets + flat id array) so a
+// store over millions of nodes is two contiguous allocations.
+//
+// The store is immutable after Build and is shared read-only by every
+// engine session of a server — the same lifetime contract as `Graph`. Per-
+// label node counts are precomputed at build time; the engine uses them to
+// cap k (and to certify an EMPTY filtered answer without any search) when
+// a predicate can match fewer than k nodes graph-wide.
+//
+// Generators mirror UNG's synthetic label assignments (Zipf, multinomial,
+// uniform), drawing from the deterministic `flos::Rng` so benchmarks are
+// reproducible given a seed.
+
+#ifndef FLOS_GRAPH_LABELS_H_
+#define FLOS_GRAPH_LABELS_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace flos {
+
+/// Dense label identifier in [0, NumLabels()).
+using LabelId = uint32_t;
+
+/// Sentinel for "no label".
+inline constexpr LabelId kInvalidLabel = static_cast<LabelId>(-1);
+
+/// Interned label-name table: bidirectional name <-> dense LabelId map.
+/// Ids are assigned in interning order, so two tables built from the same
+/// name sequence are identical (the generators rely on this).
+class LabelTable {
+ public:
+  LabelTable() = default;
+
+  /// Returns the id of `name`, interning it first if new.
+  LabelId Intern(std::string_view name);
+
+  /// Returns the id of `name`, or kInvalidLabel when it was never interned.
+  LabelId Find(std::string_view name) const;
+
+  /// Name of an interned id. `id` must be < size().
+  const std::string& Name(LabelId id) const { return names_[id]; }
+
+  uint32_t size() const { return static_cast<uint32_t>(names_.size()); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, LabelId> ids_;
+};
+
+/// Immutable per-node label sets in CSR form; build with LabelStore::Builder,
+/// a generator, or ReadLabelFile.
+class LabelStore {
+ public:
+  /// Constructs an empty store (0 nodes, 0 labels).
+  LabelStore() = default;
+
+  LabelStore(LabelStore&&) = default;
+  LabelStore& operator=(LabelStore&&) = default;
+  LabelStore(const LabelStore&) = default;
+  LabelStore& operator=(const LabelStore&) = default;
+
+  uint64_t NumNodes() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+
+  /// Size of the label universe (== table().size()).
+  uint32_t NumLabels() const { return table_.size(); }
+
+  /// Labels of `node`, sorted ascending, deduplicated.
+  std::span<const LabelId> Labels(NodeId node) const {
+    return {ids_.data() + offsets_[node], offsets_[node + 1] - offsets_[node]};
+  }
+
+  /// Number of nodes carrying `label` (graph-wide). Used by the engine to
+  /// bound how many nodes a predicate can possibly match.
+  uint64_t LabelNodeCount(LabelId label) const { return counts_[label]; }
+
+  /// Total label assignments (sum of per-node set sizes).
+  uint64_t NumAssignments() const { return ids_.size(); }
+
+  const LabelTable& table() const { return table_; }
+
+  /// Shard-local projection: result node i carries the labels of global
+  /// node local_to_global[i]. The label table (and thus every LabelId) is
+  /// preserved verbatim, so predicates built against the full graph
+  /// evaluate unchanged on any shard; per-label counts are recomputed over
+  /// the projected nodes only. Every id in `local_to_global` must be
+  /// < NumNodes().
+  LabelStore Project(std::span<const NodeId> local_to_global) const;
+
+  /// Accumulates per-node label sets, then freezes them into a store.
+  class Builder {
+   public:
+    /// The store will cover exactly `num_nodes` nodes (possibly label-less).
+    explicit Builder(uint64_t num_nodes) : per_node_(num_nodes) {}
+
+    LabelTable& table() { return table_; }
+
+    /// Attaches label `label` (an id from table()) to `node`. Duplicate
+    /// additions are fine (deduplicated at Build).
+    void Add(NodeId node, LabelId label);
+
+    /// Sorts + dedups every node's set, computes per-label counts, and
+    /// returns the frozen store. The builder is consumed.
+    LabelStore Build() &&;
+
+   private:
+    LabelTable table_;
+    std::vector<std::vector<LabelId>> per_node_;
+  };
+
+ private:
+  friend class Builder;
+
+  LabelTable table_;
+  /// CSR: labels of node i are ids_[offsets_[i] .. offsets_[i+1]).
+  std::vector<uint64_t> offsets_;
+  std::vector<LabelId> ids_;
+  /// counts_[l] = number of nodes whose set contains label l.
+  std::vector<uint64_t> counts_;
+};
+
+/// Options for the synthetic label generators. All three assign exactly
+/// `labels_per_node` DISTINCT labels to every node, drawn from a universe
+/// of `num_labels` names "L0".."L<n-1>" (interned in that order, so label
+/// id == universe index); they differ in the draw distribution:
+///
+///   Uniform      every label equally likely (UNG's uniform assignment)
+///   Zipf         P(label i) proportional to 1/(i+1)^zipf_exponent — a few
+///                head labels cover most nodes, the realistic case
+///   Multinomial  P(label i) proportional to caller-supplied weights[i]
+struct LabelGenOptions {
+  uint64_t num_nodes = 0;
+  uint32_t num_labels = 0;
+  /// Distinct labels per node; must be in [1, num_labels].
+  uint32_t labels_per_node = 1;
+  /// Skew of the Zipf generator (> 0). 1.0 is the classical harmonic case.
+  double zipf_exponent = 1.0;
+  uint64_t seed = 1;
+};
+
+Result<LabelStore> GenerateUniformLabels(const LabelGenOptions& options);
+Result<LabelStore> GenerateZipfLabels(const LabelGenOptions& options);
+/// `weights` must have options.num_labels entries, all finite and >= 0 with
+/// a positive sum; they are normalized internally.
+Result<LabelStore> GenerateMultinomialLabels(const LabelGenOptions& options,
+                                             std::span<const double> weights);
+
+/// Plain-text label file: line i holds the comma-separated label names of
+/// node i (an empty line means no labels); '#' lines are comments and do
+/// not count as nodes. Parsing is strict — a malformed row fails with a
+/// `<path>:<line>: ...` Status. When `num_nodes` >= 0 the file must
+/// contain exactly that many node lines (the graph's node count).
+Result<LabelStore> ReadLabelFile(const std::string& path,
+                                 int64_t num_nodes = -1);
+
+/// Writes `store` in the ReadLabelFile format (round-trips exactly).
+Status WriteLabelFile(const LabelStore& store, const std::string& path);
+
+}  // namespace flos
+
+#endif  // FLOS_GRAPH_LABELS_H_

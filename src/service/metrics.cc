@@ -126,6 +126,9 @@ ServiceMetrics::ServiceMetrics() {
   registry.RegisterCounter("queries_certified", &queries_certified);
   registry.RegisterCounter("queries_uncertified", &queries_uncertified);
   registry.RegisterCounter("queries_halo_truncated", &queries_halo_truncated);
+  registry.RegisterCounter("filtered_queries", &filtered_queries);
+  registry.RegisterCounter("filtered_certified", &filtered_certified);
+  registry.RegisterCounter("filtered_uncertified", &filtered_uncertified);
   registry.RegisterCounter("cache_hits", &cache_hits);
   registry.RegisterCounter("cache_misses", &cache_misses);
   registry.RegisterCounter("subgraph_hits", &subgraph_hits);
@@ -137,6 +140,9 @@ ServiceMetrics::ServiceMetrics() {
   registry.RegisterHistogram("queue_wait_us", &queue_wait_us);
   registry.RegisterHistogram("serve_us", &serve_us);
   registry.RegisterHistogram("total_us", &total_us);
+  registry.RegisterHistogram("filtered_eq_us", &filtered_eq_us);
+  registry.RegisterHistogram("filtered_contain_us", &filtered_contain_us);
+  registry.RegisterHistogram("filtered_overlap_us", &filtered_overlap_us);
 }
 
 }  // namespace flos

@@ -113,9 +113,17 @@ struct ServiceMetrics {
   Counter requests_malformed;
   Counter queries_ok;
   Counter queries_error;
-  Counter queries_certified;
-  Counter queries_uncertified;
+  Counter queries_certified;    ///< unfiltered ok queries whose proof finished
+  Counter queries_uncertified;  ///< unfiltered ok queries, proof cut short
   Counter queries_halo_truncated;  ///< stopped at a shard's halo boundary
+  /// Filtered (label-constrained) traffic is accounted separately so the
+  /// headline certified_ratio keeps describing the unfiltered workload:
+  /// a selective predicate changes the certification economics (the search
+  /// must find k MATCHING nodes), and mixing the two would make the ratio
+  /// swing with traffic mix rather than serving health.
+  Counter filtered_queries;      ///< ok queries carrying a predicate
+  Counter filtered_certified;
+  Counter filtered_uncertified;
   Counter cache_hits;               ///< answered from the certified cache
   Counter cache_misses;             ///< ran the search (cache enabled)
   Counter subgraph_hits;    ///< searches resumed from a warm subgraph
@@ -127,6 +135,11 @@ struct ServiceMetrics {
   LatencyHistogram queue_wait_us;   ///< dequeue time - accept time
   LatencyHistogram serve_us;        ///< engine time inside the worker
   LatencyHistogram total_us;        ///< accept time -> response enqueued
+  /// Per-predicate-type serve latency (filtered queries also record into
+  /// serve_us; these break the same samples down by predicate type).
+  LatencyHistogram filtered_eq_us;
+  LatencyHistogram filtered_contain_us;
+  LatencyHistogram filtered_overlap_us;
 
   MetricsRegistry registry;
 };

@@ -13,9 +13,6 @@ namespace {
 void PutU8(std::string* out, uint8_t v) {
   out->push_back(static_cast<char>(v));
 }
-void PutU16(std::string* out, uint16_t v) {
-  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
-}
 void PutU32(std::string* out, uint32_t v) {
   out->append(reinterpret_cast<const char*>(&v), sizeof(v));
 }
@@ -78,13 +75,19 @@ void EncodeQueryRequest(const QueryRequest& request, std::string* out) {
   const size_t start = BeginFrame(out);
   PutU8(out, static_cast<uint8_t>(MessageType::kQuery));
   PutU8(out, static_cast<uint8_t>(request.measure));
-  PutU16(out, 0);  // reserved
+  PutU8(out, kProtocolVersion);
+  PutU8(out, static_cast<uint8_t>(request.predicate.type()));
   PutU32(out, request.k);
   PutU32(out, request.flags);
   PutU32(out, request.tht_length);
   PutU64(out, request.query_node);
   PutU64(out, request.deadline_us);
   PutF64(out, request.c);
+  if (!request.predicate.empty()) {
+    const auto labels = request.predicate.labels();
+    PutU32(out, static_cast<uint32_t>(labels.size()));
+    for (const LabelId l : labels) PutU32(out, l);
+  }
   AppendFrameHeader(out, start);
 }
 
@@ -143,21 +146,62 @@ Result<QueryRequest> DecodeQueryRequest(const std::string& payload) {
   Reader r(payload);
   uint8_t type = 0;
   uint8_t measure = 0;
-  uint16_t reserved = 0;
+  uint8_t version = 0;
+  uint8_t predicate_type = 0;
   QueryRequest req;
   uint64_t node = 0;
-  if (!r.ReadU8(&type) || !r.ReadU8(&measure) || !r.ReadU16(&reserved) ||
-      !r.ReadU32(&req.k) || !r.ReadU32(&req.flags) ||
-      !r.ReadU32(&req.tht_length) || !r.ReadU64(&node) ||
-      !r.ReadU64(&req.deadline_us) || !r.ReadF64(&req.c)) {
+  if (!r.ReadU8(&type) || !r.ReadU8(&measure) || !r.ReadU8(&version) ||
+      !r.ReadU8(&predicate_type) || !r.ReadU32(&req.k) ||
+      !r.ReadU32(&req.flags) || !r.ReadU32(&req.tht_length) ||
+      !r.ReadU64(&node) || !r.ReadU64(&req.deadline_us) ||
+      !r.ReadF64(&req.c)) {
     return Status::InvalidArgument("truncated QUERY payload");
   }
   if (type != static_cast<uint8_t>(MessageType::kQuery)) {
     return Status::InvalidArgument("payload is not a QUERY frame");
   }
+  // Version-skew guard: the v1 layout carried a zero u16 where version +
+  // predicate_type now live, so old frames land here (version 0) and are
+  // refused cleanly instead of misparsed.
+  if (version != kProtocolVersion) {
+    return Status::InvalidArgument(
+        "protocol version mismatch: frame speaks version " +
+        std::to_string(version) + ", this endpoint speaks version " +
+        std::to_string(kProtocolVersion));
+  }
   if (!ValidMeasure(measure)) {
     return Status::InvalidArgument("unknown measure id " +
                                    std::to_string(measure));
+  }
+  if (predicate_type > static_cast<uint8_t>(PredicateType::kOverlap)) {
+    return Status::InvalidArgument("unknown predicate type " +
+                                   std::to_string(predicate_type));
+  }
+  if (predicate_type != static_cast<uint8_t>(PredicateType::kNone)) {
+    uint32_t label_count = 0;
+    if (!r.ReadU32(&label_count)) {
+      return Status::InvalidArgument("truncated QUERY predicate");
+    }
+    if (label_count > kMaxPredicateLabels) {
+      return Status::InvalidArgument(
+          "predicate label count " + std::to_string(label_count) +
+          " exceeds the per-frame cap " +
+          std::to_string(kMaxPredicateLabels));
+    }
+    if (label_count > r.remaining() / sizeof(uint32_t)) {
+      return Status::InvalidArgument(
+          "predicate label count exceeds payload");
+    }
+    std::vector<LabelId> labels(label_count);
+    for (LabelId& l : labels) {
+      if (!r.ReadU32(&l)) {
+        return Status::InvalidArgument("truncated QUERY predicate labels");
+      }
+    }
+    FLOS_ASSIGN_OR_RETURN(
+        req.predicate,
+        LabelPredicate::Make(static_cast<PredicateType>(predicate_type),
+                             std::move(labels)));
   }
   if (r.remaining() != 0) {
     return Status::InvalidArgument("trailing bytes after QUERY payload");

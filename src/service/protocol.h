@@ -8,10 +8,22 @@
 // Request payload layouts (all integers little-endian, doubles IEEE-754
 // little-endian via bit pattern):
 //
-//   QUERY (type 1):
-//     u8 type  u8 measure  u16 reserved  u32 k  u32 flags  u32 tht_length
+//   QUERY (type 1, protocol version 2):
+//     u8 type  u8 measure  u8 version  u8 predicate_type
+//     u32 k  u32 flags  u32 tht_length
 //     u64 query_node  u64 deadline_us  f64 c
-//   STATS (type 2), SHUTDOWN (type 3): u8 type only.
+//     [ if predicate_type != 0:  u32 label_count  label_count * u32 ]
+//   STATS (type 2), SHUTDOWN (type 3): u8 type only (versionless: a
+//   single fixed byte cannot skew across versions).
+//
+// Versioning: byte 2 of a QUERY payload carries kProtocolVersion. The
+// pre-predicate layout (version 1) sent a zero `u16 reserved` there, so a
+// v1 frame decodes as version 0 and is rejected with a clean
+// "protocol version mismatch" error response instead of being misparsed;
+// likewise any future layout change bumps the byte and old servers reject
+// rather than misread. `predicate_type` is a PredicateType discriminant
+// (core/predicate.h); non-zero values append the sorted label-id set as a
+// trailing array, and servers answer the top-k among matching nodes only.
 //
 // Response payload (one layout for every request type):
 //     u8 type (echoes the request)  u8 status (StatusCode)  u8 certified
@@ -46,6 +58,7 @@
 #include <string>
 #include <vector>
 
+#include "core/predicate.h"
 #include "graph/graph.h"
 #include "measures/measure.h"
 #include "util/status.h"
@@ -59,6 +72,15 @@ enum class MessageType : uint8_t {
   kShutdown = 3,
 };
 
+/// Wire-format generation of the QUERY layout. Bumped on every layout
+/// change; decoders reject any other value (see the file comment).
+inline constexpr uint8_t kProtocolVersion = 2;
+
+/// Hard cap on predicate labels per QUERY frame — far above any sane
+/// predicate, low enough that a hostile length field cannot balloon the
+/// decode.
+inline constexpr uint32_t kMaxPredicateLabels = 1024;
+
 /// A top-k proximity query as it travels over the wire.
 struct QueryRequest {
   Measure measure = Measure::kPhp;
@@ -71,6 +93,10 @@ struct QueryRequest {
   uint32_t flags = 0;
   uint32_t tht_length = 10;
   double c = 0.5;
+  /// Optional label constraint; kNone (the default) asks for the classic
+  /// unfiltered top-k. Serialized as the predicate_type byte plus the
+  /// trailing label-id array.
+  LabelPredicate predicate;
 };
 
 /// One certified result row.

@@ -45,6 +45,35 @@ Status ServiceServer::Start() {
     subgraph_cache_ =
         std::make_unique<SubgraphCache>(options_.subgraph_cache_capacity);
   }
+  if (options_.labels != nullptr) {
+    if (options_.shard_meta != nullptr) {
+      // Project the global store onto this shard's replicated nodes once;
+      // label ids stay global, so predicates forwarded by the router
+      // evaluate unchanged here.
+      for (const NodeId global : options_.shard_meta->local_to_global) {
+        if (static_cast<uint64_t>(global) >= options_.labels->NumNodes()) {
+          return Status::InvalidArgument(
+              "label store covers " +
+              std::to_string(options_.labels->NumNodes()) +
+              " nodes but the shard map references global node " +
+              std::to_string(global));
+        }
+      }
+      shard_labels_ = options_.labels->Project(
+          std::span<const NodeId>(options_.shard_meta->local_to_global));
+      serving_labels_ = &shard_labels_;
+    } else {
+      if (options_.labels->NumNodes() !=
+          static_cast<uint64_t>(graph_->NumNodes())) {
+        return Status::InvalidArgument(
+            "label store covers " +
+            std::to_string(options_.labels->NumNodes()) +
+            " nodes but the served graph has " +
+            std::to_string(graph_->NumNodes()));
+      }
+      serving_labels_ = options_.labels;
+    }
+  }
   if (options_.shard_meta != nullptr) {
     const Graph* const graph = graph_;
     const ShardMeta* const meta = options_.shard_meta;
@@ -123,6 +152,10 @@ QueryResponse ServiceServer::HandleQuery(
     failure = Status::InvalidArgument("c must be in (0, 1)");
   } else if (decoded->tht_length < 1 || decoded->tht_length > 1000) {
     failure = Status::InvalidArgument("tht_length must be in [1, 1000]");
+  } else if (!decoded->predicate.empty() && serving_labels_ == nullptr) {
+    failure = Status::InvalidArgument(
+        "this server has no label store; filtered queries are not "
+        "supported");
   }
   if (!failure.ok()) {
     metrics_.queries_error.Increment();
@@ -144,12 +177,33 @@ QueryResponse ServiceServer::HandleQuery(
     opts.expandable_limit =
         static_cast<uint64_t>(options_.shard_meta->num_interior);
   }
+  const bool is_filtered = !decoded->predicate.empty();
+  if (is_filtered) {
+    opts.labels = serving_labels_;
+    opts.predicate = decoded->predicate;
+  }
 
   const auto serve_start = std::chrono::steady_clock::now();
   const Result<FlosResult> result = engine->TopK(
       decoded->query_node, static_cast<int>(decoded->k), opts);
   const auto serve_end = std::chrono::steady_clock::now();
-  metrics_.serve_us.Record(MicrosBetween(serve_start, serve_end));
+  const uint64_t serve_micros = MicrosBetween(serve_start, serve_end);
+  metrics_.serve_us.Record(serve_micros);
+  if (is_filtered) {
+    switch (decoded->predicate.type()) {
+      case PredicateType::kEquality:
+        metrics_.filtered_eq_us.Record(serve_micros);
+        break;
+      case PredicateType::kContainment:
+        metrics_.filtered_contain_us.Record(serve_micros);
+        break;
+      case PredicateType::kOverlap:
+        metrics_.filtered_overlap_us.Record(serve_micros);
+        break;
+      case PredicateType::kNone:
+        break;  // unreachable: is_filtered excludes kNone
+    }
+  }
 
   if (!result.ok()) {
     metrics_.queries_error.Increment();
@@ -195,7 +249,16 @@ QueryResponse ServiceServer::HandleQuery(
     if (resp.halo_truncated) {
       metrics_.queries_halo_truncated.Increment();
     }
-    if (resp.certified) {
+    // Filtered traffic keeps its own certified counters so the headline
+    // certified_ratio stays an unfiltered-workload signal (metrics.h).
+    if (is_filtered) {
+      metrics_.filtered_queries.Increment();
+      if (resp.certified) {
+        metrics_.filtered_certified.Increment();
+      } else {
+        metrics_.filtered_uncertified.Increment();
+      }
+    } else if (resp.certified) {
       metrics_.queries_certified.Increment();
     } else {
       metrics_.queries_uncertified.Increment();
@@ -229,6 +292,17 @@ QueryResponse ServiceServer::HandleStats(WorkerState* /*state*/) {
                 sub_total > 0 ? static_cast<double>(sub_hits) /
                                     static_cast<double>(sub_total)
                               : 0.0);
+  resp.message += ratio_line;
+  // Filtered traffic's own certification ratio (separate counters keep it
+  // out of certified_ratio above — see metrics.h).
+  const uint64_t f_certified = metrics_.filtered_certified.value();
+  const uint64_t f_total =
+      f_certified + metrics_.filtered_uncertified.value();
+  std::snprintf(ratio_line, sizeof(ratio_line),
+                "ratio filtered_certified_ratio %.4f\n",
+                f_total > 0 ? static_cast<double>(f_certified) /
+                                  static_cast<double>(f_total)
+                            : 0.0);
   resp.message += ratio_line;
   return resp;
 }

@@ -30,6 +30,7 @@
 #include "core/query_cache.h"
 #include "core/subgraph_cache.h"
 #include "graph/graph.h"
+#include "graph/labels.h"
 #include "graph/partition.h"
 #include "service/frame_service.h"
 #include "service/metrics.h"
@@ -81,6 +82,14 @@ struct ServerOptions {
   /// this metadata (must outlive the server). Query nodes are SHARD-LOCAL
   /// ids; the router translates global ids before forwarding.
   const ShardMeta* shard_meta = nullptr;
+  /// Non-null enables filtered (label-constrained) queries. Covers the
+  /// GLOBAL graph: in shard mode Start() projects it onto the shard's
+  /// replicated nodes through `shard_meta->local_to_global`, so predicates
+  /// evaluate shard-locally with their global label ids intact; without
+  /// shard_meta it must cover exactly `graph`'s nodes. Must outlive the
+  /// server. When null, QUERY frames carrying a predicate are rejected
+  /// with a clean invalid_argument response.
+  const LabelStore* labels = nullptr;
 };
 
 /// The query server. Start() spawns the threads; Shutdown() (or the
@@ -121,6 +130,13 @@ class ServiceServer final : private FrameHandler {
   const Graph* graph_;
   ServerOptions options_;
   ServiceMetrics metrics_;
+
+  /// Shard mode only: options_.labels projected onto this shard's local id
+  /// space (label ids stay global). Built once in Start().
+  LabelStore shard_labels_;
+  /// The store queries evaluate against: &shard_labels_ in shard mode,
+  /// options_.labels otherwise, nullptr when filtering is disabled.
+  const LabelStore* serving_labels_ = nullptr;
 
   std::unique_ptr<QueryCache> query_cache_;  // must outlive sessions_
   std::unique_ptr<SubgraphCache> subgraph_cache_;  // must outlive sessions_

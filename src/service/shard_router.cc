@@ -187,7 +187,17 @@ QueryResponse ShardRouter::HandleQuery(
     metrics_.queries_ok.Increment();
     if (resp.cache_hit) metrics_.cache_hits.Increment();
     if (resp.halo_truncated) metrics_.queries_halo_truncated.Increment();
-    if (resp.certified) {
+    // Mirror the server's split: filtered traffic has its own certified
+    // counters so the router's certified_ratio stays comparable to its
+    // backends' (see metrics.h).
+    if (!decoded->predicate.empty()) {
+      metrics_.filtered_queries.Increment();
+      if (resp.certified) {
+        metrics_.filtered_certified.Increment();
+      } else {
+        metrics_.filtered_uncertified.Increment();
+      }
+    } else if (resp.certified) {
       metrics_.queries_certified.Increment();
     } else {
       metrics_.queries_uncertified.Increment();

@@ -1,0 +1,196 @@
+// Coverage for label predicates: construction invariants, match semantics
+// of all three types, MaxMatches bounds, fingerprint distinctness (the
+// query-cache key ingredient), and text parsing.
+
+#include "core/predicate.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "graph/labels.h"
+#include "tests/test_util.h"
+
+namespace flos {
+namespace {
+
+using flos::testing::ValueOrDie;
+
+LabelPredicate MakeOrDie(PredicateType type, std::vector<LabelId> labels) {
+  return ValueOrDie(LabelPredicate::Make(type, std::move(labels)));
+}
+
+TEST(PredicateMakeTest, SortsAndDedups) {
+  const LabelPredicate p =
+      MakeOrDie(PredicateType::kOverlap, {5, 1, 5, 3, 1});
+  const auto labels = p.labels();
+  ASSERT_EQ(labels.size(), 3u);
+  EXPECT_EQ(labels[0], 1u);
+  EXPECT_EQ(labels[1], 3u);
+  EXPECT_EQ(labels[2], 5u);
+}
+
+TEST(PredicateMakeTest, EnforcesLabelArity) {
+  // A typed predicate without labels is meaningless.
+  EXPECT_FALSE(LabelPredicate::Make(PredicateType::kEquality, {}).ok());
+  EXPECT_FALSE(LabelPredicate::Make(PredicateType::kContainment, {}).ok());
+  EXPECT_FALSE(LabelPredicate::Make(PredicateType::kOverlap, {}).ok());
+  // kNone with labels is contradictory.
+  EXPECT_FALSE(LabelPredicate::Make(PredicateType::kNone, {1}).ok());
+  // The default predicate is the empty filter.
+  EXPECT_TRUE(LabelPredicate().empty());
+  EXPECT_TRUE(ValueOrDie(LabelPredicate::Make(PredicateType::kNone, {}))
+                  .empty());
+}
+
+TEST(PredicateMatchTest, EqualityIsExactSetEquality) {
+  const LabelPredicate p = MakeOrDie(PredicateType::kEquality, {1, 3});
+  EXPECT_TRUE(p.Matches(std::vector<LabelId>{1, 3}));
+  EXPECT_FALSE(p.Matches(std::vector<LabelId>{1}));
+  EXPECT_FALSE(p.Matches(std::vector<LabelId>{1, 3, 4}));
+  EXPECT_FALSE(p.Matches(std::vector<LabelId>{1, 4}));
+  EXPECT_FALSE(p.Matches(std::vector<LabelId>{}));
+}
+
+TEST(PredicateMatchTest, ContainmentIsSupersetOfQueryLabels) {
+  const LabelPredicate p = MakeOrDie(PredicateType::kContainment, {1, 3});
+  EXPECT_TRUE(p.Matches(std::vector<LabelId>{1, 3}));
+  EXPECT_TRUE(p.Matches(std::vector<LabelId>{0, 1, 3, 7}));
+  EXPECT_FALSE(p.Matches(std::vector<LabelId>{1}));
+  EXPECT_FALSE(p.Matches(std::vector<LabelId>{1, 4}));
+  EXPECT_FALSE(p.Matches(std::vector<LabelId>{}));
+}
+
+TEST(PredicateMatchTest, OverlapIsNonEmptyIntersection) {
+  const LabelPredicate p = MakeOrDie(PredicateType::kOverlap, {1, 3});
+  EXPECT_TRUE(p.Matches(std::vector<LabelId>{3}));
+  EXPECT_TRUE(p.Matches(std::vector<LabelId>{0, 1}));
+  EXPECT_TRUE(p.Matches(std::vector<LabelId>{1, 3}));
+  EXPECT_FALSE(p.Matches(std::vector<LabelId>{0, 2, 4}));
+  EXPECT_FALSE(p.Matches(std::vector<LabelId>{}));
+}
+
+TEST(PredicateMatchTest, EmptyPredicateMatchesEverything) {
+  const LabelPredicate p;
+  EXPECT_TRUE(p.Matches(std::vector<LabelId>{}));
+  EXPECT_TRUE(p.Matches(std::vector<LabelId>{0, 5}));
+}
+
+TEST(PredicateTest, MaxMatchesBoundsByStoreCounts) {
+  // 6 nodes: {0}, {0}, {0,1}, {1}, {1,2}, {}.
+  LabelStore::Builder builder(6);
+  builder.table().Intern("l0");
+  builder.table().Intern("l1");
+  builder.table().Intern("l2");
+  builder.Add(0, 0);
+  builder.Add(1, 0);
+  builder.Add(2, 0);
+  builder.Add(2, 1);
+  builder.Add(3, 1);
+  builder.Add(4, 1);
+  builder.Add(4, 2);
+  const LabelStore store = std::move(builder).Build();
+
+  // Empty predicate: everything can match.
+  EXPECT_EQ(LabelPredicate().MaxMatches(store), 6u);
+  // Equality / containment are bounded by the rarest required label.
+  EXPECT_LE(MakeOrDie(PredicateType::kEquality, {0, 1}).MaxMatches(store),
+            3u);
+  EXPECT_LE(
+      MakeOrDie(PredicateType::kContainment, {1, 2}).MaxMatches(store), 1u);
+  // Overlap is bounded by the sum of label counts.
+  EXPECT_LE(MakeOrDie(PredicateType::kOverlap, {0, 2}).MaxMatches(store),
+            4u);
+  // MaxMatches is an upper bound: never below the true match count.
+  const LabelPredicate overlap01 =
+      MakeOrDie(PredicateType::kOverlap, {0, 1});
+  uint64_t actual = 0;
+  for (NodeId v = 0; v < 6; ++v) {
+    if (overlap01.Matches(store.Labels(v))) ++actual;
+  }
+  EXPECT_GE(overlap01.MaxMatches(store), actual);
+  EXPECT_EQ(actual, 5u);
+  // A label no node carries bounds equality/containment to zero.
+  builder = LabelStore::Builder(2);
+  builder.table().Intern("used");
+  builder.table().Intern("unused");
+  builder.Add(0, 0);
+  builder.Add(1, 0);
+  const LabelStore sparse = std::move(builder).Build();
+  EXPECT_EQ(MakeOrDie(PredicateType::kContainment, {1}).MaxMatches(sparse),
+            0u);
+}
+
+TEST(PredicateTest, FingerprintSeparatesTypeAndLabels) {
+  const std::vector<LabelPredicate> distinct = {
+      MakeOrDie(PredicateType::kEquality, {1}),
+      MakeOrDie(PredicateType::kContainment, {1}),
+      MakeOrDie(PredicateType::kOverlap, {1}),
+      MakeOrDie(PredicateType::kOverlap, {2}),
+      MakeOrDie(PredicateType::kOverlap, {1, 2}),
+      MakeOrDie(PredicateType::kEquality, {1, 2}),
+  };
+  std::set<uint64_t> fingerprints;
+  for (const LabelPredicate& p : distinct) {
+    EXPECT_NE(p.Fingerprint(), 0u)
+        << p.ToString() << ": 0 is reserved for the empty predicate";
+    fingerprints.insert(p.Fingerprint());
+  }
+  EXPECT_EQ(fingerprints.size(), distinct.size())
+      << "distinct predicates must not collide in the cache key";
+  // The empty predicate fingerprints to exactly 0 (unfiltered cache key).
+  EXPECT_EQ(LabelPredicate().Fingerprint(), 0u);
+  // Same predicate -> same fingerprint, and label input order is
+  // irrelevant (Make canonicalizes).
+  EXPECT_EQ(MakeOrDie(PredicateType::kOverlap, {2, 1}).Fingerprint(),
+            MakeOrDie(PredicateType::kOverlap, {1, 2}).Fingerprint());
+}
+
+TEST(PredicateTest, EqualityOperatorComparesCanonicalForm) {
+  EXPECT_EQ(MakeOrDie(PredicateType::kOverlap, {2, 1}),
+            MakeOrDie(PredicateType::kOverlap, {1, 2, 2}));
+  EXPECT_FALSE(MakeOrDie(PredicateType::kOverlap, {1}) ==
+               MakeOrDie(PredicateType::kContainment, {1}));
+}
+
+TEST(ParsePredicateTest, ParsesNumericIds) {
+  EXPECT_TRUE(ValueOrDie(ParsePredicate("none", nullptr)).empty());
+  EXPECT_TRUE(ValueOrDie(ParsePredicate("", nullptr)).empty());
+  const LabelPredicate eq = ValueOrDie(ParsePredicate("eq:3,1", nullptr));
+  EXPECT_EQ(eq.type(), PredicateType::kEquality);
+  ASSERT_EQ(eq.labels().size(), 2u);
+  EXPECT_EQ(eq.labels()[0], 1u);
+  EXPECT_EQ(eq.labels()[1], 3u);
+  EXPECT_EQ(ValueOrDie(ParsePredicate("contain:7", nullptr)).type(),
+            PredicateType::kContainment);
+  EXPECT_EQ(ValueOrDie(ParsePredicate("overlap:7", nullptr)).type(),
+            PredicateType::kOverlap);
+}
+
+TEST(ParsePredicateTest, ResolvesNamesThroughTable) {
+  LabelTable table;
+  table.Intern("red");
+  table.Intern("blue");
+  const LabelPredicate p =
+      ValueOrDie(ParsePredicate("overlap:blue,red", &table));
+  ASSERT_EQ(p.labels().size(), 2u);
+  EXPECT_EQ(p.labels()[0], 0u);
+  EXPECT_EQ(p.labels()[1], 1u);
+  const auto unknown = ParsePredicate("overlap:green", &table);
+  EXPECT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ParsePredicateTest, RejectsMalformedText) {
+  EXPECT_FALSE(ParsePredicate("frobnicate:1", nullptr).ok());
+  EXPECT_FALSE(ParsePredicate("eq:", nullptr).ok());
+  EXPECT_FALSE(ParsePredicate("eq", nullptr).ok());
+  // Names need a table to resolve against.
+  EXPECT_FALSE(ParsePredicate("eq:red", nullptr).ok());
+  // Numeric id at or beyond the sentinel.
+  EXPECT_FALSE(ParsePredicate("eq:4294967295", nullptr).ok());
+}
+
+}  // namespace
+}  // namespace flos
